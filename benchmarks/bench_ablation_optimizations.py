@@ -1,0 +1,54 @@
+"""Section 4.2 ablation: incremental evaluation and the push operation.
+
+Paper claim: dGPM with both optimizations is ~20x faster than dGPMNOpt on
+EC2-scale graphs.  At laptop scale the gap compresses but the ordering must
+hold: full dGPM <= each single ablation <= dGPMNOpt (up to noise), and the
+push threshold θ trades data for rounds.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.report import record_report
+from repro.core import DgpmConfig, run_dgpm
+from repro.graph.examples import figure2
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def series():
+    s = figures.ablation_optimizations()
+    record_report("ablation", s.render(), RESULTS)
+    return s
+
+
+def test_optimizations_help(benchmark, series):
+    point = series.points[0]
+    assert point.pt_seconds["dGPM"] <= 1.2 * point.pt_seconds["dGPMNOpt"]
+    assert point.pt_seconds["no-push"] <= 1.2 * point.pt_seconds["dGPMNOpt"]
+    graph = figures.yahoo_graph()
+    frag = figures.partitioned("yahoo", 8, 0.25)
+    q = figures._queries(graph, (5, 10), seeds=1)[0]
+    benchmark.pedantic(
+        run_dgpm, args=(q, frag),
+        kwargs={"config": DgpmConfig().without_optimizations()},
+        rounds=3, iterations=1,
+    )
+
+
+def test_push_trades_data_for_rounds(benchmark, series):
+    # On the long chain the tradeoff is stark and deterministic.
+    q, _, frag = figure2(32, close_cycle=False)
+    with_push = run_dgpm(q, frag, DgpmConfig(enable_push=True))
+    without = run_dgpm(q, frag, DgpmConfig(enable_push=False))
+    assert with_push.relation == without.relation
+    assert with_push.metrics.n_rounds < without.metrics.n_rounds
+    assert with_push.metrics.ds_bytes > without.metrics.ds_bytes
+    benchmark.pedantic(
+        run_dgpm, args=(q, frag),
+        kwargs={"config": DgpmConfig(enable_push=True)},
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,57 @@
+"""Figure 6(a)(b): PT and DS of dGPM vs the number of fragments |F|.
+
+Paper shape: more fragments => lower dGPM response time (high degree of
+parallelism); Match is indifferent to |F|; dGPM is the fastest algorithm and
+ships less data than disHHK, dMes and Match; DS rises only mildly with |F|.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.report import record_report
+from repro.core import run_dgpm
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def series():
+    s = figures.fig6_ab_vary_fragments()
+    record_report("fig6_ab", s.render(), RESULTS)
+    return s
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = figures.yahoo_graph()
+    frag = figures.partitioned("yahoo", 8, 0.25)
+    query = figures._queries(graph, (5, 10), seeds=1)[0]
+    return query, frag
+
+
+def test_fig6a_pt_decreases_with_fragments(benchmark, series, instance):
+    pts = [p.pt_seconds["dGPM"] for p in series.points]
+    # robust trend: the best wide-|F| point beats the |F|=4 point
+    assert min(pts[2:]) < pts[0], "dGPM PT should drop as |F| grows"
+    # ordering claims compared on sweep medians (single points can glitch;
+    # the paper's margins are 3-50x)
+    med = lambda alg: series.median("pt_seconds", alg)
+    assert med("dGPM") < med("Match")
+    assert med("dGPM") < med("dMes")
+    assert med("dGPM") < med("disHHK")
+    assert med("dGPM") < med("dGPMNOpt")
+    query, frag = instance
+    benchmark.pedantic(run_dgpm, args=(query, frag), rounds=3, iterations=1)
+
+
+def test_fig6b_ds_ordering(benchmark, series, instance):
+    for p in series.points:
+        assert p.ds_kb["dGPM"] < p.ds_kb["disHHK"]
+        assert p.ds_kb["dGPM"] < p.ds_kb["dMes"]
+        assert p.ds_kb["dGPM"] < p.ds_kb["Match"]
+    query, frag = instance
+    benchmark.pedantic(
+        lambda: run_dgpm(query, frag).metrics.ds_bytes, rounds=3, iterations=1
+    )

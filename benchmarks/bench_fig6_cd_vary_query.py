@@ -1,0 +1,47 @@
+"""Figure 6(c)(d): PT and DS vs query size |Q| from (4,8) to (8,16).
+
+Paper shape: PT of every algorithm grows with |Q| (Match's growth is mild);
+DS of dGPM is much less sensitive to |Q| than disHHK's and dMes's.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.report import record_report
+from repro.core import run_dgpm
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def series():
+    s = figures.fig6_cd_vary_query()
+    record_report("fig6_cd", s.render(), RESULTS)
+    return s
+
+
+def test_fig6c_dgpm_wins_at_every_query_size(benchmark, series):
+    med = lambda alg: series.median("pt_seconds", alg)
+    assert med("dGPM") < med("disHHK")
+    assert med("dGPM") < med("dMes")
+    assert med("dGPM") < med("Match")
+    graph = figures.yahoo_graph()
+    frag = figures.partitioned("yahoo", 8, 0.25)
+    big_query = figures._queries(graph, (8, 16), seeds=1)[0]
+    benchmark.pedantic(run_dgpm, args=(big_query, frag), rounds=3, iterations=1)
+
+
+def test_fig6d_ds_sensitivity(benchmark, series):
+    first, last = series.points[0], series.points[-1]
+    # dGPM's DS growth across the sweep stays below the rivals'
+    dgpm_growth = last.ds_kb["dGPM"] / max(first.ds_kb["dGPM"], 1e-9)
+    dmes_growth = last.ds_kb["dMes"] / max(first.ds_kb["dMes"], 1e-9)
+    assert last.ds_kb["dGPM"] < last.ds_kb["disHHK"]
+    assert last.ds_kb["dGPM"] < last.ds_kb["dMes"]
+    assert dgpm_growth < 2 * max(dmes_growth, 1.0)
+    graph = figures.yahoo_graph()
+    frag = figures.partitioned("yahoo", 8, 0.25)
+    q = figures._queries(graph, (4, 8), seeds=1)[0]
+    benchmark.pedantic(run_dgpm, args=(q, frag), rounds=3, iterations=1)

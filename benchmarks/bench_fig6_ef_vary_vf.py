@@ -1,0 +1,45 @@
+"""Figure 6(e)(f): PT and DS vs the boundary-node ratio |Vf|/|V|.
+
+Paper shape: dGPM's PT and DS both grow as the partition gets worse (its
+bounds are functions of |Vf| and |Ef|), yet it stays faster and lighter than
+disHHK and dMes across the whole sweep.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.report import record_report
+from repro.core import run_dgpm
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def series():
+    s = figures.fig6_ef_vary_vf()
+    record_report("fig6_ef", s.render(), RESULTS)
+    return s
+
+
+def test_fig6e_pt_grows_with_vf_but_dgpm_stays_ahead(benchmark, series):
+    first, last = series.points[0], series.points[-1]
+    assert last.ds_kb["dGPM"] > first.ds_kb["dGPM"]  # partition-bounded: worse cut, more DS
+    med = lambda alg: series.median("pt_seconds", alg)
+    assert med("dGPM") < med("disHHK")
+    assert med("dGPM") < med("dMes")
+    graph = figures.yahoo_graph()
+    frag = figures.partitioned("yahoo", 8, 0.50)
+    q = figures._queries(graph, (5, 10), seeds=1)[0]
+    benchmark.pedantic(run_dgpm, args=(q, frag), rounds=3, iterations=1)
+
+
+def test_fig6f_ds_ordering_across_sweep(benchmark, series):
+    for p in series.points:
+        assert p.ds_kb["dGPM"] < p.ds_kb["disHHK"]
+        assert p.ds_kb["dGPM"] < p.ds_kb["dMes"]
+    graph = figures.yahoo_graph()
+    frag = figures.partitioned("yahoo", 8, 0.25)
+    q = figures._queries(graph, (5, 10), seeds=1)[0]
+    benchmark.pedantic(run_dgpm, args=(q, frag), rounds=3, iterations=1)

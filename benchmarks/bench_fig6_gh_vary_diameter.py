@@ -1,0 +1,53 @@
+"""Figure 6(g)(h): dGPMd on the citation DAG, sweeping query diameter d.
+
+Paper shape: dGPMd's PT grows with d (one message round per rank) but its
+data shipment does NOT grow with d; dGPMd beats Match, disHHK and dMes at
+every d.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.report import record_report
+from repro.core import run_dgpmd
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def series():
+    s = figures.fig6_gh_vary_diameter()
+    record_report("fig6_gh", s.render(), RESULTS)
+    return s
+
+
+def test_fig6g_dgpmd_fastest_at_every_d(benchmark, series):
+    med = lambda alg: series.median("pt_seconds", alg)
+    assert med("dGPMd") < med("Match")
+    assert med("dGPMd") < med("disHHK")
+    assert med("dGPMd") < med("dMes")
+    # rounds track d: deeper queries need more (batched) rounds
+    assert series.points[-1].n_rounds["dGPMd"] > series.points[0].n_rounds["dGPMd"]
+    graph = figures.citation_graph()
+    frag = figures.partitioned("citation", 8, 0.25)
+    q = figures._dag_queries(graph, 4, seeds=1)[0]
+    benchmark.pedantic(run_dgpmd, args=(q, frag), rounds=3, iterations=1)
+
+
+def test_fig6h_ds_does_not_grow_with_d(benchmark, series):
+    ds = [p.ds_kb["dGPMd"] for p in series.points]
+    # Paper: "dGPMd takes more time when d increases, but its data shipment
+    # does not increase."  Our query sets are resampled per d and shallow
+    # (d=2) samples are intrinsically smaller, so assert the plateau over
+    # d >= 4: DS flattens while PT keeps climbing.
+    plateau = ds[2:]
+    assert max(plateau) <= 2 * min(plateau)
+    for p in series.points:
+        assert p.ds_kb["dGPMd"] < p.ds_kb["disHHK"]
+        assert p.ds_kb["dGPMd"] < p.ds_kb["dMes"]
+    graph = figures.citation_graph()
+    frag = figures.partitioned("citation", 8, 0.25)
+    q = figures._dag_queries(graph, 8, seeds=1)[0]
+    benchmark.pedantic(run_dgpmd, args=(q, frag), rounds=3, iterations=1)

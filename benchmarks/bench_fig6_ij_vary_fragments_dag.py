@@ -1,0 +1,47 @@
+"""Figure 6(i)(j): dGPMd vs |F| on the citation DAG at d = 4.
+
+Paper shape: more processors => less dGPMd response time; at |F| = 20 the
+paper reports dGPMd 4.7x / 12.5x / 15.8x faster than disHHK / dMes / Match,
+with orders of magnitude less data.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.report import record_report
+from repro.core import run_dgpmd
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def series():
+    s = figures.fig6_ij_vary_fragments_dag()
+    record_report("fig6_ij", s.render(), RESULTS)
+    return s
+
+
+def test_fig6i_pt_decreases_with_fragments(benchmark, series):
+    pts = [p.pt_seconds["dGPMd"] for p in series.points]
+    assert min(pts[2:]) < pts[0]
+    med = lambda alg: series.median("pt_seconds", alg)
+    assert med("dGPMd") < med("Match")
+    assert med("dGPMd") < med("disHHK")
+    assert med("dGPMd") < med("dMes")
+    graph = figures.citation_graph()
+    frag = figures.partitioned("citation", 20, 0.25)
+    q = figures._dag_queries(graph, 4, seeds=1)[0]
+    benchmark.pedantic(run_dgpmd, args=(q, frag), rounds=3, iterations=1)
+
+
+def test_fig6j_ds_ordering(benchmark, series):
+    for p in series.points:
+        assert p.ds_kb["dGPMd"] < p.ds_kb["disHHK"]
+        assert p.ds_kb["dGPMd"] < p.ds_kb["dMes"]
+        assert p.ds_kb["dGPMd"] < p.ds_kb["Match"]
+    graph = figures.citation_graph()
+    frag = figures.partitioned("citation", 4, 0.25)
+    q = figures._dag_queries(graph, 4, seeds=1)[0]
+    benchmark.pedantic(run_dgpmd, args=(q, frag), rounds=3, iterations=1)

@@ -1,0 +1,47 @@
+"""Figure 6(k)(l): dGPMd vs the boundary ratio |Vf|/|V| at d = 4.
+
+Paper shape: dGPMd's PT is *insensitive* to |Vf| (Theorem 3: the bound has no
+|Vf| term -- contrast with dGPM's 81% growth over the same sweep); its DS
+grows with |Vf| but stays orders below disHHK (2144x) and dMes (87x).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.report import record_report
+from repro.core import run_dgpm, run_dgpmd
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def series():
+    s = figures.fig6_kl_vary_vf_dag()
+    record_report("fig6_kl", s.render(), RESULTS)
+    return s
+
+
+def test_fig6k_pt_insensitive_to_vf(benchmark, series):
+    pts = [p.pt_seconds["dGPMd"] for p in series.points]
+    # Theorem 3: PT independent of |Vf|; allow 2x measurement noise where
+    # the paper's dGPM grew 81% and dGPMd stayed flat.
+    assert max(pts) <= 3.0 * min(pts)
+    graph = figures.citation_graph()
+    frag = figures.partitioned("citation", 8, 0.50)
+    q = figures._dag_queries(graph, 4, seeds=1)[0]
+    benchmark.pedantic(run_dgpmd, args=(q, frag), rounds=3, iterations=1)
+
+
+def test_fig6l_ds_grows_but_stays_smallest(benchmark, series):
+    first, last = series.points[0], series.points[-1]
+    assert last.ds_kb["dGPMd"] >= first.ds_kb["dGPMd"] * 0.8
+    for p in series.points:
+        assert p.ds_kb["dGPMd"] < p.ds_kb["disHHK"]
+        assert p.ds_kb["dGPMd"] < p.ds_kb["dMes"]
+    # dGPM on the same instance: its PT (not dGPMd's) reacts to |Vf|
+    graph = figures.citation_graph()
+    q = figures._dag_queries(graph, 4, seeds=1)[0]
+    frag = figures.partitioned("citation", 8, 0.25)
+    benchmark.pedantic(run_dgpm, args=(q, frag), rounds=3, iterations=1)

@@ -1,0 +1,57 @@
+"""Figure 6(m)(n): dGPM on large synthetic graphs, sweeping |F|.
+
+Paper shape: on the synthetic graph (Match omitted -- a single site cannot
+hold G), dGPM keeps its high degree of parallelism and ships orders of
+magnitude less data than disHHK and dMes.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.report import record_report
+from repro.core import run_dgpm
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def series():
+    s = figures.fig6_mn_synthetic_fragments()
+    record_report("fig6_mn", s.render(), RESULTS)
+    return s
+
+
+def test_fig6m_pt_parallelism(benchmark, series):
+    pts = [p.pt_seconds["dGPM"] for p in series.points]
+    assert min(pts[1:]) < pts[0]
+    med = lambda alg: series.median("pt_seconds", alg)
+    assert med("dGPM") < med("disHHK")
+    assert med("dGPM") < med("dMes")
+    for p in series.points:
+        assert "Match" not in p.pt_seconds  # omitted as in the paper
+    graph = figures.synthetic_graph(figures._n(8000), figures._n(32000))
+    from repro.graph.generators import contiguous_block_assignment
+    from repro.partition import fragment_graph, refine_to_vf_ratio
+
+    frag = refine_to_vf_ratio(
+        fragment_graph(graph, contiguous_block_assignment(graph, 20)), 0.20, seed=3
+    )
+    q = figures._queries(graph, (5, 10), seeds=1)[0]
+    benchmark.pedantic(run_dgpm, args=(q, frag), rounds=3, iterations=1)
+
+
+def test_fig6n_ds_ordering(benchmark, series):
+    for p in series.points:
+        assert p.ds_kb["dGPM"] < p.ds_kb["disHHK"]
+        assert p.ds_kb["dGPM"] < p.ds_kb["dMes"]
+    graph = figures.synthetic_graph(figures._n(8000), figures._n(32000))
+    from repro.graph.generators import contiguous_block_assignment
+    from repro.partition import fragment_graph, refine_to_vf_ratio
+
+    frag = refine_to_vf_ratio(
+        fragment_graph(graph, contiguous_block_assignment(graph, 8)), 0.20, seed=3
+    )
+    q = figures._queries(graph, (5, 10), seeds=1)[0]
+    benchmark.pedantic(run_dgpm, args=(q, frag), rounds=3, iterations=1)

@@ -1,0 +1,55 @@
+"""Figure 6(o)(p): dGPM vs the size of G at |F| = 20.
+
+Paper claim (Theorem 2): dGPM's DS is a function of |Ef| and |Q| -- not of
+|G|.  Following DESIGN.md §5 / EXPERIMENTS.md, the sweep uses graphs whose
+boundary population stays fixed as |G| grows (fixed link window + fixed hub
+set): dGPM's DS stays flat while disHHK's and dMes's keep growing with |G|,
+and dGPM's PT tracks |Fm| ("the larger |Fm| is, the longer dGPM takes").
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.report import record_report
+from repro.core import run_dgpm
+from repro.graph.generators import contiguous_block_assignment
+from repro.partition import fragment_graph
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def _representative(n_nodes: int, n_edges: int):
+    graph = figures.scalefree_boundary_graph(figures._n(n_nodes), figures._n(n_edges))
+    frag = fragment_graph(graph, contiguous_block_assignment(graph, 20))
+    query = figures._queries(graph, (5, 10), seeds=1)[0]
+    return query, frag
+
+
+@pytest.fixture(scope="module")
+def series():
+    s = figures.fig6_op_synthetic_size()
+    record_report("fig6_op", s.render(), RESULTS)
+    return s
+
+
+def test_fig6o_baseline_pt_tracks_graph_size(benchmark, series):
+    dishhk = [p.pt_seconds["disHHK"] for p in series.points]
+    assert dishhk[-1] > dishhk[0]  # ship-and-assemble pays for |G|
+    med = lambda alg: series.median("pt_seconds", alg)
+    assert med("dGPM") < med("disHHK")
+    assert med("dGPM") < med("dMes")
+    query, frag = _representative(8000, 32000)
+    benchmark.pedantic(run_dgpm, args=(query, frag), rounds=3, iterations=1)
+
+
+def test_fig6p_dgpm_ds_not_a_function_of_g(benchmark, series):
+    dgpm = [p.ds_kb["dGPM"] for p in series.points]
+    dishhk = [p.ds_kb["disHHK"] for p in series.points]
+    # dGPM: bounded by the (fixed) partition statistics -- flat-ish
+    assert max(dgpm) <= 3 * max(min(dgpm), 0.01)
+    # disHHK: a function of |G| -- must grow with the 4x size sweep
+    assert dishhk[-1] > 2 * dishhk[0]
+    query, frag = _representative(2000, 8000)
+    benchmark.pedantic(run_dgpm, args=(query, frag), rounds=3, iterations=1)

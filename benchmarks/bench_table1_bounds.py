@@ -1,0 +1,44 @@
+"""Table 1 (this work's rows): the claimed bounds, measured.
+
+Validates on live runs that: dGPM's shipped variable-messages stay within
+the O(|Ef| |Vq|) budget; dGPMd finishes within d+1 rank rounds; dGPMt ships
+one O(|Q|)-vector per fragment; and the Figure-5 message counts match the
+paper exactly (12 vs 6).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.report import record_report
+from repro.core import DgpmConfig, run_dgpm, run_dgpmd
+from repro.graph.examples import figure5
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def report():
+    text = figures.table1_bounds()
+    record_report("table1", text, RESULTS)
+    return text
+
+
+def test_table1_bounds_hold(benchmark, report):
+    assert "VIOLATED" not in report
+    assert "paper: 12" in report and "paper: 6" in report
+    q5, _, f5 = figure5()
+    benchmark.pedantic(
+        run_dgpm, args=(q5, f5), kwargs={"config": DgpmConfig(enable_push=False)},
+        rounds=5, iterations=1,
+    )
+
+
+def test_figure5_message_counts_exact(benchmark, report):
+    q5, _, f5 = figure5()
+    dgpm = run_dgpm(q5, f5, DgpmConfig(enable_push=False))
+    dgpmd = run_dgpmd(q5, f5)
+    assert dgpm.metrics.n_messages == 12
+    assert dgpmd.metrics.n_messages == 6
+    benchmark.pedantic(run_dgpmd, args=(q5, f5), rounds=5, iterations=1)

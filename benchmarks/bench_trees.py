@@ -1,0 +1,56 @@
+"""Section 5.2 / Corollary 4: dGPMt on distributed trees.
+
+Paper shape: dGPMt is parallel scalable in data shipment -- DS is O(|Q||F|),
+independent of |G| -- and needs exactly two coordinator round-trips.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.report import record_report
+from repro.bench.workloads import tree_pattern
+from repro.core import run_dgpmt
+from repro.graph.generators import random_tree
+from repro.partition import tree_partition
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def series():
+    s = figures.trees_series()
+    record_report("trees", s.render(), RESULTS)
+    return s
+
+
+def test_dgpmt_ships_o_q_f(benchmark, series):
+    # Corollary 4: DS ~ O(|Q||F|).  Across the 4..20 fragment sweep DS grows
+    # about linearly in |F| and stays tiny in absolute terms (a 20k-node
+    # tree ships ~1KB), and the two-trip protocol never exceeds 3 rounds.
+    ds = [p.ds_kb["dGPMt"] for p in series.points]
+    fs = [p.x for p in series.points]
+    assert ds[-1] / ds[0] <= 2 * (fs[-1] / fs[0])
+    assert max(ds) < 16.0
+    for p in series.points:
+        assert p.n_rounds["dGPMt"] <= 3
+    tree = random_tree(figures._n(20000), n_labels=8, seed=7)
+    frag = tree_partition(tree, 8, seed=3)
+    q = tree_pattern(tree, 4, seed=41)
+    benchmark.pedantic(run_dgpmt, args=(q, frag), rounds=3, iterations=1)
+
+
+def test_ds_scales_with_fragments_not_graph(benchmark, series):
+    # Corollary 4: DS ~ O(|Q||F|).  Growing |G| at fixed |F| leaves DS flat.
+    shipments = []
+    for n in (2000, 4000, 8000):
+        tree = random_tree(figures._n(n), n_labels=8, seed=7)
+        frag = tree_partition(tree, 8, seed=3)
+        q = tree_pattern(tree, 4, seed=41)
+        shipments.append(run_dgpmt(q, frag).metrics.ds_bytes)
+    assert max(shipments) <= 3 * min(shipments)
+    tree = random_tree(figures._n(4000), n_labels=8, seed=7)
+    frag = tree_partition(tree, 8, seed=3)
+    q = tree_pattern(tree, 4, seed=41)
+    benchmark.pedantic(run_dgpmt, args=(q, frag), rounds=3, iterations=1)

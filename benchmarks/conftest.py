@@ -1,0 +1,31 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each ``bench_*.py`` module reproduces one of the paper's tables/figures: it
+builds the full sweep (the paper-style PT/DS series), registers the rendered
+tables via :func:`repro.bench.report.record_report`, and times one
+representative run with pytest-benchmark.
+
+The registered series are written to ``benchmarks/results/*.txt`` and echoed
+in the terminal summary, so ``pytest benchmarks/ --benchmark-only`` leaves a
+complete experimental record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.report import all_reports
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    reports = all_reports()
+    if not reports:
+        return
+    terminalreporter.section("paper experiment series (also in benchmarks/results/)")
+    for name in sorted(reports):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"#### {name} ####")
+        for line in reports[name].splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Quickstart: distributed graph simulation in five steps.
+
+1. generate a web-like labeled graph,
+2. sample a cyclic pattern that is guaranteed to match,
+3. fragment the graph over 8 sites at the paper's |Vf| = 25%,
+4. run the partition-bounded algorithm dGPM,
+5. check the answer against centralized simulation and read the meters.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DgpmConfig, partition, run_dgpm, simulation, web_graph
+from repro.bench.workloads import cyclic_pattern
+from repro.partition.metrics import partition_stats
+
+
+def main() -> None:
+    # 1. a scale-free, locality-structured data graph (Yahoo stand-in)
+    graph = web_graph(4000, 20000, n_labels=24, seed=7)
+    print(f"data graph: |V|={graph.n_nodes}, |E|={graph.n_edges}")
+
+    # 2. a cyclic pattern sampled from the graph (so Q(G) is non-empty)
+    query = cyclic_pattern(graph, n_nodes=5, n_edges=10, seed=1)
+    print(f"query: |Vq|={query.n_nodes}, |Eq|={query.n_edges}, cyclic={not query.is_dag()}")
+
+    # 3. fragment over 8 sites, boundary ratio ~25% (the paper's default)
+    fragmentation = partition(graph, n_fragments=8, seed=7, vf_ratio=0.25)
+    print(f"fragmentation: {partition_stats(fragmentation).describe()}")
+
+    # 4. distributed evaluation with dGPM (Theorem 2)
+    result = run_dgpm(query, fragmentation, DgpmConfig())
+    print(f"metrics: {result.metrics.describe()}")
+
+    # 5. the distributed answer equals the centralized one
+    oracle = simulation(query, graph)
+    assert result.relation == oracle, "distributed != centralized (bug!)"
+    for u in query.nodes():
+        print(f"  matches of {u}: {len(result.relation.matches_of(u))} nodes")
+    print("distributed answer == centralized answer  [verified]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""repro: distributed graph simulation with provable performance bounds.
+
+A faithful, laptop-scale reproduction of
+
+    Wenfei Fan, Xin Wang, Yinghui Wu, Dong Deng.
+    "Distributed Graph Simulation: Impossibility and Possibility."
+    PVLDB 7(12), 2014.
+
+Quickstart
+----------
+>>> from repro import Pattern, web_graph, partition, run_dgpm, simulation
+>>> g = web_graph(2000, 10000, seed=1)
+>>> q = Pattern({"a": "dom0", "b": "dom1"}, [("a", "b"), ("b", "a")])
+>>> frag = partition(g, n_fragments=4, seed=1)
+>>> result = run_dgpm(q, frag)
+>>> result.relation == simulation(q, g)     # distributed == centralized
+True
+>>> result.metrics.ds_kb                    # bounded by O(|Ef| |Vq|)
+0.0...
+
+Public surface
+--------------
+* graphs & queries: :class:`DiGraph`, :class:`Pattern`, generators
+  (:func:`web_graph`, :func:`citation_dag`, :func:`random_labeled_graph`,
+  :func:`random_tree`), the paper's examples in :mod:`repro.graph.examples`;
+* centralized engines: :func:`simulation` (HHK), :func:`naive_simulation`,
+  :func:`dag_simulation`, plus strong simulation / subgraph isomorphism in
+  :mod:`repro.simulation`;
+* fragmentation: :func:`fragment_graph`, :func:`partition`, partitioners and
+  :func:`refine_to_vf_ratio` in :mod:`repro.partition`;
+* distributed algorithms: :func:`run_dgpm` (Theorem 2), :func:`run_dgpmd`
+  (Theorem 3), :func:`run_dgpmt` (Corollary 4), :func:`run_auto`, configured
+  by :class:`DgpmConfig`;
+* baselines: :func:`run_match`, :func:`run_dishhk`, :func:`run_dmes`;
+* benchmarks: the experiment definitions of Figure 6 in :mod:`repro.bench`.
+"""
+
+from repro.baselines import run_dishhk, run_dmes, run_match
+from repro.core import DgpmConfig, run_auto, run_dgpm, run_dgpmd, run_dgpmt
+from repro.errors import (
+    FragmentationError,
+    GraphError,
+    PatternError,
+    ProtocolError,
+    ReproError,
+)
+from repro.graph import DiGraph, Pattern
+from repro.graph.generators import (
+    citation_dag,
+    random_labeled_graph,
+    random_tree,
+    web_graph,
+)
+from repro.partition import (
+    Fragmentation,
+    balanced_bfs_partition,
+    fragment_graph,
+    hash_partition,
+    random_partition,
+    refine_to_vf_ratio,
+    tree_partition,
+)
+from repro.runtime import CostModel, RunMetrics, RunResult
+from repro.simulation import MatchRelation, dag_simulation, naive_simulation, simulation
+
+__version__ = "1.0.0"
+
+
+def partition(graph: DiGraph, n_fragments: int, seed: int = 0, vf_ratio: float | None = None) -> Fragmentation:
+    """Convenience partitioner: a low-cut start, optionally refined.
+
+    For generator graphs (contiguous integer ids with locality) a block
+    partition starts with the lowest boundary ratio; other graphs fall back
+    to balanced BFS regions.  ``vf_ratio`` (e.g. ``0.25``) then drives
+    ``|Vf| / |V|`` toward the paper's sweep values via
+    :func:`refine_to_vf_ratio` -- raising the ratio is always possible,
+    lowering it only on partition-friendly graphs.
+    """
+    if all(isinstance(v, int) for v in graph.nodes()):
+        from repro.graph.generators import contiguous_block_assignment
+
+        frag = fragment_graph(graph, contiguous_block_assignment(graph, n_fragments))
+    else:
+        frag = balanced_bfs_partition(graph, n_fragments, seed=seed)
+    if vf_ratio is not None:
+        frag = refine_to_vf_ratio(frag, vf_ratio, seed=seed)
+    return frag
+
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError", "GraphError", "PatternError", "FragmentationError", "ProtocolError",
+    # graphs & queries
+    "DiGraph", "Pattern",
+    "web_graph", "citation_dag", "random_labeled_graph", "random_tree",
+    # centralized simulation
+    "MatchRelation", "simulation", "naive_simulation", "dag_simulation",
+    # fragmentation
+    "Fragmentation", "fragment_graph", "partition",
+    "hash_partition", "random_partition", "balanced_bfs_partition",
+    "refine_to_vf_ratio", "tree_partition",
+    # distributed algorithms
+    "DgpmConfig", "run_dgpm", "run_dgpmd", "run_dgpmt", "run_auto",
+    # baselines
+    "run_match", "run_dishhk", "run_dmes",
+    # runtime
+    "CostModel", "RunMetrics", "RunResult",
+]

@@ -1,0 +1,20 @@
+"""The paper's comparison baselines (Section 6, "Algorithms").
+
+* :func:`~repro.baselines.match_central.run_match` -- ``Match``: ship every
+  fragment to one site, evaluate centrally (the naive algorithm of
+  Section 3.1).  DS ~ ``|G|``; PT dominated by the single-site evaluation.
+* :func:`~repro.baselines.dishhk.run_dishhk` -- ``disHHK`` [Ma et al.,
+  WWW'12]: per-site candidate pruning, then ship candidate subgraphs to the
+  coordinator for a centralized finish.  Bounds are functions of ``|G|``
+  (Table 1), reconstructed per DESIGN.md §2.
+* :func:`~repro.baselines.dmes.run_dmes` -- ``dMes``: the authors' own
+  vertex-centric / Pregel-style comparator: per superstep, every site
+  *requests and receives* the value of each still-interesting virtual
+  variable, then re-evaluates locally and votes to halt.
+"""
+
+from repro.baselines.match_central import run_match
+from repro.baselines.dishhk import run_dishhk
+from repro.baselines.dmes import run_dmes
+
+__all__ = ["run_match", "run_dishhk", "run_dmes"]

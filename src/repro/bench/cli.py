@@ -1,0 +1,97 @@
+"""Command-line entry point: ``python -m repro.bench`` / ``repro-bench``.
+
+Runs one experiment (or all of them) and prints the paper-style series.
+
+Examples
+--------
+::
+
+    repro-bench --list
+    repro-bench --figure 6ab
+    REPRO_SCALE=0.5 repro-bench --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.bench import figures
+
+#: experiment id -> callable returning a printable report
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "6ab": figures.fig6_ab_vary_fragments,
+    "6cd": figures.fig6_cd_vary_query,
+    "6ef": figures.fig6_ef_vary_vf,
+    "6gh": figures.fig6_gh_vary_diameter,
+    "6ij": figures.fig6_ij_vary_fragments_dag,
+    "6kl": figures.fig6_kl_vary_vf_dag,
+    "6mn": figures.fig6_mn_synthetic_fragments,
+    "6op": figures.fig6_op_synthetic_size,
+    "ablation": figures.ablation_optimizations,
+    "trees": figures.trees_series,
+    "table1": figures.table1_bounds,
+    "impossibility": figures.impossibility_report,
+}
+
+
+def _render(value: object) -> str:
+    render = getattr(value, "render", None)
+    return render() if callable(render) else str(value)
+
+
+def main(argv: list | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the experiments of 'Distributed Graph Simulation: "
+        "Impossibility and Possibility' (VLDB 2014).",
+    )
+    parser.add_argument("--figure", metavar="ID", help="experiment id (see --list)")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--scale", type=float, metavar="X",
+        help="graph-size multiplier (sets REPRO_SCALE for this run)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.scale is not None:
+        import os
+
+        os.environ["REPRO_SCALE"] = str(args.scale)
+        from repro.bench import figures as _figures
+
+        _figures.yahoo_graph.cache_clear()
+        _figures.citation_graph.cache_clear()
+        _figures.synthetic_graph.cache_clear()
+        _figures.scalefree_boundary_graph.cache_clear()
+        _figures.partitioned.cache_clear()
+
+    if args.list:
+        for key, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{key:>14}  {doc}")
+        return 0
+    if args.all:
+        for key, fn in EXPERIMENTS.items():
+            print(f"\n######## {key} ########")
+            print(_render(fn()))
+        return 0
+    if args.figure:
+        key = args.figure.lower()
+        if key.startswith("fig"):
+            key = key[3:]
+        fn = EXPERIMENTS.get(key)
+        if fn is None:
+            print(f"unknown experiment {args.figure!r}; try --list", file=sys.stderr)
+            return 2
+        print(_render(fn()))
+        return 0
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,161 @@
+"""Sweep runner producing the paper's plot series.
+
+Each Figure-6 panel is a sweep: one x-axis (``|F|``, ``|Q|``, ``|Vf|``,
+``d``, ``|G|``), several algorithms, two y-axes (PT seconds, DS KB).
+:func:`run_sweep` executes the cross product, verifies every distributed
+answer against the centralized oracle (a reproduction that silently returns
+wrong matches is worthless), and returns an :class:`ExperimentSeries` that
+renders the same rows the paper plots.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.graph.pattern import Pattern
+from repro.partition.fragmentation import Fragmentation
+from repro.runtime.metrics import RunResult
+from repro.simulation import simulation
+
+#: An algorithm entry: display name -> runner(query, fragmentation) -> RunResult.
+Runner = Callable[[Pattern, Fragmentation], RunResult]
+
+
+@dataclass
+class SweepPoint:
+    """Metrics of every algorithm at one x-value."""
+
+    x: object
+    pt_seconds: Dict[str, float] = field(default_factory=dict)
+    ds_kb: Dict[str, float] = field(default_factory=dict)
+    n_messages: Dict[str, int] = field(default_factory=dict)
+    n_rounds: Dict[str, int] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentSeries:
+    """A full sweep: the data behind one PT panel and one DS panel."""
+
+    name: str
+    x_label: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def algorithms(self) -> List[str]:
+        names: List[str] = []
+        for point in self.points:
+            for alg in point.pt_seconds:
+                if alg not in names:
+                    names.append(alg)
+        return names
+
+    # ------------------------------------------------------------------
+    def _table(self, metric: str, fmt: str) -> str:
+        algs = self.algorithms()
+        header = [self.x_label] + algs
+        rows = [header]
+        for point in self.points:
+            values = getattr(point, metric)
+            rows.append(
+                [str(point.x)] + [fmt.format(values[a]) if a in values else "-" for a in algs]
+            )
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = ["  ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in rows]
+        return "\n".join(lines)
+
+    def pt_table(self) -> str:
+        """Paper-style PT series (seconds)."""
+        return self._table("pt_seconds", "{:.4f}")
+
+    def ds_table(self) -> str:
+        """Paper-style DS series (KB)."""
+        return self._table("ds_kb", "{:.2f}")
+
+    def render(self) -> str:
+        """Both panels, titled like the paper's subfigures."""
+        return (
+            f"== {self.name} : PT (seconds) vs {self.x_label} ==\n{self.pt_table()}\n\n"
+            f"== {self.name} : DS (KB) vs {self.x_label} ==\n{self.ds_table()}\n"
+        )
+
+    def median(self, metric: str, algorithm: str) -> float:
+        """Median of one algorithm's metric across the sweep.
+
+        Shape assertions compare medians rather than individual points: a
+        single wall-clock glitch (scheduler hiccup on a shared machine) must
+        not invalidate an ordering that holds with a 3-10x margin.
+        """
+        values = [
+            getattr(point, metric)[algorithm]
+            for point in self.points
+            if algorithm in getattr(point, metric)
+        ]
+        if not values:
+            raise ReproError(f"no data for {algorithm}")
+        return statistics.median(values)
+
+    def ratio(self, metric: str, numerator: str, denominator: str) -> float:
+        """Average ratio between two algorithms over the sweep (paper-style
+        claims like "dGPM ships 3 orders of magnitude less than disHHK")."""
+        ratios = []
+        for point in self.points:
+            values = getattr(point, metric)
+            if numerator in values and denominator in values and values[denominator]:
+                ratios.append(values[numerator] / values[denominator])
+        if not ratios:
+            raise ReproError(f"no overlapping points for {numerator}/{denominator}")
+        return statistics.mean(ratios)
+
+
+def run_sweep(
+    name: str,
+    x_label: str,
+    instances: Sequence[Tuple[object, List[Pattern], Fragmentation]],
+    algorithms: Dict[str, Runner],
+    verify: bool = True,
+    repeats: int = 2,
+) -> ExperimentSeries:
+    """Execute a sweep.
+
+    ``instances`` yields ``(x_value, queries, fragmentation)`` triples; each
+    algorithm runs every query at every x-value and metrics are averaged over
+    the queries (the paper averages over 20 patterns; benches use fewer for
+    laptop runtimes).  Each run is repeated ``repeats`` times and the
+    *minimum* PT kept -- simulated makespans are built from wall-clock
+    samples, and min-of-k is the standard defence against scheduler noise.
+    DS and message counts are deterministic, so the first run's values are
+    used.  With ``verify=True`` every answer is checked against the
+    centralized oracle.
+    """
+    series = ExperimentSeries(name=name, x_label=x_label)
+    for x, queries, fragmentation in instances:
+        point = SweepPoint(x=x)
+        oracles = (
+            [simulation(q, fragmentation.graph) for q in queries] if verify else None
+        )
+        for alg_name, runner in algorithms.items():
+            pts: List[float] = []
+            dss: List[float] = []
+            msgs: List[int] = []
+            rounds: List[int] = []
+            for qi, query in enumerate(queries):
+                results = [runner(query, fragmentation) for _ in range(max(1, repeats))]
+                result = results[0]
+                if verify and result.relation != oracles[qi]:
+                    raise ReproError(
+                        f"{alg_name} returned a wrong answer at {x_label}={x!r} (query {qi})"
+                    )
+                pts.append(min(r.metrics.pt_seconds for r in results))
+                dss.append(result.metrics.ds_kb)
+                msgs.append(result.metrics.n_messages)
+                rounds.append(result.metrics.n_rounds)
+            point.pt_seconds[alg_name] = statistics.mean(pts)
+            point.ds_kb[alg_name] = statistics.mean(dss)
+            point.n_messages[alg_name] = round(statistics.mean(msgs))
+            point.n_rounds[alg_name] = round(statistics.mean(rounds))
+        series.points.append(point)
+    return series

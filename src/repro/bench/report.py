@@ -1,0 +1,31 @@
+"""Process-global registry of rendered experiment reports.
+
+Benchmark modules register each experiment's paper-style series here; the
+benchmark suite's ``conftest.py`` echoes everything into the pytest terminal
+summary and ``benchmarks/results/*.txt`` at the end of the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional
+
+_REPORTS: Dict[str, str] = {}
+
+
+def record_report(name: str, text: str, results_dir: Optional[Path] = None) -> None:
+    """Register one experiment's rendered series (and persist it, if asked)."""
+    _REPORTS[name] = text
+    if results_dir is not None:
+        results_dir.mkdir(parents=True, exist_ok=True)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def all_reports() -> Dict[str, str]:
+    """Snapshot of every registered report."""
+    return dict(_REPORTS)
+
+
+def clear_reports() -> None:
+    """Reset the registry (used by tests)."""
+    _REPORTS.clear()

@@ -1,0 +1,42 @@
+"""Monotone Boolean expressions and equation systems.
+
+Algorithm dGPM encodes partial answers as Boolean variables ``X(u, v)``
+("data node ``v`` matches query node ``u``") and equations of the form
+
+    ``X(u, v) = AND over query children u' ( OR over data children v' X(u', v') )``
+
+(Section 4.1 of the paper).  This subpackage implements:
+
+* :mod:`~repro.boolean.expr` -- the expression algebra (Var / Const / And /
+  Or) with flattening, constant folding, absorption and substitution;
+* :mod:`~repro.boolean.system` -- equation systems over those expressions,
+  greatest-fixpoint solving, and the *reduction* that rewrites a fragment's
+  in-node equations so they mention only virtual-node variables (Example 6);
+  the same machinery solves dGPMt's tree systems bottom-up (Section 5.2).
+"""
+
+from repro.boolean.expr import (
+    FALSE,
+    TRUE,
+    And,
+    BoolExpr,
+    Const,
+    Or,
+    Var,
+    conj,
+    disj,
+)
+from repro.boolean.system import EquationSystem
+
+__all__ = [
+    "BoolExpr",
+    "Var",
+    "Const",
+    "And",
+    "Or",
+    "TRUE",
+    "FALSE",
+    "conj",
+    "disj",
+    "EquationSystem",
+]

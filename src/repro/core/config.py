@@ -1,0 +1,49 @@
+"""Configuration of the dGPM family of algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.runtime.costmodel import CostModel, DEFAULT_COST
+
+
+@dataclass(frozen=True)
+class DgpmConfig:
+    """Knobs for :func:`repro.core.dgpm.run_dgpm` and friends.
+
+    ``incremental`` and ``enable_push`` are the two Section-4.2 optimizations;
+    disabling both gives the paper's dGPMNOpt baseline.  ``push_threshold`` is
+    the paper's θ (fixed to 0.2 in their experiments).
+    """
+
+    #: incremental local evaluation (counter propagation) instead of
+    #: recomputing the whole local fixpoint on every message batch
+    incremental: bool = True
+    #: enable the push operation (ship Boolean equations to parent sites)
+    enable_push: bool = True
+    #: θ: push triggers when B(Si) = |Fi.O'| / (m * |Fi.I'|) >= θ
+    push_threshold: float = 0.2
+    #: cap on the size of shipped equations (falls back to value shipping)
+    push_max_terms: int = 2048
+    #: report only the Boolean answer (smaller result collection)
+    boolean_only: bool = False
+    #: adversarial asynchrony: ``(seed, fraction)`` makes the network release
+    #: only a random ``fraction`` of queued messages per round (dGPM's
+    #: fixpoint is schedule-independent -- Section 4.1; only honoured by
+    #: run_dgpm, since dGPMd/dGPMt/dMes rely on synchronized rounds)
+    scramble: Optional[Tuple[int, float]] = None
+    #: wire sizes and link model
+    cost: CostModel = field(default_factory=lambda: DEFAULT_COST)
+
+    def without_optimizations(self) -> "DgpmConfig":
+        """The dGPMNOpt variant of this configuration."""
+        return DgpmConfig(
+            incremental=False,
+            enable_push=False,
+            push_threshold=self.push_threshold,
+            push_max_terms=self.push_max_terms,
+            boolean_only=self.boolean_only,
+            scramble=self.scramble,
+            cost=self.cost,
+        )

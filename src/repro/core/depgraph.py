@@ -1,0 +1,56 @@
+"""Local dependency graphs ``G_d^i`` (Section 4.1).
+
+Site ``Si`` must know, for each of its in-nodes ``v``, which sites hold ``v``
+as a virtual node -- those are the sites waiting for the truth values of
+``X(u, v)``.  The paper computes this offline by sharing virtual/in-node
+identifiers [26, 28]; here it is derived from the
+:class:`~repro.partition.fragmentation.Fragmentation` once per run and handed
+to every site program.
+
+The structure is bidirectional because the push operation (Section 4.2) also
+needs the *children* direction: for each virtual node of ``Si``, the owning
+site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.graph.digraph import Node
+from repro.partition.fragmentation import Fragmentation
+
+
+class DependencyGraphs:
+    """All sites' local dependency graphs, computed from the fragmentation."""
+
+    def __init__(self, fragmentation: Fragmentation) -> None:
+        n = fragmentation.n_fragments
+        #: watchers[i][v] = sites (other than i) holding in-node v of Fi as virtual
+        self.watchers: List[Dict[Node, Set[int]]] = [dict() for _ in range(n)]
+        #: owners[i][v'] = owning site of virtual node v' of Fi
+        self.owners: List[Dict[Node, int]] = [dict() for _ in range(n)]
+        for frag in fragmentation:
+            for v in frag.virtual_nodes:
+                owner = frag.owner_of_virtual(v)
+                self.owners[frag.fid][v] = owner
+                self.watchers[owner].setdefault(v, set()).add(frag.fid)
+
+    def watcher_sites(self, fid: int, in_node: Node) -> Set[int]:
+        """Sites that must be told when an ``X(u, in_node)`` of site ``fid`` flips."""
+        return self.watchers[fid].get(in_node, set())
+
+    def owner_site(self, fid: int, virtual: Node) -> int:
+        """Owning site of ``virtual`` as seen from site ``fid``."""
+        return self.owners[fid][virtual]
+
+    def edges(self, fid: int) -> List[Tuple[int, int, FrozenSet[Node]]]:
+        """Site ``fid``'s dependency edges ``(Sj, Si)`` with their annotations.
+
+        Mirrors the paper's Example 5: edge ``(Sj, Si)`` annotated with the
+        in-nodes of ``Si`` that are virtual in ``Sj``.
+        """
+        by_peer: Dict[int, Set[Node]] = {}
+        for node, sites in self.watchers[fid].items():
+            for peer in sites:
+                by_peer.setdefault(peer, set()).add(node)
+        return [(peer, fid, frozenset(nodes)) for peer, nodes in sorted(by_peer.items())]

@@ -1,0 +1,374 @@
+"""Algorithm dGPM: partition-bounded distributed graph simulation (Section 4).
+
+Protocol, exactly as the paper's three phases:
+
+1. **Partial evaluation** -- the coordinator broadcasts ``Q``; every site runs
+   lEval (:class:`~repro.core.state.LocalEvalState`) in parallel, assuming
+   virtual nodes match optimistically, and ships the falsifications of its
+   in-node variables, one ``X(u, v) := false`` message per watcher site
+   (the paper's Example 9 counts individual variables as messages).
+2. **Message passing** -- on receiving falsifications of its virtual
+   variables, a site re-evaluates (incrementally by default; from scratch in
+   the dGPMNOpt ablation) and ships newly falsified in-node variables, guided
+   by its local dependency graph.  A changed-flag goes to the coordinator.
+   The *push* optimization (Section 4.2) may ship Boolean equations instead,
+   re-wiring the dependency graph to bypass slow chains; see
+   :class:`_PushState`.
+3. **Assembly** -- sites ship local matches; the coordinator unions them and
+   collapses to the empty relation when some query node has no match.
+
+Falsification-only shipping bounds DS by ``O(|Ef| |Vq|)`` and the round count
+by ``O(|Vf| |Vq|)`` (each round falsifies at least one boundary variable) --
+Theorem 2.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.boolean.expr import BoolExpr, FALSE, Var
+from repro.boolean.system import EquationBlowupError
+from repro.core.config import DgpmConfig
+from repro.core.depgraph import DependencyGraphs
+from repro.core.state import LocalEvalState, VarKey
+from repro.graph.digraph import Node
+from repro.graph.pattern import Pattern
+from repro.partition.fragmentation import Fragmentation
+from repro.runtime.engine import SyncEngine, TickResult
+from repro.runtime.messages import COORDINATOR, Message, MessageKind
+from repro.runtime.metrics import RunResult
+from repro.runtime.network import Network
+from repro.simulation.matchrel import MatchRelation
+
+
+class _PushState:
+    """Per-site bookkeeping for pushed (inlined) Boolean equations.
+
+    When a child site pushes the equation of a virtual variable, this site
+    becomes responsible for evaluating it from grandchild falsifications.
+    ``equations[(u, v)]`` is the pending expression; leaves are variables
+    owned by other sites.  ``leaf_index`` maps each leaf to the pushed
+    variables mentioning it.
+    """
+
+    def __init__(self) -> None:
+        self.equations: Dict[VarKey, BoolExpr] = {}
+        self.leaf_index: Dict[VarKey, Set[VarKey]] = {}
+        self.known_false_leaves: Set[VarKey] = set()
+
+    def add(self, var: VarKey, expr: BoolExpr) -> Optional[VarKey]:
+        """Register a pushed equation; returns ``var`` if already false."""
+        expr = expr.substitute({leaf: FALSE for leaf in self.known_false_leaves})
+        if expr == FALSE:
+            return var
+        self.equations[var] = expr
+        for leaf in expr.variables():
+            self.leaf_index.setdefault(leaf, set()).add(var)
+        return None
+
+    def on_leaf_false(self, leaf: VarKey) -> List[VarKey]:
+        """A grandchild falsified ``leaf``; returns pushed vars now false."""
+        self.known_false_leaves.add(leaf)
+        out: List[VarKey] = []
+        for var in list(self.leaf_index.get(leaf, ())):
+            expr = self.equations.get(var)
+            if expr is None:
+                continue
+            expr = expr.substitute({leaf: FALSE})
+            if expr == FALSE:
+                del self.equations[var]
+                out.append(var)
+            else:
+                self.equations[var] = expr
+        return out
+
+
+class DgpmSiteProgram:
+    """The per-site half of dGPM (procedures lEval + lMsg)."""
+
+    def __init__(
+        self,
+        fid: int,
+        fragmentation: Fragmentation,
+        query: Pattern,
+        deps: DependencyGraphs,
+        config: DgpmConfig,
+    ) -> None:
+        self.fid = fid
+        self.fragment = fragmentation[fid]
+        self.query = query
+        self.deps = deps
+        self.config = config
+        self.cost = config.cost
+        self.state = LocalEvalState(self.fragment, query)
+        #: falsified virtual vars accumulated so far (for from-scratch mode
+        #: and for de-duplicating deliveries after a push rewire)
+        self.known_false_virtual: Set[VarKey] = set()
+        #: in-node vars whose falsity we already shipped
+        self.shipped: Set[VarKey] = set()
+        #: extra watchers added by rewire messages: var -> site ids
+        self.extra_watchers: Dict[VarKey, Set[int]] = {}
+        #: vars delegated away by our own push (no VAR_UPDATE needed anymore,
+        #: but we keep shipping for safety -- receivers de-duplicate)
+        self.pushed_vars: Set[VarKey] = set()
+        self.push_done = False
+        self.pushes_triggered = 0
+        self.push_state = _PushState()
+
+    # ------------------------------------------------------------------
+    # lMsg: route falsifications along the dependency graph
+    # ------------------------------------------------------------------
+    def _messages_for(self, falsified: Iterable[VarKey]) -> List[Message]:
+        out: List[Message] = []
+        in_nodes = self.fragment.in_nodes
+        for u, v in falsified:
+            if v not in in_nodes or (u, v) in self.shipped:
+                continue
+            if not self.query.parents(u) and (u, v) not in self.extra_watchers:
+                # No query edge targets u, so no site's equation can mention
+                # X(u, v); shipping it would be pure waste (Example 9 counts
+                # confirm the paper skips these).
+                continue
+            self.shipped.add((u, v))
+            targets = set(self.deps.watcher_sites(self.fid, v))
+            targets |= self.extra_watchers.get((u, v), set())
+            for peer in sorted(targets):
+                out.append(
+                    Message(
+                        src=self.fid,
+                        dst=peer,
+                        kind=MessageKind.VAR_UPDATE,
+                        payload=[(u, v)],
+                        size_bytes=self.cost.var_batch_bytes(1),
+                    )
+                )
+        return out
+
+    def _control_flag(self, changed: bool) -> Message:
+        return Message(
+            src=self.fid,
+            dst=COORDINATOR,
+            kind=MessageKind.CONTROL,
+            payload=changed,
+            size_bytes=self.cost.control_flag_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # push operation (Section 4.2)
+    # ------------------------------------------------------------------
+    def _benefit(self, equations: Dict[VarKey, BoolExpr]) -> float:
+        n_unresolved_virtual = len(self.state.virtual_candidates())
+        unresolved_in = [k for k, e in equations.items() if not e.is_const()]
+        m = sum(e.n_terms for k, e in equations.items() if k in set(unresolved_in))
+        if not unresolved_in or m == 0:
+            return 0.0
+        return n_unresolved_virtual / (m * len(unresolved_in))
+
+    def _try_push(self) -> List[Message]:
+        """Ship in-node equations to watcher sites when B(Si) >= θ."""
+        if self.push_done or not self.config.enable_push:
+            return []
+        try:
+            equations = self.state.in_node_equations(self.config.push_max_terms)
+        except EquationBlowupError:
+            self.push_done = True
+            return []
+        pending = {k: e for k, e in equations.items() if not e.is_const()}
+        if not pending:
+            return []
+        if self._benefit(equations) < self.config.push_threshold:
+            return []
+        self.push_done = True
+        self.pushes_triggered += 1
+        out: List[Message] = []
+        rewires: Dict[int, List[Tuple[VarKey, int]]] = {}
+        for (u, v), expr in sorted(pending.items(), key=repr):
+            watchers = sorted(self.deps.watcher_sites(self.fid, v))
+            for peer in watchers:
+                out.append(
+                    Message(
+                        src=self.fid,
+                        dst=peer,
+                        kind=MessageKind.EQUATION,
+                        payload=((u, v), expr),
+                        size_bytes=self.cost.message_header_bytes
+                        + self.cost.equation_bytes(expr.n_terms),
+                    )
+                )
+                # Every leaf variable's owner must now also notify `peer`.
+                for leaf_u, leaf_v in expr.variables():
+                    owner = self.deps.owner_site(self.fid, leaf_v)
+                    rewires.setdefault(owner, []).append(((leaf_u, leaf_v), peer))
+            self.pushed_vars.add((u, v))
+        for owner, entries in sorted(rewires.items()):
+            out.append(
+                Message(
+                    src=self.fid,
+                    dst=owner,
+                    kind=MessageKind.REWIRE,
+                    payload=entries,
+                    size_bytes=self.cost.var_batch_bytes(len(entries)),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # engine hooks
+    # ------------------------------------------------------------------
+    def on_start(self) -> TickResult:
+        falsified = self.state.run_initial()
+        messages = self._messages_for(falsified)
+        messages.extend(self._try_push())
+        if messages:
+            messages.append(self._control_flag(True))
+        return TickResult(messages=messages, halted=True)
+
+    def on_tick(self, round_no: int, inbox: List[Message]) -> TickResult:
+        incoming: List[VarKey] = []
+        late_rewire_forwards: List[Message] = []
+        for message in inbox:
+            if message.kind == MessageKind.VAR_UPDATE:
+                for key in message.payload:
+                    if key not in self.known_false_virtual:
+                        self.known_false_virtual.add(key)
+                        incoming.append(key)
+            elif message.kind == MessageKind.EQUATION:
+                var, expr = message.payload
+                immediately_false = self.push_state.add(var, expr)
+                if immediately_false is not None:
+                    incoming.append(immediately_false)
+            elif message.kind == MessageKind.REWIRE:
+                for var, new_watcher in message.payload:
+                    self.extra_watchers.setdefault(var, set()).add(new_watcher)
+                    # If we already falsified it, forward to the new watcher
+                    # so nothing is lost in flight.
+                    if var in self.shipped:
+                        late_rewire_forwards.append(
+                            Message(
+                                src=self.fid,
+                                dst=new_watcher,
+                                kind=MessageKind.VAR_UPDATE,
+                                payload=[var],
+                                size_bytes=self.cost.var_batch_bytes(1),
+                            )
+                        )
+
+        # Pushed equations react to leaf falsifications as well.
+        for key in list(incoming):
+            for var in self.push_state.on_leaf_false(key):
+                incoming.append(var)
+
+        if not incoming:
+            return TickResult(messages=late_rewire_forwards, halted=True)
+
+        if self.config.incremental:
+            falsified = self.state.falsify_virtual(incoming)
+        else:
+            falsified = self._recompute_from_scratch(incoming)
+        messages = self._messages_for(falsified)
+        messages.extend(late_rewire_forwards)
+        if messages:
+            messages.append(self._control_flag(True))
+        return TickResult(messages=messages, halted=True)
+
+    def _recompute_from_scratch(self, incoming: List[VarKey]) -> List[VarKey]:
+        """dGPMNOpt: rebuild the whole local evaluation on every message."""
+        self.state = LocalEvalState(
+            self.fragment, self.query, known_false_virtual=self.known_false_virtual
+        )
+        self.state.run_initial()
+        # Newly falsified = current false in-node candidates not yet shipped.
+        out: List[VarKey] = []
+        for u in self.query.nodes():
+            want = self.query.label(u)
+            for v in self.fragment.in_nodes:
+                if self.fragment.graph.label(v) != want:
+                    continue
+                if not self.state.is_candidate(u, v) and (u, v) not in self.shipped:
+                    out.append((u, v))
+        return out
+
+    def collect(self) -> Message:
+        matches = self.state.local_matches()
+        if self.config.boolean_only:
+            payload = {u: bool(vs) for u, vs in matches.items()}
+            size = self.cost.var_batch_bytes(len(payload))
+        else:
+            payload = matches
+            size = self.cost.var_batch_bytes(sum(len(vs) for vs in matches.values()))
+        return Message(
+            src=self.fid,
+            dst=COORDINATOR,
+            kind=MessageKind.RESULT,
+            payload=payload,
+            size_bytes=size,
+        )
+
+
+def assemble_result(query: Pattern, result_messages: List[Message]) -> MatchRelation:
+    """Coordinator phase 3: union local matches; empty if a query node is bare."""
+    merged: Dict[Node, Set[Node]] = {u: set() for u in query.nodes()}
+    for message in result_messages:
+        for u, vs in message.payload.items():
+            if isinstance(vs, bool):  # boolean_only collection
+                if vs:
+                    merged[u].add(("__some__", message.src, u))
+            else:
+                merged[u] |= vs
+    return MatchRelation(query.nodes(), merged)
+
+
+def run_dgpm(
+    query: Pattern,
+    fragmentation: Fragmentation,
+    config: Optional[DgpmConfig] = None,
+) -> RunResult:
+    """Evaluate ``query`` over ``fragmentation`` with dGPM (Theorem 2).
+
+    Returns the match relation plus metered PT/DS (see
+    :class:`~repro.runtime.metrics.RunMetrics`).  With
+    ``config.without_optimizations()`` this is the paper's dGPMNOpt.
+    """
+    config = config or DgpmConfig()
+    cost = config.cost
+    start = time.perf_counter()
+    network = Network(cost, scramble=config.scramble)
+    deps = DependencyGraphs(fragmentation)
+
+    # Phase 1: the coordinator posts Q to every site (metered as QUERY).
+    for frag in fragmentation:
+        network.send(
+            Message(
+                src=COORDINATOR,
+                dst=frag.fid,
+                kind=MessageKind.QUERY,
+                payload=query,
+                size_bytes=cost.query_bytes(query.n_nodes, query.n_edges),
+            )
+        )
+    while network.has_pending:  # broadcast completes before evaluation
+        network.deliver()
+
+    programs = {
+        frag.fid: DgpmSiteProgram(frag.fid, fragmentation, query, deps, config)
+        for frag in fragmentation
+    }
+    engine = SyncEngine(programs, network, cost)
+    engine.run_fixpoint()
+    results = engine.collect_results()
+    network.deliver()
+
+    assemble_start = time.perf_counter()
+    relation = assemble_result(query, results)
+    assemble_time = time.perf_counter() - assemble_start
+
+    wall = time.perf_counter() - start
+    name = "dGPM" if (config.incremental or config.enable_push) else "dGPMNOpt"
+    metrics = engine.metrics(
+        name,
+        wall_seconds=wall,
+        extra_compute=assemble_time,
+        pushes=sum(p.pushes_triggered for p in programs.values()),
+    )
+    return RunResult(relation=relation, metrics=metrics)

@@ -1,0 +1,44 @@
+"""Algorithm selection: pick the strongest applicable guarantee.
+
+The paper's hierarchy (Sections 4-5): trees admit parallel-scalable data
+shipment (dGPMt); DAG queries/graphs admit rank scheduling (dGPMd); general
+graphs get the partition-bounded dGPM.  :func:`run_auto` applies the first
+algorithm whose precondition holds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import DgpmConfig
+from repro.core.dgpm import run_dgpm
+from repro.core.dgpmd import run_dgpmd
+from repro.core.dgpmt import run_dgpmt
+from repro.graph import algorithms
+from repro.graph.pattern import Pattern
+from repro.partition.fragmentation import Fragmentation
+from repro.runtime.metrics import RunResult
+
+
+def choose_algorithm(query: Pattern, fragmentation: Fragmentation) -> str:
+    """Name of the algorithm :func:`run_auto` would use."""
+    graph = fragmentation.graph
+    if algorithms.is_tree(graph) and fragmentation.has_connected_fragments():
+        return "dGPMt"
+    if query.is_dag() or algorithms.is_dag(graph):
+        return "dGPMd"
+    return "dGPM"
+
+
+def run_auto(
+    query: Pattern,
+    fragmentation: Fragmentation,
+    config: Optional[DgpmConfig] = None,
+) -> RunResult:
+    """Evaluate ``query`` with the best algorithm for the instance's shape."""
+    name = choose_algorithm(query, fragmentation)
+    if name == "dGPMt":
+        return run_dgpmt(query, fragmentation, config)
+    if name == "dGPMd":
+        return run_dgpmd(query, fragmentation, config)
+    return run_dgpm(query, fragmentation, config)

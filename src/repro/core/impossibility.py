@@ -1,0 +1,100 @@
+"""Theorem 1, empirically: the impossibility of parallel scalability.
+
+The theorem says no distributed simulation algorithm can have (1) response
+time bounded by a polynomial in ``|Q|`` and ``|Fm|`` alone, or (2) data
+shipment bounded by a polynomial in ``|Q|`` and ``|F|`` alone.  Its proof
+uses the Figure-2 gadget families:
+
+* **response time**: ``G0(n)`` cut into ``n`` constant-size fragments --
+  ``|Q0|`` and ``|Fm|`` stay constant as ``n`` grows, yet deciding the match
+  needs information assembled across ``Θ(n)`` sites;
+* **data shipment**: ``G1(n)`` cut into **two** fragments (all A nodes / all
+  B nodes) -- ``|Q0|`` and ``|F| = 2`` stay constant, yet ``Θ(n)`` node facts
+  must cross the single link.
+
+:func:`audit_parallel_time` and :func:`audit_data_shipment` run a given
+algorithm over a growing family and report the metric that parallel
+scalability would require to stay flat.  Any *correct* algorithm exhibits
+growth; the benchmarks demonstrate it on dGPM (whose partition-bounded
+guarantees are consistent with the theorem: ``|Vf|`` and ``|Ef|`` grow with
+``n`` in these families).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.config import DgpmConfig
+from repro.core.dgpm import run_dgpm
+from repro.graph.examples import figure2, figure2_two_site
+from repro.partition.fragmentation import Fragmentation
+from repro.graph.pattern import Pattern
+from repro.runtime.metrics import RunResult
+from repro.simulation import simulation
+
+Runner = Callable[[Pattern, Fragmentation, Optional[DgpmConfig]], RunResult]
+
+
+@dataclass(frozen=True)
+class AuditPoint:
+    """One measurement of the impossibility audit."""
+
+    n: int                  # family parameter (chain length)
+    fm_size: int            # |Fm|: constant within a family
+    n_fragments: int        # |F|
+    rounds: int             # communication rounds (proxy for response time)
+    ds_bytes: int           # data shipped
+    correct: bool           # answer matched the centralized oracle
+
+
+def _audit(
+    family: Callable[[int], tuple],
+    sizes: Sequence[int],
+    runner: Runner,
+    config: Optional[DgpmConfig],
+) -> List[AuditPoint]:
+    points: List[AuditPoint] = []
+    for n in sizes:
+        query, graph, fragmentation = family(n)
+        result = runner(query, fragmentation, config)
+        oracle = simulation(query, graph)
+        points.append(
+            AuditPoint(
+                n=n,
+                fm_size=fragmentation.largest_fragment.size,
+                n_fragments=fragmentation.n_fragments,
+                rounds=result.metrics.n_rounds,
+                ds_bytes=result.metrics.ds_bytes,
+                correct=result.relation == oracle,
+            )
+        )
+    return points
+
+
+def audit_parallel_time(
+    sizes: Sequence[int],
+    runner: Runner = run_dgpm,
+    config: Optional[DgpmConfig] = None,
+    close_cycle: bool = False,
+) -> List[AuditPoint]:
+    """Run the Theorem-1(1) family: constant ``|Fm|``, growing ``n``.
+
+    With ``close_cycle=False`` (the default) every node's match is refuted by
+    the chain's far end, forcing information to traverse all ``n`` sites:
+    rounds grow linearly while ``|Q|`` and ``|Fm|`` stay fixed.
+    """
+    return _audit(lambda n: figure2(n, close_cycle), sizes, runner, config)
+
+
+def audit_data_shipment(
+    sizes: Sequence[int],
+    runner: Runner = run_dgpm,
+    config: Optional[DgpmConfig] = None,
+    close_cycle: bool = False,
+) -> List[AuditPoint]:
+    """Run the Theorem-1(2) family: ``|F| = 2``, growing ``n``.
+
+    Data shipment grows with ``n`` although ``|Q|`` and ``|F|`` are constant.
+    """
+    return _audit(lambda n: figure2_two_site(n, close_cycle), sizes, runner, config)

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one type to handle anything the library signals.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A graph operation received invalid input (unknown node, bad edge...)."""
+
+
+class PatternError(ReproError):
+    """A pattern query is malformed or unsuitable for the chosen algorithm."""
+
+
+class FragmentationError(ReproError):
+    """A fragmentation is inconsistent (overlapping parts, dangling edges...)."""
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol reached an invalid state (lost message, bad round)."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload could not be generated with the requested shape."""

@@ -1,0 +1,19 @@
+"""Graph substrate: labeled digraphs, pattern queries, algorithms, generators.
+
+This subpackage is self-contained (no dependency on the distributed layers) and
+provides everything the paper's data model needs:
+
+* :class:`~repro.graph.digraph.DiGraph` -- node-labeled directed data graphs
+  ``G = (V, E, L)`` (Section 2.1 of the paper).
+* :class:`~repro.graph.pattern.Pattern` -- pattern queries ``Q = (Vq, Eq, fv)``.
+* :mod:`~repro.graph.algorithms` -- Tarjan SCC, topological ranks, BFS,
+  diameter; the building blocks for dGPMd and the partitioners.
+* :mod:`~repro.graph.generators` -- synthetic graphs (web-like, citation DAG,
+  trees, uniform random) used by the experiments.
+* :mod:`~repro.graph.examples` -- the paper's running examples (Figures 1, 2, 5).
+"""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.pattern import Pattern
+
+__all__ = ["DiGraph", "Pattern"]

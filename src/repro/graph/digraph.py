@@ -1,0 +1,239 @@
+"""Node-labeled directed graphs (the paper's data graphs ``G = (V, E, L)``).
+
+The representation is a plain adjacency-list digraph with:
+
+* hashable node identifiers (ints in all generators, but any hashable works),
+* one label per node, drawn from an arbitrary alphabet ``Sigma``,
+* O(1) access to successors, predecessors, and degrees,
+* cheap induced-subgraph extraction (used heavily by the fragmentation layer).
+
+Edge labels from the paper are supported through the standard reduction the
+paper itself describes (Section 2.1): insert a dummy node carrying the edge
+label.  :func:`reify_edge_labels` implements that reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Set, Tuple
+
+from repro.errors import GraphError
+
+Node = Hashable
+Label = Hashable
+Edge = Tuple[Node, Node]
+
+
+class DiGraph:
+    """A node-labeled directed graph.
+
+    Parameters
+    ----------
+    nodes:
+        Optional mapping ``node -> label`` to pre-populate the graph.
+    edges:
+        Optional iterable of ``(u, v)`` pairs; endpoints must already be in
+        ``nodes`` (or added first via :meth:`add_node`).
+
+    Examples
+    --------
+    >>> g = DiGraph()
+    >>> g.add_node(1, "A"); g.add_node(2, "B")
+    >>> g.add_edge(1, 2)
+    >>> sorted(g.successors(1))
+    [2]
+    >>> g.label(2)
+    'B'
+    """
+
+    __slots__ = ("_labels", "_succ", "_pred", "_n_edges")
+
+    def __init__(
+        self,
+        nodes: Mapping[Node, Label] | None = None,
+        edges: Iterable[Edge] | None = None,
+    ) -> None:
+        self._labels: Dict[Node, Label] = {}
+        self._succ: Dict[Node, List[Node]] = {}
+        self._pred: Dict[Node, List[Node]] = {}
+        self._n_edges = 0
+        if nodes:
+            for node, label in nodes.items():
+                self.add_node(node, label)
+        if edges:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node, label: Label) -> None:
+        """Add ``node`` with ``label``; relabels if the node already exists."""
+        if node not in self._labels:
+            self._succ[node] = []
+            self._pred[node] = []
+        self._labels[node] = label
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the directed edge ``(u, v)``.  Parallel edges are ignored."""
+        if u not in self._labels:
+            raise GraphError(f"edge source {u!r} is not a node")
+        if v not in self._labels:
+            raise GraphError(f"edge target {v!r} is not a node")
+        if v in self._succ[u]:
+            return
+        self._succ[u].append(v)
+        self._pred[v].append(u)
+        self._n_edges += 1
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the directed edge ``(u, v)``; raises if absent."""
+        try:
+            self._succ[u].remove(v)
+            self._pred[v].remove(u)
+        except (KeyError, ValueError):
+            raise GraphError(f"edge ({u!r}, {v!r}) is not in the graph") from None
+        self._n_edges -= 1
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return len(self._labels)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges ``|E|``."""
+        return self._n_edges
+
+    @property
+    def size(self) -> int:
+        """``|G| = |V| + |E|``, the paper's size measure."""
+        return self.n_nodes + self.n_edges
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes."""
+        return iter(self._labels)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges as ``(u, v)`` pairs."""
+        for u, targets in self._succ.items():
+            for v in targets:
+                yield (u, v)
+
+    def label(self, node: Node) -> Label:
+        """Return ``L(node)``."""
+        try:
+            return self._labels[node]
+        except KeyError:
+            raise GraphError(f"unknown node {node!r}") from None
+
+    def labels(self) -> Mapping[Node, Label]:
+        """Read-only view of the full labeling ``L``."""
+        return dict(self._labels)
+
+    def label_alphabet(self) -> Set[Label]:
+        """The set of labels actually used in the graph."""
+        return set(self._labels.values())
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """True iff ``(u, v)`` is an edge."""
+        return u in self._succ and v in self._succ[u]
+
+    def successors(self, node: Node) -> List[Node]:
+        """Children of ``node`` (targets of its out-edges)."""
+        try:
+            return self._succ[node]
+        except KeyError:
+            raise GraphError(f"unknown node {node!r}") from None
+
+    def predecessors(self, node: Node) -> List[Node]:
+        """Parents of ``node`` (sources of its in-edges)."""
+        try:
+            return self._pred[node]
+        except KeyError:
+            raise GraphError(f"unknown node {node!r}") from None
+
+    def out_degree(self, node: Node) -> int:
+        """Number of out-edges of ``node``."""
+        return len(self.successors(node))
+
+    def in_degree(self, node: Node) -> int:
+        """Number of in-edges of ``node``."""
+        return len(self.predecessors(node))
+
+    def nodes_with_label(self, label: Label) -> List[Node]:
+        """All nodes carrying ``label`` (linear scan; generators build indexes)."""
+        return [v for v, lab in self._labels.items() if lab == label]
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, keep: Iterable[Node]) -> "DiGraph":
+        """Subgraph induced by ``keep``: those nodes and all edges among them."""
+        keep_set = set(keep)
+        sub = DiGraph()
+        for node in keep_set:
+            sub.add_node(node, self.label(node))
+        for node in keep_set:
+            for succ in self._succ[node]:
+                if succ in keep_set:
+                    sub.add_edge(node, succ)
+        return sub
+
+    def reversed(self) -> "DiGraph":
+        """A new graph with every edge direction flipped."""
+        rev = DiGraph()
+        for node, lab in self._labels.items():
+            rev.add_node(node, lab)
+        for u, v in self.edges():
+            rev.add_edge(v, u)
+        return rev
+
+    def copy(self) -> "DiGraph":
+        """A deep structural copy."""
+        return DiGraph(self._labels, self.edges())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return self._labels == other._labels and {
+            (u, v) for u, v in self.edges()
+        } == {(u, v) for u, v in other.edges()}
+
+    def __hash__(self) -> int:  # graphs are mutable; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"DiGraph(n_nodes={self.n_nodes}, n_edges={self.n_edges})"
+
+
+def reify_edge_labels(
+    nodes: Mapping[Node, Label],
+    labeled_edges: Iterable[Tuple[Node, Node, Label]],
+) -> DiGraph:
+    """Build a node-labeled graph from edge-labeled input.
+
+    Implements the paper's reduction (Section 2.1): each labeled edge
+    ``(u, v, ell)`` becomes ``u -> dummy -> v`` where the dummy node carries
+    label ``ell``.  Unlabeled edges (``ell is None``) stay direct.
+    """
+    graph = DiGraph(nodes)
+    counter = 0
+    for u, v, ell in labeled_edges:
+        if ell is None:
+            graph.add_edge(u, v)
+            continue
+        dummy = ("__edge__", counter)
+        counter += 1
+        graph.add_node(dummy, ell)
+        graph.add_edge(u, dummy)
+        graph.add_edge(dummy, v)
+    return graph

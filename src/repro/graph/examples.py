@@ -1,0 +1,240 @@
+"""The paper's running examples as concrete instances.
+
+* :func:`figure1` -- the social recommendation network of Figure 1 / Examples
+  1-8: query ``Q`` (YB hub + SP->YF->F->SP cycle), graph ``G`` with 13 users,
+  and the 3-site fragmentation with ``F1.O = {f4, f2, yf2}`` and
+  ``F1.I = {sp1, yf1}`` (Example 4).
+* :func:`figure2` -- the impossibility gadget ``Q0`` / ``G0`` / ``F0``
+  (Examples 3-4, proof of Theorem 1): a length-``2n`` A/B cycle cut into
+  ``n`` single-edge fragments.
+* :func:`figure5` -- the DAG scheduling example ``Q''`` / ``G''`` of
+  Examples 9-10, on which dGPM ships 12 messages but dGPMd only 6.
+
+The paper's Example-7 table contains typos (nodes listed under the wrong
+fragments), so exact per-fragment membership is reconstructed from the
+consistent statements of Examples 2, 4, 5, 6 and 8; the tests in
+``tests/core/test_paper_examples.py`` pin every fact the paper states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.graph.digraph import DiGraph
+from repro.graph.pattern import Pattern
+from repro.partition.fragmentation import Fragmentation, fragment_graph
+
+# ----------------------------------------------------------------------
+# Figure 1
+# ----------------------------------------------------------------------
+
+#: Expected maximum match of the Figure-1 query (Example 2).
+FIGURE1_EXPECTED_MATCHES: Dict[str, frozenset] = {
+    "YB": frozenset({"yb2", "yb3"}),
+    "F": frozenset({"f2", "f3", "f4"}),
+    "YF": frozenset({"yf1", "yf2", "yf3"}),
+    "SP": frozenset({"sp1", "sp2", "sp3"}),
+}
+
+
+def figure1_query() -> Pattern:
+    """The Figure-1 pattern: YB recommends to YF and F; SP->YF->F->SP cycle."""
+    return Pattern(
+        {"YB": "YB", "YF": "YF", "F": "F", "SP": "SP"},
+        [("YB", "YF"), ("YB", "F"), ("SP", "YF"), ("YF", "F"), ("F", "SP")],
+    )
+
+
+def figure1_graph() -> DiGraph:
+    """The Figure-1 social graph ``G``.
+
+    An edge ``(a, b)`` means ``b`` trusts a recommendation from ``a``.  The
+    3 x (F -> SP -> YF) recommendation cycle of Example 4 runs
+    ``f3 -> sp2 -> yf3 -> f4 -> sp3 -> yf1 -> f2 -> sp1 -> yf2 -> f3``.
+    ``f1`` recommends only to ``f4`` (no SP trusts it), so ``f1`` cannot match
+    ``F``; ``yb1`` recommends only to ``f1``, so it cannot match ``YB``.
+    """
+    labels = {
+        "yb1": "YB", "yb2": "YB", "yb3": "YB",
+        "yf1": "YF", "yf2": "YF", "yf3": "YF",
+        "sp1": "SP", "sp2": "SP", "sp3": "SP",
+        "f1": "F", "f2": "F", "f3": "F", "f4": "F",
+    }
+    edges = [
+        # the 9-node recommendation cycle
+        ("f3", "sp2"), ("sp2", "yf3"), ("yf3", "f4"), ("f4", "sp3"),
+        ("sp3", "yf1"), ("yf1", "f2"), ("f2", "sp1"), ("sp1", "yf2"),
+        ("yf2", "f3"),
+        # extra local edges named by Examples 4 and 6
+        ("sp1", "yf1"),   # gives X(SP,sp1) = X(YF,yf2) OR X(YF,yf1)
+        ("sp1", "f2"),    # crossing edge listed in Example 4
+        ("f1", "f4"),     # f1's only recommendation: a Food lover, not SP
+        ("yb1", "f1"),    # yb1 recommends only to f1 -> no YF child -> no match
+        # YB matches need both a YF and an F successor (query edges YB->YF, YB->F)
+        ("yb2", "yf2"), ("yb2", "f3"),
+        ("yb3", "yf1"), ("yb3", "f2"),
+        # sp2 also recommends to sp3 (Example 5: sp3 is an in-node of S3 from S2)
+        ("sp2", "sp3"),
+    ]
+    return DiGraph(labels, edges)
+
+
+def figure1_fragmentation(graph: DiGraph | None = None) -> Fragmentation:
+    """The 3-site fragmentation of Figure 1 (Example 4).
+
+    Site ``S1 = {yb1, f1, sp1, yf1}`` so that ``F1.O = {f4, f2, yf2}``,
+    ``F1.I = {sp1, yf1}`` and the crossing edges out of ``F1`` are
+    ``(f1, f4), (yf1, f2), (sp1, yf2), (sp1, f2)`` -- exactly Example 4.
+    """
+    graph = graph or figure1_graph()
+    assignment = {
+        "yb1": 0, "f1": 0, "sp1": 0, "yf1": 0,           # S1
+        "f2": 1, "f3": 1, "yb2": 1, "sp2": 1, "yf2": 1,  # S2 (F2.I = {f2, yf2})
+        "yb3": 2, "f4": 2, "sp3": 2, "yf3": 2,           # S3 (F3.I = {f4, sp3, yf3})
+    }
+    return fragment_graph(graph, assignment)
+
+
+def figure1() -> Tuple[Pattern, DiGraph, Fragmentation]:
+    """Query, graph and fragmentation of the paper's running example."""
+    graph = figure1_graph()
+    return figure1_query(), graph, figure1_fragmentation(graph)
+
+
+def example8_graph() -> DiGraph:
+    """Figure 1's ``G'`` (Example 8): ``G`` minus the edge ``(f2, sp1)``.
+
+    Removing the edge breaks the recommendation cycle; the falsification of
+    ``X(F, f2)`` then cascades around the whole cycle and no node matches.
+    """
+    graph = figure1_graph()
+    graph.remove_edge("f2", "sp1")
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Figure 2 (impossibility gadget, Theorem 1)
+# ----------------------------------------------------------------------
+
+
+def figure2_query() -> Pattern:
+    """``Q0``: a two-node cycle A <-> B ("it has only 2 edges", Example 3)."""
+    return Pattern({"A": "A", "B": "B"}, [("A", "B"), ("B", "A")])
+
+
+def figure2_graph(n: int, close_cycle: bool = True) -> DiGraph:
+    """``G0(n)``: the alternating A/B cycle ``A1->B1->A2->...->An->Bn->A1``.
+
+    With ``close_cycle=False`` the final edge ``Bn -> A1`` is dropped: the
+    match of *every* node then hinges on information ``n`` hops away -- the
+    lack of data locality of Example 3, and the engine of Theorem 1's proof.
+    """
+    labels: Dict[str, str] = {}
+    edges = []
+    for i in range(1, n + 1):
+        labels[f"A{i}"] = "A"
+        labels[f"B{i}"] = "B"
+    for i in range(1, n + 1):
+        edges.append((f"A{i}", f"B{i}"))
+        if i < n:
+            edges.append((f"B{i}", f"A{i + 1}"))
+    if close_cycle:
+        edges.append((f"B{n}", "A1"))
+    return DiGraph(labels, edges)
+
+
+def figure2_fragmentation(graph: DiGraph, n: int) -> Fragmentation:
+    """``F0``: site ``Si`` holds the single edge ``(Ai, Bi)`` (Example 4).
+
+    Each fragment has constant size -- the extreme case where ``Vf`` is all of
+    ``G0`` and parallel scalability would demand constant response time.
+    """
+    assignment = {}
+    for i in range(1, n + 1):
+        assignment[f"A{i}"] = i - 1
+        assignment[f"B{i}"] = i - 1
+    return fragment_graph(graph, assignment)
+
+
+def figure2(n: int, close_cycle: bool = True) -> Tuple[Pattern, DiGraph, Fragmentation]:
+    """Query, graph and fragmentation of the Theorem-1 gadget at size ``n``."""
+    graph = figure2_graph(n, close_cycle)
+    return figure2_query(), graph, figure2_fragmentation(graph, n)
+
+
+def figure2_two_site(n: int, close_cycle: bool = False) -> Tuple[Pattern, DiGraph, Fragmentation]:
+    """The data-shipment variant ``G1``/``F1`` of Theorem 1's proof part (2).
+
+    Two fragments only: one holding all A nodes, the other all B nodes.  Any
+    correct algorithm must move information about ~n nodes across the single
+    link, defeating data-shipment scalability (which would allow only a
+    constant amount for fixed ``|Q|`` and ``|F| = 2``).
+    """
+    graph = figure2_graph(n, close_cycle)
+    assignment = {}
+    for i in range(1, n + 1):
+        assignment[f"A{i}"] = 0
+        assignment[f"B{i}"] = 1
+    return figure2_query(), graph, fragment_graph(graph, assignment)
+
+
+# ----------------------------------------------------------------------
+# Figure 5 (rank scheduling, Examples 9-10)
+# ----------------------------------------------------------------------
+
+
+def figure5_query() -> Pattern:
+    """``Q''``: the DAG query with ranks r(FB)=0, r(YB2)=1, r(SP)=2,
+    r(YF)=r(F)=3, r(YB1)=4 (Example 9).  YB1 and YB2 share the label YB."""
+    return Pattern(
+        {"YB1": "YB", "YB2": "YB", "SP": "SP", "YF": "YF", "F": "F", "FB": "FB"},
+        [
+            ("YB2", "FB"),
+            ("SP", "YB2"),
+            ("YF", "SP"), ("F", "SP"),
+            ("YB1", "YF"), ("YB1", "F"),
+        ],
+    )
+
+
+def figure5_graph() -> DiGraph:
+    """``G''`` of Figure 5: 12 nodes over five sites; contains no FB node,
+    so nothing matches and falsifications cascade up the ranks."""
+    labels = {
+        "yb4": "YB",
+        "yf4": "YF", "yf5": "YF", "f5": "F",
+        "yf6": "YF", "f6": "F", "f7": "F",
+        "sp4": "SP", "sp5": "SP",
+        "sp6": "SP", "sp7": "SP",
+    }
+    edges = [
+        # yb4 (candidate for YB1) recommends to every YF/F node
+        ("yb4", "yf4"), ("yb4", "yf5"), ("yb4", "f5"),
+        ("yb4", "yf6"), ("yb4", "f6"), ("yb4", "f7"),
+        # F5 nodes point at F7's SP nodes; F6 nodes at F8's
+        ("yf4", "sp4"), ("yf5", "sp5"), ("f5", "sp5"),
+        ("yf6", "sp6"), ("f6", "sp6"), ("f7", "sp7"),
+        # every SP node points back at yb4 (candidate for YB2)
+        ("sp4", "yb4"), ("sp5", "yb4"), ("sp6", "yb4"), ("sp7", "yb4"),
+    ]
+    return DiGraph(labels, edges)
+
+
+def figure5_fragmentation(graph: DiGraph | None = None) -> Fragmentation:
+    """The five-site layout of Figure 5: F4={yb4}, F5={yf4,yf5,f5},
+    F6={yf6,f6,f7}, F7={sp4,sp5}, F8={sp6,sp7}."""
+    graph = graph or figure5_graph()
+    assignment = {
+        "yb4": 0,
+        "yf4": 1, "yf5": 1, "f5": 1,
+        "yf6": 2, "f6": 2, "f7": 2,
+        "sp4": 3, "sp5": 3,
+        "sp6": 4, "sp7": 4,
+    }
+    return fragment_graph(graph, assignment)
+
+
+def figure5() -> Tuple[Pattern, DiGraph, Fragmentation]:
+    """Query, graph and fragmentation of the Figure-5 scheduling example."""
+    graph = figure5_graph()
+    return figure5_query(), graph, figure5_fragmentation(graph)

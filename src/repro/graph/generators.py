@@ -1,0 +1,203 @@
+"""Synthetic data-graph generators for the experiments (Section 6).
+
+The paper evaluates on a Yahoo web graph, a Citation DAG, and synthetic
+graphs from its own generator ("controlled by |V| and |E|, labels from a set
+of 15 labels").  None of those datasets ship with the paper, so this module
+provides laptop-scale stand-ins with the structural properties the
+experiments actually exercise (see DESIGN.md §2):
+
+* :func:`random_labeled_graph` -- the paper's synthetic generator: uniform
+  random edges, ``n_labels`` labels (default 15).
+* :func:`web_graph` -- Yahoo stand-in: scale-free in-degrees (preferential
+  attachment) with *locality* (most edges stay within an id neighbourhood),
+  domain-style labels.  Locality matters: it is what makes low crossing-edge
+  partitions achievable, as for the real, geo-distributed graphs the paper
+  targets.
+* :func:`citation_dag` -- Citation stand-in: papers cite strictly older
+  papers (a DAG by construction), layered so query diameter sweeps are
+  meaningful, venue labels.
+* :func:`random_tree` -- rooted labeled trees for dGPMt (Section 5.2).
+
+All generators are deterministic in ``seed``.  Node ids are ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+#: Default label alphabet size; the paper's synthetic generator uses 15.
+DEFAULT_N_LABELS = 15
+
+
+def _label_alphabet(n_labels: int, prefix: str = "L") -> List[str]:
+    return [f"{prefix}{i}" for i in range(n_labels)]
+
+
+def random_labeled_graph(
+    n_nodes: int,
+    n_edges: int,
+    n_labels: int = DEFAULT_N_LABELS,
+    seed: int = 0,
+    locality: float = 0.0,
+    window: Optional[int] = None,
+) -> DiGraph:
+    """Uniform random digraph with ``n_labels`` node labels.
+
+    With ``locality > 0``, that fraction of edges lands within an id window
+    around the source (default window: ``n_nodes // 50``), giving the graph a
+    block-community structure that partitioners can exploit.  ``locality=0``
+    reproduces the paper's fully uniform generator.
+    """
+    if n_nodes <= 0:
+        raise GraphError("need at least one node")
+    rng = random.Random(seed)
+    labels = _label_alphabet(n_labels)
+    graph = DiGraph({i: labels[rng.randrange(n_labels)] for i in range(n_nodes)})
+    window = window or max(2, n_nodes // 50)
+    attempts = 0
+    max_attempts = 20 * n_edges + 100
+    while graph.n_edges < n_edges and attempts < max_attempts:
+        attempts += 1
+        u = rng.randrange(n_nodes)
+        if rng.random() < locality:
+            v = (u + rng.randint(-window, window)) % n_nodes
+        else:
+            v = rng.randrange(n_nodes)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def web_graph(
+    n_nodes: int,
+    n_edges: int,
+    n_labels: int = DEFAULT_N_LABELS,
+    seed: int = 0,
+    locality: float = 0.8,
+    window: Optional[int] = None,
+    hub_cap: Optional[int] = None,
+) -> DiGraph:
+    """Scale-free web-like digraph (Yahoo stand-in).
+
+    Edges attach preferentially to already-popular targets (heavy-tailed
+    in-degree, like hyperlink graphs); ``locality`` of them stay within an id
+    window (site-internal links).  Labels model page domains, skewed so a few
+    domains dominate -- pattern candidates are then label-selective, as with
+    the paper's ``domain = '.uk'`` conditions.
+    """
+    if n_nodes <= 0:
+        raise GraphError("need at least one node")
+    rng = random.Random(seed)
+    labels = _label_alphabet(n_labels, prefix="dom")
+    # Zipf-ish label skew: label i gets weight 1/(i+1).
+    weights = [1.0 / (i + 1) for i in range(n_labels)]
+    graph = DiGraph(
+        {i: rng.choices(labels, weights)[0] for i in range(n_nodes)}
+    )
+    window = window or max(2, n_nodes // 256)
+    # Long-range links concentrate on a small hub set that grows
+    # preferentially (and slowly) -- cross-site hyperlinks target popular
+    # pages.  A fixed ``hub_cap`` (plus a fixed ``window``) keeps the
+    # boundary-node population constant as the graph grows, the regime of
+    # the paper's Exp-3 scalability claims (see EXPERIMENTS.md).
+    pool: List[int] = [rng.randrange(n_nodes) for _ in range(max(4, n_nodes // 100))]
+    pool_cap = hub_cap if hub_cap is not None else max(8, n_nodes // 8)
+    attempts = 0
+    max_attempts = 20 * n_edges + 100
+    while graph.n_edges < n_edges and attempts < max_attempts:
+        attempts += 1
+        u = rng.randrange(n_nodes)
+        if rng.random() < locality:
+            v = (u + rng.randint(-window, window)) % n_nodes
+        else:
+            v = pool[rng.randrange(len(pool))]
+        if u == v:
+            continue
+        before = graph.n_edges
+        graph.add_edge(u, v)
+        if graph.n_edges > before and len(pool) < pool_cap and rng.random() < 0.05:
+            pool.append(v)  # rich get richer
+    return graph
+
+
+def citation_dag(
+    n_nodes: int,
+    n_edges: int,
+    n_labels: int = DEFAULT_N_LABELS,
+    seed: int = 0,
+    n_layers: int = 24,
+    locality: float = 0.85,
+) -> DiGraph:
+    """Layered citation-style DAG (Citation stand-in).
+
+    Node ids increase with publication time; edges (citations) go from newer
+    to strictly older nodes, so the graph is a DAG by construction.  Nodes are
+    organized in ``n_layers`` eras; ``locality`` of citations target the few
+    immediately preceding eras, giving the long directed paths that diameter-
+    ``d`` query sweeps (Exp-2) need.  Labels model venues.
+    """
+    if n_nodes <= 1:
+        raise GraphError("need at least two nodes")
+    rng = random.Random(seed)
+    labels = _label_alphabet(n_labels, prefix="venue")
+    graph = DiGraph({i: labels[rng.randrange(n_labels)] for i in range(n_nodes)})
+    layer_size = max(1, n_nodes // n_layers)
+    # Long-range citations concentrate on seminal (well-cited) papers.
+    classics: List[int] = [rng.randrange(max(1, n_nodes // 4)) for _ in range(max(4, n_nodes // 100))]
+    attempts = 0
+    max_attempts = 20 * n_edges + 100
+    while graph.n_edges < n_edges and attempts < max_attempts:
+        attempts += 1
+        u = rng.randrange(1, n_nodes)
+        if rng.random() < locality:
+            lo = max(0, u - 2 * layer_size)
+            v = rng.randrange(lo, u)
+        else:
+            v = classics[rng.randrange(len(classics))]
+            if v >= u:
+                continue
+        graph.add_edge(u, v)  # newer cites older: u > v always, hence acyclic
+        if v < u and len(classics) < n_nodes and rng.random() < 0.1:
+            classics.append(v)
+    return graph
+
+
+def random_tree(
+    n_nodes: int,
+    n_labels: int = DEFAULT_N_LABELS,
+    seed: int = 0,
+    max_children: int = 4,
+) -> DiGraph:
+    """Random rooted labeled tree (edges parent -> child); root is node 0."""
+    if n_nodes <= 0:
+        raise GraphError("need at least one node")
+    rng = random.Random(seed)
+    labels = _label_alphabet(n_labels)
+    graph = DiGraph({i: labels[rng.randrange(n_labels)] for i in range(n_nodes)})
+    child_count = [0] * n_nodes
+    for i in range(1, n_nodes):
+        while True:
+            parent = rng.randrange(0, i)
+            if child_count[parent] < max_children:
+                break
+        graph.add_edge(parent, i)
+        child_count[parent] += 1
+    return graph
+
+
+def contiguous_block_assignment(graph: DiGraph, n_fragments: int) -> dict:
+    """Assign integer-id nodes to fragments by contiguous id blocks.
+
+    For the locality-structured generators above this yields low crossing
+    ratios, mimicking a locality-aware partitioner; combine with
+    :func:`repro.partition.refine_to_vf_ratio` to hit the paper's
+    ``|Vf|/|V|`` targets from below.
+    """
+    n = graph.n_nodes
+    if n < n_fragments:
+        raise GraphError("fewer nodes than fragments")
+    return {node: min(int(node) * n_fragments // n, n_fragments - 1) for node in graph.nodes()}

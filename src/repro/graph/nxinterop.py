@@ -1,0 +1,48 @@
+"""Optional networkx interoperability.
+
+The library's own :class:`~repro.graph.digraph.DiGraph` is the native
+representation; these converters let users bring networkx graphs in (and
+take results out) without networkx ever becoming a core dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - environment dependent
+        raise GraphError("networkx is not installed; `pip install networkx`") from exc
+    return networkx
+
+
+def from_networkx(nx_graph, label_attr: str = "label", default_label: Hashable = "_") -> DiGraph:
+    """Convert a ``networkx.DiGraph`` into a repro :class:`DiGraph`.
+
+    Node labels are read from the ``label_attr`` node attribute; nodes
+    without it get ``default_label``.
+    """
+    networkx = _require_networkx()
+    if not isinstance(nx_graph, networkx.DiGraph):
+        raise GraphError("from_networkx expects a networkx.DiGraph")
+    graph = DiGraph()
+    for node, data in nx_graph.nodes(data=True):
+        graph.add_node(node, data.get(label_attr, default_label))
+    for u, v in nx_graph.edges():
+        graph.add_edge(u, v)
+    return graph
+
+
+def to_networkx(graph: DiGraph, label_attr: str = "label"):
+    """Convert a repro :class:`DiGraph` into a ``networkx.DiGraph``."""
+    networkx = _require_networkx()
+    out = networkx.DiGraph()
+    for node in graph.nodes():
+        out.add_node(node, **{label_attr: graph.label(node)})
+    out.add_edges_from(graph.edges())
+    return out

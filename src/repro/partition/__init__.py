@@ -1,0 +1,37 @@
+"""Graph fragmentation: the paper's distributed data model (Section 2.2).
+
+A :class:`~repro.partition.fragmentation.Fragmentation` ``F = (F1..Fn)`` of a
+graph ``G`` partitions ``V`` into local node sets; each
+:class:`~repro.partition.fragment.Fragment` additionally stores
+
+* ``Fi.O`` -- *virtual nodes*: out-neighbours of local nodes living elsewhere,
+* ``Fi.I`` -- *in-nodes*: local nodes with an incoming crossing edge,
+* the induced subgraph over ``Vi ∪ Fi.O``.
+
+The global statistics ``Vf = ∪ Fi.O`` (boundary nodes) and ``Ef`` (crossing
+edges) are what the partition-bounded guarantees of Theorems 2-3 are stated
+in.  :mod:`~repro.partition.partitioners` provides the partitioning strategies
+the experiments use, including swap-refinement to a target ``|Vf|/|V|`` ratio
+(the paper adjusts ``|Vf|`` following Ja-be-Ja [27]).
+"""
+
+from repro.partition.fragment import Fragment
+from repro.partition.fragmentation import Fragmentation, fragment_graph
+from repro.partition.partitioners import (
+    balanced_bfs_partition,
+    hash_partition,
+    random_partition,
+    refine_to_vf_ratio,
+    tree_partition,
+)
+
+__all__ = [
+    "Fragment",
+    "Fragmentation",
+    "fragment_graph",
+    "hash_partition",
+    "random_partition",
+    "balanced_bfs_partition",
+    "refine_to_vf_ratio",
+    "tree_partition",
+]

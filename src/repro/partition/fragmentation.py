@@ -1,0 +1,214 @@
+"""Fragmentations ``F = (F1..Fn)`` and their global statistics.
+
+:func:`fragment_graph` turns a graph plus a node assignment into the full
+structure of Section 2.2; :class:`Fragmentation` exposes the quantities the
+paper's bounds are written in (``|F|``, ``|Fm|``, ``Vf``, ``Ef``) and
+validates the consistency invariants (tests rely on
+:meth:`Fragmentation.validate`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Set, Tuple
+
+from repro.errors import FragmentationError
+from repro.graph import algorithms
+from repro.graph.digraph import DiGraph, Node
+from repro.partition.fragment import Fragment
+
+
+class Fragmentation:
+    """A fragmentation of a data graph over ``n`` sites."""
+
+    def __init__(self, graph: DiGraph, fragments: List[Fragment], owner: Dict[Node, int]) -> None:
+        self.graph = graph
+        self.fragments = fragments
+        self._owner = owner
+
+    # ------------------------------------------------------------------
+    # the paper's notation (Table 2)
+    # ------------------------------------------------------------------
+    @property
+    def n_fragments(self) -> int:
+        """``|F|``, the number of fragments/sites."""
+        return len(self.fragments)
+
+    def __len__(self) -> int:
+        return self.n_fragments
+
+    def __iter__(self) -> Iterator[Fragment]:
+        return iter(self.fragments)
+
+    def __getitem__(self, fid: int) -> Fragment:
+        return self.fragments[fid]
+
+    def owner(self, node: Node) -> int:
+        """Fragment id whose ``Vi`` contains ``node``."""
+        try:
+            return self._owner[node]
+        except KeyError:
+            raise FragmentationError(f"node {node!r} is not assigned to any fragment") from None
+
+    def virtual_nodes(self) -> Set[Node]:
+        """``Vf = ∪ Fi.O``: all nodes with an incoming crossing edge."""
+        out: Set[Node] = set()
+        for frag in self.fragments:
+            out |= frag.virtual_nodes
+        return out
+
+    @property
+    def n_virtual_nodes(self) -> int:
+        """``|Vf|``."""
+        return len(self.virtual_nodes())
+
+    def crossing_edges(self) -> List[Tuple[Node, Node]]:
+        """``Ef``: every edge whose endpoints live in different fragments."""
+        out: List[Tuple[Node, Node]] = []
+        for frag in self.fragments:
+            out.extend(frag.crossing_edges())
+        return out
+
+    @property
+    def n_crossing_edges(self) -> int:
+        """``|Ef|``."""
+        return len(self.crossing_edges())
+
+    @property
+    def largest_fragment(self) -> Fragment:
+        """``Fm``, the largest fragment by ``|Vi| + |Ei|``."""
+        return max(self.fragments, key=lambda f: f.size)
+
+    @property
+    def vf_ratio(self) -> float:
+        """``|Vf| / |V|`` -- how the paper reports the size of ``Vf``."""
+        return self.n_virtual_nodes / max(1, self.graph.n_nodes)
+
+    @property
+    def ef_ratio(self) -> float:
+        """``|Ef| / |E|``."""
+        return self.n_crossing_edges / max(1, self.graph.n_edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"Fragmentation(|F|={self.n_fragments}, |V|={self.graph.n_nodes}, "
+            f"|Vf|={self.n_virtual_nodes}, |Ef|={self.n_crossing_edges})"
+        )
+
+    # ------------------------------------------------------------------
+    # invariants (Section 2.2)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`FragmentationError` unless all Section-2.2 invariants hold.
+
+        (a) local node sets partition ``V``; (b) ``Fi.O`` is exactly the set of
+        out-neighbours of ``Vi`` outside ``Vi``; (c) each fragment's graph is
+        the subgraph induced by ``Vi ∪ Fi.O`` minus virtual-to-anything edges;
+        (d) ``∪ Fi.O = ∪ Fi.I``; (e) in-nodes are local nodes with an incoming
+        crossing edge.
+        """
+        seen: Set[Node] = set()
+        for frag in self.fragments:
+            overlap = seen & frag.local_nodes
+            if overlap:
+                raise FragmentationError(f"nodes in two fragments: {sorted(map(repr, overlap))[:5]}")
+            seen |= frag.local_nodes
+        if seen != set(self.graph.nodes()):
+            raise FragmentationError("local node sets do not cover V")
+
+        all_virtual: Set[Node] = set()
+        all_in: Set[Node] = set()
+        for frag in self.fragments:
+            expected_virtual = {
+                v
+                for u in frag.local_nodes
+                for v in self.graph.successors(u)
+                if v not in frag.local_nodes
+            }
+            if frag.virtual_nodes != expected_virtual:
+                raise FragmentationError(f"fragment {frag.fid}: Fi.O mismatch")
+            expected_in = {
+                v
+                for v in frag.local_nodes
+                if any(self._owner[p] != frag.fid for p in self.graph.predecessors(v))
+            }
+            if frag.in_nodes != expected_in:
+                raise FragmentationError(f"fragment {frag.fid}: Fi.I mismatch")
+            for u, v in frag.graph.edges():
+                if u in frag.virtual_nodes:
+                    raise FragmentationError(
+                        f"fragment {frag.fid}: stores an out-edge of virtual node {u!r}"
+                    )
+                if not self.graph.has_edge(u, v):
+                    raise FragmentationError(f"fragment {frag.fid}: phantom edge ({u!r}, {v!r})")
+            local_edge_count = sum(
+                1
+                for u in frag.local_nodes
+                for v in self.graph.successors(u)
+                if v in frag.local_nodes or v in frag.virtual_nodes
+            )
+            if frag.graph.n_edges != local_edge_count:
+                raise FragmentationError(f"fragment {frag.fid}: induced edge set incomplete")
+            all_virtual |= frag.virtual_nodes
+            all_in |= frag.in_nodes
+        if all_virtual != all_in:
+            raise FragmentationError("∪ Fi.O != ∪ Fi.I")
+
+    def has_connected_fragments(self) -> bool:
+        """True iff every fragment's local subgraph is weakly connected.
+
+        This is the precondition of dGPMt (Corollary 4: "each fragment of F
+        is connected").
+        """
+        for frag in self.fragments:
+            local = self.graph.induced_subgraph(frag.local_nodes)
+            if local.n_nodes and len(algorithms.weakly_connected_components(local)) != 1:
+                return False
+        return True
+
+
+def fragment_graph(graph: DiGraph, assignment: Mapping[Node, int]) -> Fragmentation:
+    """Build a :class:`Fragmentation` from a node-to-fragment assignment.
+
+    ``assignment`` must map every node of ``graph`` to a fragment id in
+    ``0..n-1``; every id in that range must own at least one node.
+    """
+    if set(assignment) != set(graph.nodes()):
+        raise FragmentationError("assignment must cover exactly the nodes of the graph")
+    n = max(assignment.values()) + 1 if assignment else 0
+    blocks: List[Set[Node]] = [set() for _ in range(n)]
+    for node, fid in assignment.items():
+        if not 0 <= fid < n:
+            raise FragmentationError(f"fragment id {fid} out of range")
+        blocks[fid].add(node)
+    if any(not block for block in blocks):
+        raise FragmentationError("every fragment id in 0..n-1 must own at least one node")
+
+    owner = dict(assignment)
+    fragments: List[Fragment] = []
+    for fid, block in enumerate(blocks):
+        virtual: Set[Node] = set()
+        sub = DiGraph()
+        for u in block:
+            sub.add_node(u, graph.label(u))
+        for u in block:
+            for v in graph.successors(u):
+                if v not in block:
+                    virtual.add(v)
+                    if v not in sub:
+                        sub.add_node(v, graph.label(v))
+                sub.add_edge(u, v)
+        in_nodes = {
+            v for v in block if any(owner[p] != fid for p in graph.predecessors(v))
+        }
+        virtual_owner = {v: owner[v] for v in virtual}
+        fragments.append(
+            Fragment(
+                fid=fid,
+                graph=sub,
+                local_nodes=frozenset(block),
+                virtual_nodes=frozenset(virtual),
+                in_nodes=frozenset(in_nodes),
+                virtual_owner=virtual_owner,
+            )
+        )
+    return Fragmentation(graph, fragments, owner)

@@ -1,0 +1,53 @@
+"""Descriptive statistics of a fragmentation.
+
+These are the quantities the paper's x-axes sweep (``|F|``, ``|Vf|/|V|``,
+``|Ef|/|E|``, ``|Fm|``) packaged for reports and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.partition.fragmentation import Fragmentation
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Summary statistics of a fragmentation."""
+
+    n_fragments: int
+    n_nodes: int
+    n_edges: int
+    n_virtual_nodes: int
+    n_crossing_edges: int
+    largest_fragment_size: int
+    vf_ratio: float
+    ef_ratio: float
+    balance: float  # largest |Vi| / average |Vi|; 1.0 is perfectly balanced
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"|F|={self.n_fragments} |G|=({self.n_nodes},{self.n_edges}) "
+            f"|Vf|={self.n_virtual_nodes} ({self.vf_ratio:.0%}) "
+            f"|Ef|={self.n_crossing_edges} ({self.ef_ratio:.0%}) "
+            f"|Fm|={self.largest_fragment_size} balance={self.balance:.2f}"
+        )
+
+
+def partition_stats(fragmentation: Fragmentation) -> PartitionStats:
+    """Compute :class:`PartitionStats` for ``fragmentation``."""
+    sizes: List[int] = [frag.n_local_nodes for frag in fragmentation]
+    avg = sum(sizes) / len(sizes) if sizes else 0.0
+    return PartitionStats(
+        n_fragments=fragmentation.n_fragments,
+        n_nodes=fragmentation.graph.n_nodes,
+        n_edges=fragmentation.graph.n_edges,
+        n_virtual_nodes=fragmentation.n_virtual_nodes,
+        n_crossing_edges=fragmentation.n_crossing_edges,
+        largest_fragment_size=fragmentation.largest_fragment.size,
+        vf_ratio=fragmentation.vf_ratio,
+        ef_ratio=fragmentation.ef_ratio,
+        balance=(max(sizes) / avg) if avg else 0.0,
+    )

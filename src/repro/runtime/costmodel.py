@@ -1,0 +1,72 @@
+"""The wire-format and link cost model used to meter PT and DS.
+
+All sizes are declared here so every algorithm is metered identically; the
+defaults approximate a compact binary encoding on a commodity cluster
+(1 Gbit/s links, 1 ms one-way latency).  Tests never depend on the absolute
+values -- the paper's claims are about *ratios and shapes*, which are
+invariant under any fixed positive choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Byte sizes of wire objects and link parameters."""
+
+    #: bytes per data-node identifier on the wire
+    node_id_bytes: int = 8
+    #: bytes per node label
+    label_bytes: int = 4
+    #: bytes per Boolean variable update ``X(u, v) := false``
+    #: (node id + query-node index + flag)
+    var_entry_bytes: int = 12
+    #: bytes per leaf of a shipped Boolean equation (push / dGPMt)
+    equation_term_bytes: int = 12
+    #: fixed framing overhead per message
+    message_header_bytes: int = 24
+    #: bytes of a control flag (changed / vote-to-halt)
+    control_flag_bytes: int = 16
+    #: bytes per query node / per query edge when broadcasting ``Q``
+    query_node_bytes: int = 16
+    query_edge_bytes: int = 16
+
+    #: link bandwidth in bytes/second (default 1 Gbit/s)
+    bandwidth_bytes_per_s: float = 125_000_000.0
+    #: one-way message latency in seconds
+    latency_s: float = 0.001
+
+    # ------------------------------------------------------------------
+    def query_bytes(self, n_query_nodes: int, n_query_edges: int) -> int:
+        """Wire size of broadcasting a pattern query to one site."""
+        return (
+            self.message_header_bytes
+            + n_query_nodes * self.query_node_bytes
+            + n_query_edges * self.query_edge_bytes
+        )
+
+    def var_batch_bytes(self, n_entries: int) -> int:
+        """Wire size of a batch of Boolean-variable updates."""
+        return self.message_header_bytes + n_entries * self.var_entry_bytes
+
+    def equation_bytes(self, n_terms: int) -> int:
+        """Wire size of a shipped Boolean equation with ``n_terms`` leaves."""
+        return n_terms * self.equation_term_bytes
+
+    def subgraph_bytes(self, n_nodes: int, n_edges: int) -> int:
+        """Wire size of shipping a (sub)graph: labeled nodes plus edge list."""
+        return (
+            self.message_header_bytes
+            + n_nodes * (self.node_id_bytes + self.label_bytes)
+            + n_edges * 2 * self.node_id_bytes
+        )
+
+    def transfer_seconds(self, n_bytes: int) -> float:
+        """Modeled time for ``n_bytes`` to cross one link."""
+        return n_bytes / self.bandwidth_bytes_per_s
+
+
+#: Shared default cost model.
+DEFAULT_COST = CostModel()

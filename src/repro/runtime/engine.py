@@ -1,0 +1,158 @@
+"""The synchronous-round execution engine.
+
+Sites run in lockstep supersteps (the deterministic simulation of the
+paper's asynchronous message passing; dGPMd and dMes are genuinely
+superstep-based, and for dGPM the schedule is one admissible asynchronous
+interleaving -- the fixpoint it converges to is schedule-independent, which
+tests verify against the centralized oracle).
+
+Per round, every site receives its inbox, computes, and emits messages; the
+engine meters the slowest site's compute plus the round's link time as the
+round's contribution to PT.  The run ends when every site has voted to halt
+and no messages are in flight.
+
+A site that receives an empty inbox and has nothing to do reports zero
+compute, so idle sites never inflate PT -- this is what makes "more
+fragments => lower PT" measurable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Protocol
+
+from repro.errors import ProtocolError
+from repro.runtime.costmodel import CostModel
+from repro.runtime.messages import COORDINATOR, Message
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.network import Network
+
+
+@dataclass
+class TickResult:
+    """What a site produced during one round."""
+
+    messages: List[Message] = field(default_factory=list)
+    #: True when the site has no local work left (it can still be woken
+    #: by a later message).
+    halted: bool = True
+
+
+class SiteProgram(Protocol):
+    """The per-site half of a distributed algorithm."""
+
+    def on_start(self) -> TickResult:
+        """First tick, before any message is delivered."""
+        ...
+
+    def on_tick(self, round_no: int, inbox: List[Message]) -> TickResult:
+        """One superstep: process ``inbox``, return outgoing messages."""
+        ...
+
+    def collect(self) -> Message:
+        """Final local result, addressed to the coordinator."""
+        ...
+
+
+class SyncEngine:
+    """Drives a set of :class:`SiteProgram` instances to quiescence."""
+
+    def __init__(
+        self,
+        programs: Dict[int, SiteProgram],
+        network: Network,
+        cost: CostModel,
+        coordinator_inbox_handler: Optional[Callable[[List[Message]], Iterable[Message]]] = None,
+        max_rounds: int = 1_000_000,
+    ) -> None:
+        self.programs = programs
+        self.network = network
+        self.cost = cost
+        self.coordinator_inbox_handler = coordinator_inbox_handler
+        self.max_rounds = max_rounds
+        self.per_round_compute: List[float] = []
+        self.coordinator_compute: float = 0.0
+        self.n_rounds = 0
+
+    # ------------------------------------------------------------------
+    def _timed(self, fn: Callable[[], TickResult]) -> tuple:
+        start = time.perf_counter()
+        result = fn()
+        return result, time.perf_counter() - start
+
+    def run_fixpoint(self) -> None:
+        """Run on_start once, then tick until quiescence."""
+        halted: Dict[int, bool] = {}
+        round_compute: List[float] = []
+        for fid, program in self.programs.items():
+            result, elapsed = self._timed(program.on_start)
+            round_compute.append(elapsed)
+            self.network.send_all(result.messages)
+            halted[fid] = result.halted
+        self.per_round_compute.append(max(round_compute) if round_compute else 0.0)
+        self.n_rounds = 1
+
+        while self.network.has_pending or not all(halted.values()):
+            if self.n_rounds >= self.max_rounds:
+                raise ProtocolError(f"no quiescence after {self.max_rounds} rounds")
+            inboxes = self.network.deliver()
+            coordinator_msgs = inboxes.pop(COORDINATOR, [])
+            if coordinator_msgs and self.coordinator_inbox_handler is not None:
+                start = time.perf_counter()
+                replies = list(self.coordinator_inbox_handler(coordinator_msgs))
+                self.coordinator_compute += time.perf_counter() - start
+                self.network.send_all(replies)
+            round_compute = []
+            for fid, program in self.programs.items():
+                inbox = inboxes.get(fid, [])
+                if not inbox and halted[fid]:
+                    continue
+                result, elapsed = self._timed(
+                    lambda p=program, i=inbox: p.on_tick(self.n_rounds, i)
+                )
+                round_compute.append(elapsed)
+                self.network.send_all(result.messages)
+                halted[fid] = result.halted
+            self.per_round_compute.append(max(round_compute) if round_compute else 0.0)
+            self.n_rounds += 1
+
+    def collect_results(self) -> List[Message]:
+        """Gather every site's final local answer (metered as RESULT messages)."""
+        out: List[Message] = []
+        for program in self.programs.values():
+            message = program.collect()
+            if message.dst != COORDINATOR:
+                raise ProtocolError("collect() must address the coordinator")
+            self.network.send(message)
+            out.append(message)
+        return out
+
+    # ------------------------------------------------------------------
+    def simulated_pt(self, extra_compute: float = 0.0) -> float:
+        """The makespan PT: per-round slowest compute + modeled link time.
+
+        ``extra_compute`` adds coordinator-side work (assembly, central
+        evaluation for the ship-to-one-site baselines).
+        """
+        compute = sum(self.per_round_compute) + self.coordinator_compute + extra_compute
+        link = sum(
+            self.cost.latency_s + self.cost.transfer_seconds(volume)
+            for volume in self.network.round_bytes
+            if True
+        )
+        return compute + link
+
+    def metrics(self, algorithm: str, wall_seconds: float, extra_compute: float = 0.0, **extras) -> RunMetrics:
+        """Package the engine's accounting into :class:`RunMetrics`."""
+        return RunMetrics(
+            algorithm=algorithm,
+            pt_seconds=self.simulated_pt(extra_compute),
+            wall_seconds=wall_seconds,
+            ds_bytes=self.network.data_bytes,
+            n_messages=self.network.data_message_count,
+            n_rounds=self.n_rounds,
+            ds_breakdown=self.network.breakdown(),
+            per_round_compute=list(self.per_round_compute),
+            extras=dict(extras),
+        )

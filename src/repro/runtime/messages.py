@@ -1,0 +1,71 @@
+"""Message types exchanged between sites.
+
+Every message declares its own wire size (computed from the
+:class:`~repro.runtime.costmodel.CostModel` by the sender) and an accounting
+*category*, so the network can keep the paper's DS metric (protocol data)
+separate from query broadcast, control flags and result collection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+#: Special destination id for the coordinator site ``Sc``.
+COORDINATOR = -1
+
+
+class MessageKind(str, enum.Enum):
+    """Wire-level category of a message (drives the DS breakdown)."""
+
+    #: pattern query broadcast from the coordinator
+    QUERY = "query"
+    #: Boolean variable falsifications (the only payload baseline dGPM ships)
+    VAR_UPDATE = "var_update"
+    #: Boolean equations (push operation, dGPMt partial answers)
+    EQUATION = "equation"
+    #: request for the values of virtual-node variables (dMes supersteps)
+    VAR_REQUEST = "var_request"
+    #: reply carrying variable values (dMes supersteps, dGPMt phase 2)
+    VAR_VALUES = "var_values"
+    #: shipped subgraphs (Match, disHHK)
+    SUBGRAPH = "subgraph"
+    #: dependency-graph rewiring announcements (push operation)
+    REWIRE = "rewire"
+    #: changed-flags / votes to halt sent to the coordinator
+    CONTROL = "control"
+    #: final local matches shipped to the coordinator
+    RESULT = "result"
+
+
+#: Kinds counted in the headline DS number (the paper's "data shipment").
+DATA_KINDS = frozenset(
+    {
+        MessageKind.VAR_UPDATE,
+        MessageKind.EQUATION,
+        MessageKind.VAR_REQUEST,
+        MessageKind.VAR_VALUES,
+        MessageKind.SUBGRAPH,
+        MessageKind.REWIRE,
+    }
+)
+
+
+@dataclass
+class Message:
+    """A single message in flight.
+
+    ``src``/``dst`` are fragment ids (or :data:`COORDINATOR`); ``payload`` is
+    algorithm-specific; ``size_bytes`` is the metered wire size.
+    """
+
+    src: int
+    dst: int
+    kind: MessageKind
+    payload: Any
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("message size must be non-negative")

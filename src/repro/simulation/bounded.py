@@ -1,0 +1,105 @@
+"""Bounded simulation (Fan et al., PVLDB'10 -- the paper's reference [11]).
+
+Reference [11] generalizes graph simulation: each query edge ``(u, u')``
+carries a hop bound ``k``, and a match of ``u`` must reach a match of ``u'``
+by a directed path of length at most ``k`` (``k = 1`` recovers plain
+simulation; ``k = None`` means unbounded reachability).  The reproduced
+paper builds directly on [11]'s quadratic-time algorithm, so the library
+ships this semantics as an extension: the same greatest-fixpoint refinement,
+with successor checks replaced by bounded-reachability checks.
+
+Complexity: the distance index costs one BFS per (node, bound) pair actually
+used; refinement is the standard fixpoint on top.  Fine for the library's
+laptop-scale graphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Mapping, Optional, Set, Tuple
+
+from repro.errors import PatternError
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.pattern import Pattern
+from repro.simulation.matchrel import MatchRelation
+
+#: per-query-edge hop bounds: (u, u') -> k >= 1, or None for unbounded
+EdgeBounds = Mapping[Tuple[Node, Node], Optional[int]]
+
+
+def _within_hops(graph: DiGraph, source: Node, limit: Optional[int]) -> Set[Node]:
+    """Nodes reachable from ``source`` in 1..limit directed hops."""
+    reached: Set[Node] = set()
+    queue = deque([(source, 0)])
+    seen = {source}
+    while queue:
+        node, depth = queue.popleft()
+        if limit is not None and depth == limit:
+            continue
+        for succ in graph.successors(node):
+            if succ not in seen:
+                seen.add(succ)
+                reached.add(succ)
+                queue.append((succ, depth + 1))
+            else:
+                # re-encountered via an edge => reachable in >= 1 hop,
+                # including the source itself through a cycle
+                reached.add(succ)
+    return reached
+
+
+def bounded_simulation(
+    query: Pattern,
+    graph: DiGraph,
+    bounds: Optional[EdgeBounds] = None,
+    default_bound: Optional[int] = 1,
+) -> MatchRelation:
+    """Compute the maximum bounded simulation of ``query`` in ``graph``.
+
+    ``bounds`` maps query edges to hop limits; missing edges use
+    ``default_bound`` (1 = plain simulation, None = reachability).
+    """
+    bounds = dict(bounds or {})
+    for edge in query.edges():
+        bounds.setdefault(edge, default_bound)
+    for edge, k in bounds.items():
+        if edge not in set(query.edges()):
+            raise PatternError(f"bound given for unknown query edge {edge!r}")
+        if k is not None and k < 1:
+            raise PatternError(f"hop bound for {edge!r} must be >= 1 or None")
+
+    # Distance-limited reachability cache, computed lazily per (node, k).
+    reach_cache: Dict[Tuple[Node, Optional[int]], Set[Node]] = {}
+
+    def reach(v: Node, k: Optional[int]) -> Set[Node]:
+        key = (v, k)
+        if key not in reach_cache:
+            reach_cache[key] = _within_hops(graph, v, k)
+        return reach_cache[key]
+
+    sim: Dict[Node, Set[Node]] = {}
+    for u in query.nodes():
+        want = query.label(u)
+        sim[u] = {v for v in graph.nodes() if graph.label(v) == want}
+
+    changed = True
+    while changed:
+        changed = False
+        for u in query.nodes():
+            children = query.children(u)
+            if not children:
+                continue
+            survivors = set()
+            for v in sim[u]:
+                ok = True
+                for u_child in children:
+                    k = bounds[(u, u_child)]
+                    if not (reach(v, k) & sim[u_child]):
+                        ok = False
+                        break
+                if ok:
+                    survivors.add(v)
+            if len(survivors) != len(sim[u]):
+                sim[u] = survivors
+                changed = True
+    return MatchRelation(query.nodes(), sim)

@@ -1,0 +1,39 @@
+"""Rank-layered simulation for DAG pattern queries.
+
+When ``Q`` is a DAG, ``X(u, v)`` depends only on pairs with strictly smaller
+query rank (Section 5.1), so the match relation can be computed in one pass
+per rank with no fixpoint iteration.  This is the centralized skeleton of
+dGPMd; it also documents why dGPMd needs at most ``d`` message rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.errors import PatternError
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.pattern import Pattern
+from repro.simulation.matchrel import MatchRelation
+
+
+def dag_simulation(query: Pattern, graph: DiGraph) -> MatchRelation:
+    """Compute ``Q(G)`` for a DAG query by ascending-rank evaluation.
+
+    Raises :class:`PatternError` if the query is cyclic.
+    """
+    if not query.is_dag():
+        raise PatternError("dag_simulation requires a DAG pattern")
+
+    sim: Dict[Node, Set[Node]] = {}
+    for layer in query.nodes_by_rank():
+        for u in layer:
+            want = query.label(u)
+            candidates = {v for v in graph.nodes() if graph.label(v) == want}
+            for u_child in query.children(u):
+                targets = sim[u_child]  # strictly smaller rank: already final
+                candidates = {
+                    v for v in candidates
+                    if any(s in targets for s in graph.successors(v))
+                }
+            sim[u] = candidates
+    return MatchRelation(query.nodes(), sim)

@@ -1,0 +1,124 @@
+"""The result of a (distributed or centralized) graph-simulation query.
+
+The paper distinguishes two query types (Section 2.1):
+
+* a **Boolean** pattern returns ``true`` iff ``G`` matches ``Q``;
+* a **data selecting** pattern returns the unique maximum match ``Q(G)``.
+
+:class:`MatchRelation` provides both views over one underlying relation, plus
+the maximality/validity checks the tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Set, Tuple
+
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.pattern import Pattern
+
+
+class MatchRelation:
+    """An immutable match relation ``R ⊆ Vq × V``.
+
+    Instances are produced by the simulation engines; ``matches[u]`` is the
+    set of data nodes matching query node ``u``.  If any query node has no
+    match, the relation as a whole is *empty* (``bool(rel) is False`` and
+    ``as_relation()`` returns the empty set) -- this mirrors the paper's
+    semantics that ``Q(G) = ∅`` when ``G`` does not match ``Q``.
+    """
+
+    __slots__ = ("_matches", "_query_nodes", "_is_match")
+
+    def __init__(self, query_nodes: Iterable[Node], matches: Mapping[Node, Iterable[Node]]) -> None:
+        self._query_nodes: Tuple[Node, ...] = tuple(query_nodes)
+        self._matches: Dict[Node, FrozenSet[Node]] = {
+            u: frozenset(matches.get(u, ())) for u in self._query_nodes
+        }
+        self._is_match = all(self._matches[u] for u in self._query_nodes)
+
+    # ------------------------------------------------------------------
+    # the two query semantics
+    # ------------------------------------------------------------------
+    @property
+    def is_match(self) -> bool:
+        """Boolean-query answer: does ``G`` match ``Q``?"""
+        return self._is_match
+
+    def __bool__(self) -> bool:
+        return self._is_match
+
+    def matches_of(self, u: Node) -> FrozenSet[Node]:
+        """Data nodes matching query node ``u`` (empty if ``G`` does not match)."""
+        if not self._is_match:
+            return frozenset()
+        return self._matches[u]
+
+    def raw_matches_of(self, u: Node) -> FrozenSet[Node]:
+        """The per-node candidate set *before* the emptiness collapse.
+
+        Useful for diagnostics: shows which query nodes killed the match.
+        """
+        return self._matches[u]
+
+    def as_relation(self) -> Set[Tuple[Node, Node]]:
+        """``Q(G)`` as a set of ``(u, v)`` pairs (empty when no match)."""
+        if not self._is_match:
+            return set()
+        return {(u, v) for u in self._query_nodes for v in self._matches[u]}
+
+    def as_dict(self) -> Dict[Node, FrozenSet[Node]]:
+        """``Q(G)`` as ``{query node: matched data nodes}`` (empty sets when no match)."""
+        return {u: self.matches_of(u) for u in self._query_nodes}
+
+    def query_nodes(self) -> Iterator[Node]:
+        """The query nodes this relation is defined over."""
+        return iter(self._query_nodes)
+
+    def __len__(self) -> int:
+        return len(self.as_relation())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MatchRelation):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((u, self.matches_of(u)) for u in self._query_nodes)))
+
+    def __repr__(self) -> str:
+        total = sum(len(self.matches_of(u)) for u in self._query_nodes)
+        return f"MatchRelation(is_match={self._is_match}, pairs={total})"
+
+
+def is_valid_simulation(query: Pattern, graph: DiGraph, rel: Mapping[Node, Iterable[Node]]) -> bool:
+    """Check the two simulation conditions (Section 2.1) for a candidate relation.
+
+    (a) every pair agrees on labels; (b) every query edge ``(u, u')`` out of a
+    matched ``(u, v)`` is witnessed by an edge ``(v, v')`` with ``v'`` matching
+    ``u'``.  Totality (every query node matched) is *not* checked here; use
+    :attr:`MatchRelation.is_match` for that.
+    """
+    rel_sets = {u: set(vs) for u, vs in rel.items()}
+    for u, vs in rel_sets.items():
+        for v in vs:
+            if query.label(u) != graph.label(v):
+                return False
+            for u_child in query.children(u):
+                targets = rel_sets.get(u_child, set())
+                if not any(succ in targets for succ in graph.successors(v)):
+                    return False
+    return True
+
+
+def is_maximum_simulation(query: Pattern, graph: DiGraph, rel: MatchRelation) -> bool:
+    """True iff ``rel`` is the unique maximum simulation of ``query`` in ``graph``.
+
+    Verified by checking validity and that no label-compatible pair outside the
+    relation could be added while keeping validity -- which for the maximum
+    simulation reduces to: the relation is exactly the greatest fixpoint, i.e.
+    re-running a reference engine yields the same relation.  Tests use this as
+    a slow but independent oracle.
+    """
+    from repro.simulation.naive import naive_simulation
+
+    return rel == naive_simulation(query, graph)

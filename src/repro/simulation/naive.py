@@ -1,0 +1,46 @@
+"""The textbook fixpoint algorithm for graph simulation.
+
+Start from the label-compatible relation and repeatedly delete pairs that
+violate the child condition until nothing changes.  Quadratic-ish and simple;
+it serves as the *oracle* every other engine (HHK, DAG-layered, and all the
+distributed algorithms) is tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.pattern import Pattern
+from repro.simulation.matchrel import MatchRelation
+
+
+def naive_simulation(query: Pattern, graph: DiGraph) -> MatchRelation:
+    """Compute the maximum simulation ``Q(G)`` by naive fixpoint refinement."""
+    sim: Dict[Node, Set[Node]] = {}
+    for u in query.nodes():
+        want = query.label(u)
+        sim[u] = {v for v in graph.nodes() if graph.label(v) == want}
+
+    changed = True
+    while changed:
+        changed = False
+        for u in query.nodes():
+            children = query.children(u)
+            if not children:
+                continue
+            survivors = set()
+            for v in sim[u]:
+                ok = True
+                for u_child in children:
+                    targets = sim[u_child]
+                    if not any(s in targets for s in graph.successors(v)):
+                        ok = False
+                        break
+                if ok:
+                    survivors.add(v)
+            if len(survivors) != len(sim[u]):
+                sim[u] = survivors
+                changed = True
+
+    return MatchRelation(query.nodes(), sim)

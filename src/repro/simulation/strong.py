@@ -1,0 +1,85 @@
+"""Strong simulation (Ma et al., PVLDB'11 -- the paper's reference [24]).
+
+Strong simulation restricts graph simulation to *balls*: a data node ``v`` is
+a strong-simulation match of ``u`` only if the dual simulation of ``Q`` inside
+the ball of radius ``d_Q`` (the query diameter) around ``v`` still matches
+``v`` to ``u``.  Unlike plain simulation it enjoys **data locality**
+(Section 2.1 of the reproduced paper): deciding a match only needs nodes
+within ``d_Q`` hops.
+
+The reproduced paper uses strong simulation purely as a contrast -- it may
+miss matches plain simulation finds (e.g. node ``yb2`` in Figure 1).  We
+implement it so examples and tests can demonstrate exactly that contrast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.graph import algorithms
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.pattern import Pattern
+from repro.simulation.matchrel import MatchRelation
+
+
+def dual_simulation(query: Pattern, graph: DiGraph) -> MatchRelation:
+    """Dual simulation: the child condition plus the symmetric parent condition.
+
+    ``v`` matches ``u`` only if every query edge *into* ``u`` is also witnessed
+    by an edge into ``v`` from a match of the parent.
+    """
+    sim: Dict[Node, Set[Node]] = {}
+    for u in query.nodes():
+        want = query.label(u)
+        sim[u] = {v for v in graph.nodes() if graph.label(v) == want}
+
+    changed = True
+    while changed:
+        changed = False
+        for u in query.nodes():
+            survivors = set()
+            for v in sim[u]:
+                ok = all(
+                    any(s in sim[u_child] for s in graph.successors(v))
+                    for u_child in query.children(u)
+                ) and all(
+                    any(p in sim[u_parent] for p in graph.predecessors(v))
+                    for u_parent in query.parents(u)
+                )
+                if ok:
+                    survivors.add(v)
+            if len(survivors) != len(sim[u]):
+                sim[u] = survivors
+                changed = True
+    return MatchRelation(query.nodes(), sim)
+
+
+def ball(graph: DiGraph, center: Node, radius: int) -> DiGraph:
+    """The subgraph induced by nodes within ``radius`` undirected hops of ``center``."""
+    dist = algorithms.bfs_layers(graph, [center], undirected=True)
+    keep = [v for v, d in dist.items() if d <= radius]
+    return graph.induced_subgraph(keep)
+
+
+def strong_simulation(query: Pattern, graph: DiGraph) -> MatchRelation:
+    """Strong simulation matches: dual simulation restricted to diameter balls.
+
+    ``v`` matches ``u`` iff the maximum dual simulation of ``Q`` in the ball
+    ``B(v, d_Q)`` is nonempty (total) and contains ``(u, v)``.
+    """
+    radius = query.diameter()
+    global_dual = dual_simulation(query, graph)
+    matches: Dict[Node, Set[Node]] = {u: set() for u in query.nodes()}
+    # Only centers surviving global dual simulation can be strong matches;
+    # this prune keeps the per-ball work proportional to candidate counts.
+    candidate_pairs = [
+        (u, v) for u in query.nodes() for v in global_dual.raw_matches_of(u)
+    ]
+    ball_cache: Dict[Node, MatchRelation] = {}
+    for u, v in candidate_pairs:
+        if v not in ball_cache:
+            ball_cache[v] = dual_simulation(query, ball(graph, v, radius))
+        local = ball_cache[v]
+        if local.is_match and v in local.matches_of(u):
+            matches[u].add(v)
+    return MatchRelation(query.nodes(), matches)

@@ -1,0 +1,85 @@
+"""Subgraph-isomorphism matching (Ullmann-style backtracking).
+
+The paper contrasts simulation with subgraph isomorphism [33] twice: it is
+intractable (NP-complete), and -- unlike simulation -- it has *data locality*
+(Example 3).  This module provides a small label-aware backtracking matcher so
+the examples can demonstrate both points on paper-sized inputs.
+
+Only suitable for small queries; the library's workhorses are the simulation
+engines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.pattern import Pattern
+
+
+def _candidates(query: Pattern, graph: DiGraph, u: Node) -> List[Node]:
+    want = query.label(u)
+    out_need = len(query.children(u))
+    in_need = len(query.parents(u))
+    return [
+        v
+        for v in graph.nodes()
+        if graph.label(v) == want
+        and graph.out_degree(v) >= out_need
+        and graph.in_degree(v) >= in_need
+    ]
+
+
+def subgraph_isomorphisms(query: Pattern, graph: DiGraph) -> Iterator[Dict[Node, Node]]:
+    """Yield every injective, edge-preserving embedding of ``query`` in ``graph``.
+
+    An embedding maps each query node to a distinct data node with the same
+    label such that every query edge maps to a data edge.
+    """
+    order = sorted(query.nodes(), key=lambda u: len(_candidates(query, graph, u)))
+    cands = {u: _candidates(query, graph, u) for u in order}
+
+    assignment: Dict[Node, Node] = {}
+    used: set = set()
+
+    def extend(idx: int) -> Iterator[Dict[Node, Node]]:
+        if idx == len(order):
+            yield dict(assignment)
+            return
+        u = order[idx]
+        for v in cands[u]:
+            if v in used:
+                continue
+            ok = True
+            # Self-loops never appear in `assignment` while u is being
+            # placed, so check them explicitly.
+            if u in query.children(u) and not graph.has_edge(v, v):
+                ok = False
+            for u_child in query.children(u):
+                if u_child in assignment and not graph.has_edge(v, assignment[u_child]):
+                    ok = False
+                    break
+            if ok:
+                for u_parent in query.parents(u):
+                    if u_parent in assignment and not graph.has_edge(assignment[u_parent], v):
+                        ok = False
+                        break
+            if not ok:
+                continue
+            assignment[u] = v
+            used.add(v)
+            yield from extend(idx + 1)
+            del assignment[u]
+            used.discard(v)
+
+    yield from extend(0)
+
+
+def find_subgraph_isomorphism(query: Pattern, graph: DiGraph) -> Optional[Dict[Node, Node]]:
+    """First embedding found, or ``None`` when the query is not embeddable."""
+    return next(subgraph_isomorphisms(query, graph), None)
+
+
+def has_subgraph_isomorphism(query: Pattern, graph: DiGraph) -> bool:
+    """Boolean form of :func:`find_subgraph_isomorphism`."""
+    return find_subgraph_isomorphism(query, graph) is not None

@@ -1,0 +1,108 @@
+"""Tests for the Match / disHHK / dMes baselines."""
+
+import pytest
+
+from repro.baselines import run_dishhk, run_dmes, run_match
+from repro.core import run_dgpm
+from repro.graph.examples import figure1
+from repro.graph.generators import random_labeled_graph, web_graph
+from repro.graph.pattern import Pattern
+from repro.partition import balanced_bfs_partition, random_partition
+from repro.simulation import simulation
+from tests.conftest import random_instance
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("runner", [run_match, run_dishhk, run_dmes])
+    def test_figure1(self, runner):
+        q, g, frag = figure1()
+        assert runner(q, frag).relation == simulation(q, g)
+
+    @pytest.mark.parametrize("seed", range(20))
+    @pytest.mark.parametrize("runner", [run_match, run_dishhk, run_dmes])
+    def test_random_instances(self, runner, seed):
+        graph, pattern = random_instance(seed, max_nodes=18)
+        if graph.n_nodes < 3:
+            return
+        frag = random_partition(graph, 3, seed=seed)
+        assert runner(pattern, frag).relation == simulation(pattern, graph)
+
+
+class TestMatchBaseline:
+    def test_ships_whole_graph(self):
+        graph = random_labeled_graph(200, 800, seed=1)
+        frag = random_partition(graph, 4, seed=1)
+        q = Pattern({"a": "L0"})
+        result = run_match(q, frag)
+        # every node and edge serialized at least once
+        floor = graph.n_nodes * 8 + graph.n_edges * 16
+        assert result.metrics.ds_bytes >= floor
+
+    def test_ds_independent_of_query(self):
+        graph = random_labeled_graph(100, 400, seed=2)
+        frag = random_partition(graph, 4, seed=2)
+        small = run_match(Pattern({"a": "L0"}), frag)
+        big = run_match(
+            Pattern({i: f"L{i}" for i in range(5)}, [(0, 1), (1, 2), (2, 3), (3, 4)]),
+            frag,
+        )
+        assert small.metrics.ds_bytes == big.metrics.ds_bytes
+
+    def test_single_round(self):
+        q, _, frag = figure1()
+        assert run_match(q, frag).metrics.n_rounds == 1
+
+
+class TestDisHHK:
+    def test_ships_label_relevant_subgraph(self):
+        graph = random_labeled_graph(300, 1200, n_labels=10, seed=3)
+        frag = random_partition(graph, 4, seed=3)
+        narrow = run_dishhk(Pattern({"a": "L0", "b": "L1"}, [("a", "b")]), frag)
+        wide_labels = {i: f"L{i}" for i in range(10)}
+        wide = run_dishhk(
+            Pattern(wide_labels, [(i, (i + 1) % 10) for i in range(10)]), frag
+        )
+        # more query labels -> more of G shipped
+        assert wide.metrics.ds_bytes > narrow.metrics.ds_bytes
+
+    def test_ds_grows_with_graph(self):
+        q = Pattern({"a": "L0", "b": "L1"}, [("a", "b")])
+        small_g = random_labeled_graph(100, 400, seed=4)
+        big_g = random_labeled_graph(800, 3200, seed=4)
+        small = run_dishhk(q, random_partition(small_g, 4, seed=4))
+        big = run_dishhk(q, random_partition(big_g, 4, seed=4))
+        assert big.metrics.ds_bytes > 4 * small.metrics.ds_bytes
+
+    def test_two_rounds(self):
+        q, _, frag = figure1()
+        assert run_dishhk(q, frag).metrics.n_rounds == 2
+
+
+class TestDMes:
+    def test_supersteps_recorded(self):
+        q, _, frag = figure1()
+        result = run_dmes(q, frag)
+        assert result.metrics.extras["supersteps"] >= 2
+
+    def test_redundant_traffic_exceeds_dgpm(self):
+        graph = web_graph(800, 4000, seed=5)
+        frag = balanced_bfs_partition(graph, 4, seed=5)
+        from repro.bench.workloads import cyclic_pattern
+
+        q = cyclic_pattern(graph, 4, 6, seed=1)
+        dmes = run_dmes(q, frag)
+        dgpm = run_dgpm(q, frag)
+        assert dmes.relation == dgpm.relation
+        # requests are re-sent every superstep: strictly more traffic
+        assert dmes.metrics.ds_bytes > dgpm.metrics.ds_bytes
+
+    def test_terminates_without_virtual_nodes(self):
+        # all nodes in one fragment, second fragment isolated
+        from repro.graph.digraph import DiGraph
+        from repro.partition.fragmentation import fragment_graph
+
+        g = DiGraph({1: "A", 2: "B", 3: "C"}, [(1, 2)])
+        frag = fragment_graph(g, {1: 0, 2: 0, 3: 1})
+        q = Pattern({"a": "A", "b": "B"}, [("a", "b")])
+        result = run_dmes(q, frag)
+        assert result.relation == simulation(q, g)

@@ -1,0 +1,115 @@
+"""Tests for the sweep harness and CLI plumbing."""
+
+import pytest
+
+from repro.bench.harness import ExperimentSeries, SweepPoint, run_sweep
+from repro.core import run_dgpm
+from repro.errors import ReproError
+from repro.graph.generators import random_labeled_graph
+from repro.graph.pattern import Pattern
+from repro.partition import random_partition
+from repro.runtime.metrics import RunMetrics, RunResult
+from repro.simulation.matchrel import MatchRelation
+
+
+def _instances():
+    graph = random_labeled_graph(60, 240, n_labels=3, seed=1)
+    q = Pattern({"a": "L0", "b": "L1"}, [("a", "b")])
+    return [
+        (nf, [q], random_partition(graph, nf, seed=1)) for nf in (2, 4)
+    ]
+
+
+class TestRunSweep:
+    def test_produces_point_per_x(self):
+        series = run_sweep(
+            "t", "|F|", _instances(), {"dGPM": lambda q, f: run_dgpm(q, f)}
+        )
+        assert [p.x for p in series.points] == [2, 4]
+        assert series.algorithms() == ["dGPM"]
+
+    def test_verification_catches_wrong_answers(self):
+        def broken(query, fragmentation):
+            empty = MatchRelation(query.nodes(), {})
+            metrics = RunMetrics("broken", 0.0, 0.0, 0, 0, 0)
+            return RunResult(relation=empty, metrics=metrics)
+
+        with pytest.raises(ReproError):
+            run_sweep("t", "|F|", _instances(), {"broken": broken})
+
+    def test_verify_off_skips_oracle(self):
+        def fast_fake(query, fragmentation):
+            rel = MatchRelation(query.nodes(), {u: {0} for u in query.nodes()})
+            return RunResult(rel, RunMetrics("x", 1.0, 1.0, 1024, 1, 1))
+
+        series = run_sweep("t", "x", _instances(), {"x": fast_fake}, verify=False)
+        assert series.points[0].ds_kb["x"] == pytest.approx(1.0)
+
+
+class TestSeriesRendering:
+    def _series(self):
+        s = ExperimentSeries("demo", "|F|")
+        s.points = [
+            SweepPoint(x=4, pt_seconds={"a": 0.5, "b": 1.0}, ds_kb={"a": 10, "b": 100}),
+            SweepPoint(x=8, pt_seconds={"a": 0.25, "b": 1.0}, ds_kb={"a": 12, "b": 100}),
+        ]
+        return s
+
+    def test_tables_contain_all_columns(self):
+        s = self._series()
+        pt = s.pt_table()
+        assert "|F|" in pt and "a" in pt and "b" in pt
+        assert "0.2500" in pt
+        ds = s.ds_table()
+        assert "100.00" in ds
+
+    def test_render_has_both_panels(self):
+        text = self._series().render()
+        assert "PT (seconds)" in text
+        assert "DS (KB)" in text
+
+    def test_ratio(self):
+        s = self._series()
+        assert s.ratio("pt_seconds", "b", "a") == pytest.approx((2 + 4) / 2)
+        with pytest.raises(ReproError):
+            s.ratio("pt_seconds", "zz", "a")
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "6ab" in out and "impossibility" in out
+
+    def test_unknown_figure(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["--figure", "nope"]) == 2
+
+    def test_help_when_no_args(self, capsys):
+        from repro.bench.cli import main
+
+        assert main([]) == 0
+        assert "repro-bench" in capsys.readouterr().out
+
+    def test_table1_runs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        monkeypatch.setenv("REPRO_QUERY_SEEDS", "1")
+        # reset caches so the scale takes effect
+        from repro.bench import figures
+
+        figures.yahoo_graph.cache_clear()
+        figures.citation_graph.cache_clear()
+        figures.partitioned.cache_clear()
+        from repro.bench.cli import main
+
+        try:
+            assert main(["--figure", "table1"]) == 0
+            out = capsys.readouterr().out
+            assert "dGPM" in out and "OK" in out
+        finally:
+            figures.yahoo_graph.cache_clear()
+            figures.citation_graph.cache_clear()
+            figures.partitioned.cache_clear()

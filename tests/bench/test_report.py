@@ -1,0 +1,75 @@
+"""Tests for the report registry and remaining CLI paths."""
+
+import pytest
+
+from repro.bench.report import all_reports, clear_reports, record_report
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    clear_reports()
+    yield
+    clear_reports()
+
+
+class TestRegistry:
+    def test_record_and_snapshot(self):
+        record_report("demo", "line1\nline2")
+        assert all_reports() == {"demo": "line1\nline2"}
+
+    def test_snapshot_is_a_copy(self):
+        record_report("demo", "x")
+        snap = all_reports()
+        snap["demo"] = "mutated"
+        assert all_reports()["demo"] == "x"
+
+    def test_overwrite(self):
+        record_report("demo", "v1")
+        record_report("demo", "v2")
+        assert all_reports()["demo"] == "v2"
+
+    def test_persist_to_directory(self, tmp_path):
+        record_report("demo", "persisted", results_dir=tmp_path)
+        assert (tmp_path / "demo.txt").read_text() == "persisted\n"
+
+    def test_clear(self):
+        record_report("demo", "x")
+        clear_reports()
+        assert all_reports() == {}
+
+
+class TestCliScale:
+    def test_scale_flag_applies(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.setenv("REPRO_QUERY_SEEDS", "1")
+        from repro.bench import figures
+        from repro.bench.cli import main
+
+        try:
+            assert main(["--scale", "0.08", "--figure", "impossibility"]) == 0
+            import os
+
+            assert os.environ["REPRO_SCALE"] == "0.08"
+            out = capsys.readouterr().out
+            assert "family (1)" in out
+        finally:
+            figures.yahoo_graph.cache_clear()
+            figures.citation_graph.cache_clear()
+            figures.partitioned.cache_clear()
+
+    def test_figure_prefix_normalization(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.08")
+        monkeypatch.setenv("REPRO_QUERY_SEEDS", "1")
+        from repro.bench import figures
+        from repro.bench.cli import main
+
+        figures.yahoo_graph.cache_clear()
+        figures.citation_graph.cache_clear()
+        figures.partitioned.cache_clear()
+        try:
+            assert main(["--figure", "figtable1"]) == 0
+            assert "Table 1" in capsys.readouterr().out
+        finally:
+            figures.yahoo_graph.cache_clear()
+            figures.citation_graph.cache_clear()
+            figures.partitioned.cache_clear()

@@ -1,0 +1,120 @@
+"""Unit tests for the monotone Boolean expression algebra."""
+
+import pickle
+
+import pytest
+
+from repro.boolean.expr import FALSE, TRUE, And, Const, Or, Var, conj, disj
+
+
+class TestConstants:
+    def test_singletons_behave_like_values(self):
+        assert TRUE.evaluate({}) is True
+        assert FALSE.evaluate({}) is False
+        assert TRUE == Const(True)
+        assert FALSE != TRUE
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            TRUE.value = False
+        with pytest.raises(AttributeError):
+            Var("x").name = "y"
+
+    def test_no_variables(self):
+        assert TRUE.variables() == frozenset()
+
+    def test_is_const(self):
+        assert TRUE.is_const()
+        assert not Var("x").is_const()
+
+
+class TestVar:
+    def test_evaluate(self):
+        assert Var("x").evaluate({"x": True}) is True
+        with pytest.raises(KeyError):
+            Var("x").evaluate({})
+
+    def test_substitute(self):
+        assert Var("x").substitute({"x": TRUE}) == TRUE
+        assert Var("x").substitute({"y": TRUE}) == Var("x")
+
+    def test_equality_and_hash(self):
+        assert Var("x") == Var("x")
+        assert hash(Var("x")) == hash(Var("x"))
+        assert Var("x") != Var("y")
+        assert Var("x") != Const(True)
+
+
+class TestNormalization:
+    def test_conj_flattens(self):
+        e = conj([Var("a"), conj([Var("b"), Var("c")])])
+        assert isinstance(e, And)
+        assert e.variables() == frozenset({"a", "b", "c"})
+        assert all(isinstance(op, Var) for op in e.operands)
+
+    def test_disj_flattens(self):
+        e = disj([Var("a"), disj([Var("b"), Var("c")])])
+        assert isinstance(e, Or)
+        assert len(e.operands) == 3
+
+    def test_constant_folding(self):
+        assert conj([Var("a"), FALSE]) == FALSE
+        assert conj([Var("a"), TRUE]) == Var("a")
+        assert disj([Var("a"), TRUE]) == TRUE
+        assert disj([Var("a"), FALSE]) == Var("a")
+
+    def test_units(self):
+        assert conj([]) == TRUE
+        assert disj([]) == FALSE
+
+    def test_dedup(self):
+        assert conj([Var("a"), Var("a")]) == Var("a")
+        e = disj([Var("a"), Var("b"), Var("a")])
+        assert isinstance(e, Or)
+        assert len(e.operands) == 2
+
+    def test_singleton_collapse(self):
+        assert conj([Var("a")]) == Var("a")
+
+    def test_operator_sugar(self):
+        e = (Var("a") & Var("b")) | Var("c")
+        assert e.evaluate({"a": True, "b": True, "c": False})
+        assert not e.evaluate({"a": True, "b": False, "c": False})
+
+    def test_equality_order_insensitive(self):
+        assert conj([Var("a"), Var("b")]) == conj([Var("b"), Var("a")])
+        assert disj([Var("a"), Var("b")]) == disj([Var("b"), Var("a")])
+
+    def test_and_or_not_equal(self):
+        assert conj([Var("a"), Var("b")]) != disj([Var("a"), Var("b")])
+
+
+class TestOperations:
+    def test_n_terms(self):
+        e = conj([Var("a"), disj([Var("b"), Var("c")])])
+        assert e.n_terms == 3
+        assert TRUE.n_terms == 1
+
+    def test_substitute_simplifies(self):
+        e = conj([Var("a"), Var("b")])
+        assert e.substitute({"a": TRUE}) == Var("b")
+        assert e.substitute({"a": FALSE}) == FALSE
+
+    def test_evaluate_partial(self):
+        e = conj([Var("a"), Var("b")])
+        assert e.evaluate_partial({"a": True}) == Var("b")
+        assert e.evaluate_partial({"a": False}) == FALSE
+
+    def test_nested_evaluate(self):
+        e = disj([conj([Var("a"), Var("b")]), Var("c")])
+        assert e.evaluate({"a": False, "b": True, "c": True})
+        assert not e.evaluate({"a": False, "b": True, "c": False})
+
+    def test_pickle_round_trip(self):
+        e = disj([conj([Var(("u", "v")), Var(("u2", "v2"))]), TRUE, Var("w")])
+        assert pickle.loads(pickle.dumps(e)) == e
+
+    def test_repr_smoke(self):
+        e = conj([Var("a"), disj([Var("b"), Var("c")])])
+        text = repr(e)
+        assert "AND" in text and "OR" in text

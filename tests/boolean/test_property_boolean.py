@@ -1,0 +1,107 @@
+"""Property-based tests for the Boolean layer.
+
+The load-bearing invariant of the whole dGPM machinery: symbolic reduction
+(:meth:`EquationSystem.reduce`) computes exactly the greatest fixpoint as a
+function of the external parameters, for *every* monotone system.
+"""
+
+from itertools import product
+
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean.expr import FALSE, TRUE, BoolExpr, Var, conj, disj
+from repro.boolean.system import EquationSystem
+
+INTERNAL = [f"x{i}" for i in range(4)]
+EXTERNAL = [f"p{i}" for i in range(3)]
+
+
+def leaf_strategy():
+    names = INTERNAL + EXTERNAL
+    return st.one_of(
+        st.sampled_from([TRUE, FALSE]),
+        st.sampled_from(names).map(Var),
+    )
+
+
+def expr_strategy(depth: int = 2):
+    if depth == 0:
+        return leaf_strategy()
+    sub = expr_strategy(depth - 1)
+    return st.one_of(
+        leaf_strategy(),
+        st.lists(sub, min_size=2, max_size=3).map(conj),
+        st.lists(sub, min_size=2, max_size=3).map(disj),
+    )
+
+
+@st.composite
+def systems(draw) -> EquationSystem:
+    n = draw(st.integers(min_value=1, max_value=4))
+    return EquationSystem({INTERNAL[i]: draw(expr_strategy()) for i in range(n)})
+
+
+@settings(max_examples=150, deadline=None)
+@given(systems())
+def test_reduce_equals_solve_for_all_valuations(system):
+    reduced = system.reduce()
+    externals = sorted(system.external_parameters())
+    for values in product([False, True], repeat=len(externals)):
+        env = dict(zip(externals, values))
+        solved = system.solve(env)
+        for name in system.variables():
+            assert reduced[name].evaluate(env) == solved[name]
+
+
+@settings(max_examples=150, deadline=None)
+@given(expr_strategy(), st.dictionaries(st.sampled_from(INTERNAL + EXTERNAL), st.booleans()))
+def test_substitution_consistent_with_evaluation(expr, partial):
+    """Substituting constants then evaluating == evaluating directly."""
+    remaining = expr.variables() - set(partial)
+    full_env = dict(partial)
+    for name in remaining:
+        full_env[name] = True
+    substituted = expr.evaluate_partial(partial)
+    env_rest = {name: True for name in substituted.variables()}
+    assert substituted.evaluate(env_rest) == expr.evaluate(full_env)
+
+
+@settings(max_examples=150, deadline=None)
+@given(expr_strategy())
+def test_monotonicity(expr):
+    """Flipping any input false -> true never flips the output true -> false."""
+    names = sorted(expr.variables())
+    if not names:
+        return
+    for values in product([False, True], repeat=len(names)):
+        env = dict(zip(names, values))
+        before = expr.evaluate(env)
+        for name in names:
+            if not env[name]:
+                grown = dict(env)
+                grown[name] = True
+                assert expr.evaluate(grown) >= before
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr_strategy())
+def test_normalization_preserves_semantics(expr):
+    """conj/disj rebuilding an expression keeps its truth table."""
+    rebuilt = conj([expr])
+    names = sorted(expr.variables())
+    for values in product([False, True], repeat=min(len(names), 6)):
+        env = dict(zip(names, values))
+        for name in names[6:]:
+            env[name] = False
+        assert rebuilt.evaluate(env) == expr.evaluate(env)
+
+
+@settings(max_examples=100, deadline=None)
+@given(systems())
+def test_gfp_is_a_fixpoint(system):
+    """solve() returns a genuine fixpoint of the equations."""
+    externals = {name: True for name in system.external_parameters()}
+    solved = system.solve(externals)
+    env = {**externals, **solved}
+    for name in system.variables():
+        assert system.equation(name).evaluate(env) == solved[name]

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.pattern import Pattern
+
+
+@pytest.fixture
+def triangle_graph() -> DiGraph:
+    """A 3-cycle A -> B -> C -> A with one dangling D node."""
+    return DiGraph(
+        {"a": "A", "b": "B", "c": "C", "d": "D"},
+        [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")],
+    )
+
+
+@pytest.fixture
+def triangle_query() -> Pattern:
+    """The pattern matching the 3-cycle."""
+    return Pattern({"qa": "A", "qb": "B", "qc": "C"}, [("qa", "qb"), ("qb", "qc"), ("qc", "qa")])
+
+
+@pytest.fixture
+def chain_graph() -> DiGraph:
+    """A labeled chain x0 -> x1 -> ... -> x5 with alternating labels."""
+    labels = {f"x{i}": ("E" if i % 2 == 0 else "O") for i in range(6)}
+    edges = [(f"x{i}", f"x{i+1}") for i in range(5)]
+    return DiGraph(labels, edges)
+
+
+def random_instance(seed: int, max_nodes: int = 25, labels: str = "ABC"):
+    """A (graph, pattern) pair used by randomized tests."""
+    rng = random.Random(seed)
+    n = rng.randint(2, max_nodes)
+    graph = DiGraph({i: rng.choice(labels) for i in range(n)})
+    for _ in range(rng.randint(0, 4 * n)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            graph.add_edge(u, v)
+    qn = rng.randint(1, 4)
+    pattern = Pattern(
+        {i: rng.choice(labels) for i in range(qn)},
+        [(rng.randrange(qn), rng.randrange(qn)) for _ in range(rng.randint(0, 2 * qn))],
+    )
+    return graph, pattern

@@ -1,0 +1,103 @@
+"""Schedule independence: dGPM's fixpoint under adversarial asynchrony.
+
+The paper's dGPM is asynchronous ("all sites conduct these in parallel and
+asynchronously", Section 4.1); its correctness argument is that the
+falsification fixpoint does not depend on message timing.  These tests make
+that argument executable: the network releases only a random fraction of
+queued messages per round, and the answer must match the synchronous run
+and the centralized oracle for every schedule.
+"""
+
+import pytest
+
+from repro.core import DgpmConfig, run_dgpm
+from repro.graph.examples import example8_graph, figure1, figure1_fragmentation, figure2
+from repro.partition import random_partition
+from repro.runtime.network import Network
+from repro.runtime.costmodel import CostModel
+from repro.runtime.messages import Message, MessageKind
+from repro.simulation import simulation
+from tests.conftest import random_instance
+
+
+class TestScrambledNetwork:
+    def test_holds_back_messages(self):
+        net = Network(CostModel(), scramble=(1, 0.5))
+        for i in range(20):
+            net.send(Message(0, 1, MessageKind.VAR_UPDATE, i, 10))
+        delivered = sum(len(v) for v in net.deliver().values())
+        assert 0 < delivered < 20
+        assert net.has_pending
+
+    def test_everything_eventually_delivered(self):
+        net = Network(CostModel(), scramble=(2, 0.3))
+        for i in range(30):
+            net.send(Message(0, 1, MessageKind.VAR_UPDATE, i, 10))
+        got = []
+        while net.has_pending:
+            for msgs in net.deliver().values():
+                got.extend(m.payload for m in msgs)
+        assert sorted(got) == list(range(30))
+
+    def test_accounting_unaffected_by_holding(self):
+        net = Network(CostModel(), scramble=(3, 0.5))
+        for i in range(10):
+            net.send(Message(0, 1, MessageKind.VAR_UPDATE, i, 10))
+        assert net.data_bytes == 100  # counted at send time
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            Network(CostModel(), scramble=(1, 0.0))
+        with pytest.raises(ValueError):
+            Network(CostModel(), scramble=(1, 1.5))
+
+
+class TestScheduleIndependence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_example8_cascade_any_schedule(self, seed):
+        q, _, _ = figure1()
+        g = example8_graph()
+        frag = figure1_fragmentation(g)
+        oracle = simulation(q, g)
+        config = DgpmConfig(scramble=(seed, 0.4))
+        assert run_dgpm(q, frag, config).relation == oracle
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_open_chain_any_schedule(self, seed):
+        q, g, frag = figure2(12, close_cycle=False)
+        oracle = simulation(q, g)
+        config = DgpmConfig(scramble=(seed, 0.3))
+        result = run_dgpm(q, frag, config)
+        assert result.relation == oracle
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_instances_random_schedules(self, seed):
+        graph, pattern = random_instance(seed)
+        if graph.n_nodes < 3:
+            return
+        frag = random_partition(graph, 3, seed=seed)
+        oracle = simulation(pattern, graph)
+        for schedule_seed in (0, 1):
+            config = DgpmConfig(scramble=(schedule_seed, 0.4))
+            assert run_dgpm(pattern, frag, config).relation == oracle
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_push_safe_under_scrambling(self, seed):
+        # the push rewire race is exactly what scrambling provokes
+        q, g, frag = figure2(16, close_cycle=False)
+        oracle = simulation(q, g)
+        config = DgpmConfig(enable_push=True, push_threshold=0.0, scramble=(seed, 0.3))
+        assert run_dgpm(q, frag, config).relation == oracle
+
+    def test_ds_identical_across_schedules_without_push(self):
+        # falsification-only shipping is deterministic: every schedule
+        # ships the same set of (variable, watcher) messages
+        q, _, _ = figure1()
+        g = example8_graph()
+        frag = figure1_fragmentation(g)
+        counts = set()
+        for seed in range(5):
+            config = DgpmConfig(enable_push=False, scramble=(seed, 0.4))
+            counts.add(run_dgpm(q, frag, config).metrics.n_messages)
+        sync_count = run_dgpm(q, frag, DgpmConfig(enable_push=False)).metrics.n_messages
+        assert counts == {sync_count}

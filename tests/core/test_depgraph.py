@@ -1,0 +1,54 @@
+"""Unit tests for the local dependency graphs (Section 4.1, Example 5)."""
+
+from repro.core.depgraph import DependencyGraphs
+from repro.graph.digraph import DiGraph
+from repro.graph.examples import figure1, figure5
+from repro.partition.fragmentation import fragment_graph
+
+
+class TestWatchersAndOwners:
+    def test_watchers_are_sites_holding_the_node_virtually(self):
+        _, _, frag = figure1()
+        deps = DependencyGraphs(frag)
+        # sp1 is an in-node of S1 and virtual in S2 (edge f2 -> sp1)
+        assert deps.watcher_sites(0, "sp1") == {1}
+        # yf1 is watched by S3 (sp3 -> yf1, yb3 -> yf1)
+        assert deps.watcher_sites(0, "yf1") == {2}
+
+    def test_owner_lookup(self):
+        _, _, frag = figure1()
+        deps = DependencyGraphs(frag)
+        assert deps.owner_site(0, "f2") == 1   # f2 virtual in S1, lives in S2
+        assert deps.owner_site(0, "f4") == 2
+
+    def test_unwatched_node_has_no_watchers(self):
+        g = DiGraph({1: "A", 2: "B"}, [(1, 2)])
+        frag = fragment_graph(g, {1: 0, 2: 1})
+        deps = DependencyGraphs(frag)
+        assert deps.watcher_sites(1, 1) == set()  # node 1 has no in-edge
+
+
+class TestEdgesView:
+    def test_example5_annotations(self):
+        _, _, frag = figure1()
+        deps = DependencyGraphs(frag)
+        edges = {(src, dst): nodes for src, dst, nodes in deps.edges(2)}
+        assert edges[(0, 2)] == frozenset({"f4"})
+        assert edges[(1, 2)] == frozenset({"sp3", "yf3"})
+
+    def test_figure5_star_topology(self):
+        _, _, frag = figure5()
+        deps = DependencyGraphs(frag)
+        # yb4 (site 0) is virtual at the SP sites 3 and 4
+        assert deps.watcher_sites(0, "yb4") == {3, 4}
+        # the YF/F nodes of sites 1 and 2 are watched by site 0 only
+        assert deps.watcher_sites(1, "yf4") == {0}
+        assert deps.watcher_sites(2, "f7") == {0}
+
+    def test_edges_cover_every_virtual_relationship(self):
+        _, _, frag = figure1()
+        deps = DependencyGraphs(frag)
+        for fragment in frag:
+            for v in fragment.virtual_nodes:
+                owner = fragment.owner_of_virtual(v)
+                assert fragment.fid in deps.watcher_sites(owner, v)

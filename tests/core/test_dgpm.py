@@ -1,0 +1,158 @@
+"""Tests for algorithm dGPM (Theorem 2)."""
+
+import pytest
+
+from repro.core import DgpmConfig, run_dgpm
+from repro.graph.digraph import DiGraph
+from repro.graph.examples import example8_graph, figure1, figure1_fragmentation
+from repro.graph.generators import random_labeled_graph, web_graph
+from repro.graph.pattern import Pattern
+from repro.partition import balanced_bfs_partition, random_partition
+from repro.runtime.messages import MessageKind
+from repro.simulation import simulation
+from tests.conftest import random_instance
+
+ALL_CONFIGS = [
+    DgpmConfig(),
+    DgpmConfig(incremental=False),
+    DgpmConfig(enable_push=False),
+    DgpmConfig().without_optimizations(),
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=["full", "no-incr", "no-push", "nopt"])
+    def test_figure1(self, config):
+        q, g, frag = figure1()
+        result = run_dgpm(q, frag, config)
+        assert result.relation == simulation(q, g)
+        assert result.is_match
+
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=["full", "no-incr", "no-push", "nopt"])
+    def test_example8_no_match(self, config):
+        q, _, _ = figure1()
+        g = example8_graph()
+        frag = figure1_fragmentation(g)
+        result = run_dgpm(q, frag, config)
+        assert not result.is_match
+        assert result.relation == simulation(q, g)
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_instances_match_oracle(self, seed):
+        graph, pattern = random_instance(seed)
+        n_frag = 2 + seed % 4
+        if graph.n_nodes < n_frag:
+            return
+        frag = random_partition(graph, n_frag, seed=seed)
+        result = run_dgpm(pattern, frag)
+        assert result.relation == simulation(pattern, graph)
+
+    @pytest.mark.parametrize("seed", range(40, 60))
+    def test_all_configs_agree(self, seed):
+        graph, pattern = random_instance(seed)
+        if graph.n_nodes < 3:
+            return
+        frag = random_partition(graph, 3, seed=seed)
+        results = [run_dgpm(pattern, frag, c).relation for c in ALL_CONFIGS]
+        assert all(r == results[0] for r in results)
+
+    def test_single_fragment_degenerates_to_central(self):
+        graph, pattern = random_instance(7)
+        frag = random_partition(graph, 1, seed=0)
+        result = run_dgpm(pattern, frag)
+        assert result.relation == simulation(pattern, graph)
+        assert result.metrics.n_messages == 0
+
+    def test_boolean_only_mode(self):
+        q, g, frag = figure1()
+        result = run_dgpm(q, frag, DgpmConfig(boolean_only=True))
+        assert result.is_match == simulation(q, g).is_match
+
+
+class TestDataShipmentBound:
+    """Theorem 2: DS is O(|Ef| |Vq|) -- by construction, but verify hard."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_var_messages_within_budget(self, seed):
+        graph = random_labeled_graph(60, 240, n_labels=3, seed=seed)
+        frag = random_partition(graph, 4, seed=seed)
+        _, pattern = random_instance(seed)
+        result = run_dgpm(pattern, frag, DgpmConfig(enable_push=False))
+        budget = frag.n_crossing_edges * pattern.n_nodes
+        assert result.metrics.n_messages <= budget
+
+    def test_each_variable_shipped_at_most_once_per_watcher(self):
+        graph = random_labeled_graph(80, 400, n_labels=2, seed=3)
+        frag = random_partition(graph, 5, seed=3)
+        pattern = Pattern({"a": "L0", "b": "L1"}, [("a", "b"), ("b", "a")])
+        result = run_dgpm(pattern, frag, DgpmConfig(enable_push=False))
+        # messages are (var, watcher) pairs; uniqueness => count bounded by
+        # sum over in-nodes of watcher counts
+        assert result.metrics.n_messages <= sum(
+            len(w) for i in range(frag.n_fragments)
+            for w in [frag[i].in_nodes]
+        ) * pattern.n_nodes * frag.n_fragments
+
+    def test_ds_breakdown_separates_result_collection(self):
+        q, _, frag = figure1()
+        result = run_dgpm(q, frag)
+        breakdown = result.metrics.ds_breakdown
+        assert MessageKind.RESULT.value in breakdown
+        assert MessageKind.QUERY.value in breakdown
+        # headline DS excludes query broadcast and result collection
+        data = sum(
+            v for k, v in breakdown.items()
+            if k not in ("query", "control", "result")
+        )
+        assert result.metrics.ds_bytes == data
+
+
+class TestTermination:
+    def test_monotone_rounds_bound(self):
+        # each communication round falsifies >= 1 boundary variable, so
+        # rounds <= |Vf| * |Vq| + constant
+        graph = random_labeled_graph(50, 200, n_labels=2, seed=5)
+        frag = random_partition(graph, 5, seed=5)
+        pattern = Pattern({"a": "L0", "b": "L1"}, [("a", "b"), ("b", "a")])
+        result = run_dgpm(pattern, frag, DgpmConfig(enable_push=False))
+        assert result.metrics.n_rounds <= frag.n_virtual_nodes * pattern.n_nodes + 3
+
+
+class TestOptimizations:
+    def test_push_reduces_rounds_on_chain(self):
+        from repro.graph.examples import figure2
+
+        q, g, frag = figure2(24, close_cycle=False)
+        with_push = run_dgpm(q, frag, DgpmConfig(enable_push=True))
+        without = run_dgpm(q, frag, DgpmConfig(enable_push=False))
+        assert with_push.relation == without.relation
+        assert with_push.metrics.n_rounds < without.metrics.n_rounds
+        assert with_push.metrics.extras["pushes"] > 0
+
+    def test_push_threshold_gates_pushing(self):
+        q, _, frag = figure1()
+        never = run_dgpm(q, frag, DgpmConfig(push_threshold=float("inf")))
+        assert never.metrics.extras["pushes"] == 0
+
+    def test_incremental_and_scratch_ship_same_updates(self):
+        graph = random_labeled_graph(60, 240, n_labels=2, seed=9)
+        frag = random_partition(graph, 4, seed=9)
+        pattern = Pattern({"a": "L0", "b": "L1"}, [("a", "b"), ("b", "a")])
+        inc = run_dgpm(pattern, frag, DgpmConfig(enable_push=False))
+        nopt = run_dgpm(pattern, frag, DgpmConfig().without_optimizations())
+        assert inc.metrics.n_messages == nopt.metrics.n_messages
+
+
+class TestMetrics:
+    def test_pt_positive_and_rounds_counted(self):
+        q, _, frag = figure1()
+        result = run_dgpm(q, frag)
+        assert result.metrics.pt_seconds > 0
+        assert result.metrics.wall_seconds > 0
+        assert result.metrics.n_rounds >= 1
+        assert result.metrics.algorithm == "dGPM"
+
+    def test_nopt_label(self):
+        q, _, frag = figure1()
+        result = run_dgpm(q, frag, DgpmConfig().without_optimizations())
+        assert result.metrics.algorithm == "dGPMNOpt"

@@ -1,0 +1,100 @@
+"""Tests for algorithm dGPMd (Theorem 3, DAG rank scheduling)."""
+
+import pytest
+
+from repro.core import DgpmConfig, run_dgpm, run_dgpmd
+from repro.errors import PatternError
+from repro.graph.digraph import DiGraph
+from repro.graph.examples import figure5
+from repro.graph.generators import citation_dag
+from repro.graph.pattern import Pattern
+from repro.partition import random_partition
+from repro.bench.workloads import dag_pattern
+from repro.simulation import simulation
+from tests.conftest import random_instance
+
+
+class TestCorrectness:
+    def test_figure5_no_match(self):
+        q, g, frag = figure5()
+        result = run_dgpmd(q, frag)
+        assert not result.is_match
+        assert result.relation == simulation(q, g)
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_dag_queries_match_oracle(self, seed):
+        graph, pattern = random_instance(seed)
+        if not pattern.is_dag() or graph.n_nodes < 3:
+            return
+        frag = random_partition(graph, 3, seed=seed)
+        result = run_dgpmd(pattern, frag)
+        assert result.relation == simulation(pattern, graph)
+
+    def test_agrees_with_dgpm_on_citation_workload(self):
+        graph = citation_dag(400, 900, seed=1)
+        frag = random_partition(graph, 4, seed=1)
+        for d in (2, 3, 4):
+            q = dag_pattern(graph, d, 6, 8, seed=d)
+            a = run_dgpmd(q, frag)
+            b = run_dgpm(q, frag)
+            assert a.relation == b.relation == simulation(q, graph)
+
+    def test_cyclic_query_on_dag_graph_short_circuits(self):
+        graph = citation_dag(100, 250, seed=2)
+        frag = random_partition(graph, 3, seed=2)
+        q = Pattern({"a": "venue0", "b": "venue1"}, [("a", "b"), ("b", "a")])
+        result = run_dgpmd(q, frag)
+        assert not result.is_match
+        assert result.metrics.n_messages == 0
+        assert result.metrics.extras.get("short_circuit") == 1.0
+
+    def test_cyclic_query_on_cyclic_graph_rejected(self):
+        g = DiGraph({1: "A", 2: "B"}, [(1, 2), (2, 1)])
+        frag = random_partition(g, 2, seed=0)
+        q = Pattern({"a": "A", "b": "B"}, [("a", "b"), ("b", "a")])
+        with pytest.raises(PatternError):
+            run_dgpmd(q, frag)
+
+
+class TestScheduling:
+    def test_figure5_message_count_is_paper_exact(self):
+        q, _, frag = figure5()
+        result = run_dgpmd(q, frag)
+        assert result.metrics.n_messages == 6  # Example 10
+
+    def test_dgpm_ships_more_messages_on_figure5(self):
+        q, _, frag = figure5()
+        unbatched = run_dgpm(q, frag, DgpmConfig(enable_push=False))
+        batched = run_dgpmd(q, frag)
+        assert unbatched.metrics.n_messages == 12  # Example 9
+        assert batched.metrics.n_messages < unbatched.metrics.n_messages
+
+    def test_rounds_bounded_by_rank_height(self):
+        graph = citation_dag(500, 1200, seed=3)
+        frag = random_partition(graph, 5, seed=3)
+        for d in (2, 4, 6):
+            q = dag_pattern(graph, d, 7, 9, seed=d)
+            result = run_dgpmd(q, frag)
+            height = max(q.topological_ranks().values())
+            # height+1 evaluation rounds, +1 for the trailing empty round
+            assert result.metrics.n_rounds <= height + 2
+
+    def test_messages_batched_per_site_pair_per_rank(self):
+        graph = citation_dag(500, 1200, seed=4)
+        frag = random_partition(graph, 4, seed=4)
+        q = dag_pattern(graph, 3, 6, 8, seed=1)
+        result = run_dgpmd(q, frag)
+        height = max(q.topological_ranks().values())
+        n = frag.n_fragments
+        assert result.metrics.n_messages <= (height + 1) * n * (n - 1)
+
+
+class TestDataShipment:
+    def test_ds_within_theorem3_budget(self):
+        graph = citation_dag(400, 1000, seed=5)
+        frag = random_partition(graph, 4, seed=5)
+        q = dag_pattern(graph, 4, 9, 13, seed=2)
+        result = run_dgpmd(q, frag)
+        # O(|Ef| |Vq|) variable entries; compare against entry budget
+        entries = frag.n_crossing_edges * q.n_nodes
+        assert result.metrics.ds_bytes <= entries * 12 + result.metrics.n_messages * 24

@@ -1,0 +1,92 @@
+"""Tests for algorithm dGPMt (Corollary 4, trees)."""
+
+import pytest
+
+from repro.core import run_dgpm, run_dgpmt
+from repro.errors import FragmentationError, GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_tree
+from repro.graph.pattern import Pattern
+from repro.partition import fragment_graph, random_partition, tree_partition
+from repro.bench.workloads import tree_pattern
+from repro.simulation import simulation
+
+
+class TestPreconditions:
+    def test_non_tree_rejected(self):
+        g = DiGraph({1: "A", 2: "B"}, [(1, 2), (2, 1)])
+        frag = random_partition(g, 2, seed=0)
+        q = Pattern({"a": "A"})
+        with pytest.raises(GraphError):
+            run_dgpmt(q, frag)
+
+    def test_disconnected_fragments_rejected(self):
+        tree = random_tree(20, seed=1)
+        # deliberately scatter nodes so fragments are not subtrees
+        frag = random_partition(tree, 4, seed=1)
+        q = Pattern({"a": "L0"})
+        if not frag.has_connected_fragments():
+            with pytest.raises(FragmentationError):
+                run_dgpmt(q, frag)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_oracle_on_random_trees(self, seed):
+        tree = random_tree(30 + seed, n_labels=4, seed=seed)
+        frag = tree_partition(tree, 2 + seed % 5, seed=seed)
+        q = tree_pattern(tree, 3, seed=seed)
+        result = run_dgpmt(q, frag)
+        assert result.relation == simulation(q, tree)
+
+    def test_agrees_with_dgpm(self):
+        tree = random_tree(150, n_labels=5, seed=7)
+        frag = tree_partition(tree, 6, seed=7)
+        q = tree_pattern(tree, 4, seed=7)
+        assert run_dgpmt(q, frag).relation == run_dgpm(q, frag).relation
+
+    def test_cyclic_query_never_matches_tree(self):
+        tree = random_tree(40, n_labels=2, seed=3)
+        frag = tree_partition(tree, 3, seed=3)
+        q = Pattern({"a": "L0", "b": "L1"}, [("a", "b"), ("b", "a")])
+        result = run_dgpmt(q, frag)
+        assert not result.is_match
+
+    def test_single_fragment_tree(self):
+        tree = random_tree(25, n_labels=3, seed=4)
+        frag = tree_partition(tree, 1, seed=4)
+        q = tree_pattern(tree, 2, seed=4)
+        assert run_dgpmt(q, frag).relation == simulation(q, tree)
+
+
+class TestTwoRoundProtocol:
+    def test_exactly_two_communication_trips(self):
+        tree = random_tree(200, n_labels=4, seed=9)
+        frag = tree_partition(tree, 8, seed=9)
+        q = tree_pattern(tree, 3, seed=9)
+        result = run_dgpmt(q, frag)
+        # round 1: vectors to coordinator; round 2: values back; round 3 idle
+        assert result.metrics.n_rounds <= 3
+
+    def test_ds_scales_with_fragments_not_graph(self):
+        q_label_seed = 11
+        sizes = [200, 400, 800]
+        shipments = []
+        for n in sizes:
+            tree = random_tree(n, n_labels=3, seed=q_label_seed)
+            frag = tree_partition(tree, 6, seed=q_label_seed)
+            q = tree_pattern(tree, 3, seed=q_label_seed)
+            result = run_dgpmt(q, frag)
+            shipments.append(result.metrics.ds_bytes)
+        # |F| fixed at 6: shipment must not grow linearly with |G|
+        assert max(shipments) <= 3 * min(shipments)
+
+    def test_one_equation_vector_per_fragment(self):
+        tree = random_tree(100, n_labels=3, seed=13)
+        frag = tree_partition(tree, 5, seed=13)
+        q = tree_pattern(tree, 3, seed=13)
+        result = run_dgpmt(q, frag)
+        breakdown = result.metrics.ds_breakdown
+        # equations up, values down: messages = 2 * |F|
+        assert result.metrics.n_messages <= 2 * frag.n_fragments
+        assert "equation" in breakdown

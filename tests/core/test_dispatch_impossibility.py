@@ -1,0 +1,72 @@
+"""Tests for algorithm dispatch and the Theorem-1 audit machinery."""
+
+import pytest
+
+from repro.core import run_auto
+from repro.core.dispatch import choose_algorithm
+from repro.core.impossibility import (
+    audit_data_shipment,
+    audit_parallel_time,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import citation_dag, random_labeled_graph, random_tree
+from repro.graph.pattern import Pattern
+from repro.partition import random_partition, tree_partition
+from repro.bench.workloads import tree_pattern
+from repro.simulation import simulation
+
+
+class TestDispatch:
+    def test_tree_instance_uses_dgpmt(self):
+        tree = random_tree(50, seed=1)
+        frag = tree_partition(tree, 4, seed=1)
+        q = tree_pattern(tree, 2, seed=1)
+        assert choose_algorithm(q, frag) == "dGPMt"
+        result = run_auto(q, frag)
+        assert result.metrics.algorithm == "dGPMt"
+        assert result.relation == simulation(q, tree)
+
+    def test_dag_instance_uses_dgpmd(self):
+        graph = citation_dag(150, 400, seed=2)
+        frag = random_partition(graph, 3, seed=2)
+        q = Pattern({"a": "venue0", "b": "venue1"}, [("a", "b")])
+        assert choose_algorithm(q, frag) == "dGPMd"
+        result = run_auto(q, frag)
+        assert result.relation == simulation(q, graph)
+
+    def test_general_instance_uses_dgpm(self):
+        graph = random_labeled_graph(60, 300, n_labels=3, seed=3)
+        frag = random_partition(graph, 3, seed=3)
+        q = Pattern({"a": "L0", "b": "L1"}, [("a", "b"), ("b", "a")])
+        # random graph of that density is cyclic with overwhelming probability
+        assert choose_algorithm(q, frag) == "dGPM"
+        result = run_auto(q, frag)
+        assert result.relation == simulation(q, graph)
+
+    def test_dag_query_on_cyclic_graph_uses_dgpmd(self):
+        g = DiGraph({1: "A", 2: "B"}, [(1, 2), (2, 1)])
+        frag = random_partition(g, 2, seed=0)
+        q = Pattern({"a": "A", "b": "B"}, [("a", "b")])
+        assert choose_algorithm(q, frag) == "dGPMd"
+        assert run_auto(q, frag).relation == simulation(q, g)
+
+
+class TestImpossibilityAudit:
+    def test_rounds_grow_with_n_at_constant_fm(self):
+        points = audit_parallel_time([4, 8, 16, 32])
+        assert all(p.correct for p in points)
+        fm_sizes = {p.fm_size for p in points}
+        assert len(fm_sizes) == 1  # |Fm| constant across the family
+        rounds = [p.rounds for p in points]
+        assert rounds == sorted(rounds)
+        assert rounds[-1] >= rounds[0] + 8  # genuine growth, not noise
+
+    def test_ds_grows_with_n_at_two_fragments(self):
+        points = audit_data_shipment([8, 16, 32, 64])
+        assert all(p.correct for p in points)
+        assert all(p.n_fragments == 2 for p in points)
+        assert points[-1].ds_bytes > 2 * points[0].ds_bytes
+
+    def test_closed_cycle_family_also_correct(self):
+        points = audit_parallel_time([4, 8], close_cycle=True)
+        assert all(p.correct for p in points)

@@ -1,0 +1,143 @@
+"""Tests for the incremental maintenance session (Section 4.2 / [13])."""
+
+import random
+
+import pytest
+
+from repro.core import DgpmConfig
+from repro.core.incremental import IncrementalDgpmSession
+from repro.errors import GraphError, ReproError
+from repro.graph.digraph import DiGraph
+from repro.graph.examples import figure1
+from repro.graph.generators import random_labeled_graph
+from repro.graph.pattern import Pattern
+from repro.partition import random_partition
+from repro.simulation import simulation
+
+
+class TestDeletion:
+    def test_example8_deletion_matches_oracle(self):
+        q, g, frag = figure1()
+        session = IncrementalDgpmSession(q, frag)
+        assert session.relation() == simulation(q, g)
+        update = session.delete_edge("f2", "sp1")
+        g.remove_edge("f2", "sp1")
+        assert session.relation() == simulation(q, g)
+        assert not session.relation().is_match
+        assert update.kind == "delete"
+        assert update.n_messages > 0  # the cascade crosses sites
+
+    def test_caller_objects_never_mutated(self):
+        q, g, frag = figure1()
+        session = IncrementalDgpmSession(q, frag)
+        session.delete_edge("f2", "sp1")
+        assert g.has_edge("f2", "sp1")            # caller's graph intact
+        assert frag.graph.has_edge("f2", "sp1")   # caller's fragmentation intact
+
+    def test_irrelevant_deletion_ships_nothing(self):
+        q, g, frag = figure1()
+        session = IncrementalDgpmSession(q, frag)
+        # (yb1, f1) feeds no surviving match: yb1/f1 were falsified already
+        update = session.delete_edge("yb1", "f1")
+        assert update.n_messages == 0
+        assert update.ds_bytes == 0
+        g.remove_edge("yb1", "f1")
+        assert session.relation() == simulation(q, g)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_deletion_sequences(self, seed):
+        rng = random.Random(seed)
+        graph = random_labeled_graph(30, 120, n_labels=3, seed=seed)
+        frag = random_partition(graph, 3, seed=seed)
+        q = Pattern({"a": "L0", "b": "L1"}, [("a", "b"), ("b", "a")])
+        session = IncrementalDgpmSession(q, frag)
+        edges = list(graph.edges())
+        rng.shuffle(edges)
+        for u, v in edges[:12]:
+            session.delete_edge(u, v)
+            graph.remove_edge(u, v)
+            assert session.relation() == simulation(q, graph), (seed, u, v)
+
+    def test_missing_edge_rejected(self):
+        q, _, frag = figure1()
+        session = IncrementalDgpmSession(q, frag)
+        with pytest.raises(GraphError):
+            session.delete_edge("yb1", "sp3")
+
+    def test_metrics_fields(self):
+        q, _, frag = figure1()
+        session = IncrementalDgpmSession(q, frag)
+        update = session.delete_edge("f2", "sp1")
+        assert update.wall_seconds > 0
+        assert update.n_rounds >= 1
+        assert update.falsified_local >= 1
+
+
+class TestInsertion:
+    def test_insert_revives_matches(self):
+        q, g, frag = figure1()
+        session = IncrementalDgpmSession(q, frag)
+        session.delete_edge("f2", "sp1")
+        assert not session.relation().is_match
+        update = session.insert_edge("f2", "sp1")
+        assert update.kind == "insert(recompute)"
+        assert session.relation() == simulation(q, g)
+        assert session.relation().is_match
+
+    def test_insert_new_edge_matches_oracle(self):
+        graph = random_labeled_graph(25, 60, n_labels=3, seed=4)
+        frag = random_partition(graph, 3, seed=4)
+        q = Pattern({"a": "L0", "b": "L1"}, [("a", "b")])
+        session = IncrementalDgpmSession(q, frag)
+        candidates = [
+            (u, v)
+            for u in graph.nodes()
+            for v in graph.nodes()
+            if u != v and not graph.has_edge(u, v)
+        ]
+        u, v = sorted(candidates)[0]
+        session.insert_edge(u, v)
+        graph.add_edge(u, v)
+        assert session.relation() == simulation(q, graph)
+
+    def test_duplicate_insert_rejected(self):
+        q, g, frag = figure1()
+        session = IncrementalDgpmSession(q, frag)
+        with pytest.raises(GraphError):
+            session.insert_edge("f2", "sp1")
+
+    def test_unknown_endpoint_rejected(self):
+        q, _, frag = figure1()
+        session = IncrementalDgpmSession(q, frag)
+        with pytest.raises(GraphError):
+            session.insert_edge("f2", "nope")
+
+
+class TestMixedWorkload:
+    def test_interleaved_updates(self):
+        rng = random.Random(9)
+        graph = random_labeled_graph(24, 90, n_labels=2, seed=9)
+        frag = random_partition(graph, 3, seed=9)
+        q = Pattern({"a": "L0", "b": "L1"}, [("a", "b"), ("b", "a")])
+        session = IncrementalDgpmSession(q, frag)
+        for step in range(10):
+            if rng.random() < 0.7 and graph.n_edges:
+                u, v = sorted(graph.edges())[rng.randrange(graph.n_edges)]
+                session.delete_edge(u, v)
+                graph.remove_edge(u, v)
+            else:
+                free = [
+                    (a, b) for a in graph.nodes() for b in graph.nodes()
+                    if a != b and not graph.has_edge(a, b)
+                ]
+                if not free:
+                    continue
+                u, v = sorted(free)[rng.randrange(len(free))]
+                session.insert_edge(u, v)
+                graph.add_edge(u, v)
+            assert session.relation() == simulation(q, graph), step
+
+    def test_nonincremental_config_rejected(self):
+        q, _, frag = figure1()
+        with pytest.raises(ReproError):
+            IncrementalDgpmSession(q, frag, DgpmConfig(incremental=False))

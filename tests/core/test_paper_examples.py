@@ -1,0 +1,139 @@
+"""End-to-end pinning of every numbered example in the paper (Sections 4-5).
+
+Each test cites the example it reproduces.  These are the strongest fidelity
+anchors of the reproduction: exact equations, exact message counts, exact
+match sets.
+"""
+
+from repro.boolean.expr import Var
+from repro.core import DgpmConfig, run_dgpm, run_dgpmd
+from repro.core.depgraph import DependencyGraphs
+from repro.core.state import LocalEvalState
+from repro.graph.examples import (
+    FIGURE1_EXPECTED_MATCHES,
+    example8_graph,
+    figure1,
+    figure1_fragmentation,
+    figure5,
+)
+from repro.simulation import simulation
+
+
+class TestExample2:
+    """The unique maximum match of Figure 1."""
+
+    def test_match_sets(self):
+        q, g, frag = figure1()
+        result = run_dgpm(q, frag)
+        assert result.relation.as_dict() == FIGURE1_EXPECTED_MATCHES
+
+
+class TestExample5:
+    """Local dependency graph of site S3."""
+
+    def test_dependency_edges_into_s3(self):
+        _, _, frag = figure1()
+        deps = DependencyGraphs(frag)
+        edges = {(src, dst): nodes for src, dst, nodes in deps.edges(2)}
+        # (S1, S3) annotated with f4: S1 holds f4 as virtual, S3 owns it
+        assert edges[(0, 2)] == frozenset({"f4"})
+        # (S2, S3) annotated with {sp3, yf3}
+        assert edges[(1, 2)] == frozenset({"sp3", "yf3"})
+
+
+class TestExample6:
+    """The in-node Boolean equations after the first partial evaluation."""
+
+    def test_f1_equations(self):
+        q, _, frag = figure1()
+        state = LocalEvalState(frag[0], q)
+        state.run_initial()
+        eqs = state.in_node_equations()
+        assert eqs[("YF", "yf1")] == Var(("F", "f2"))
+        assert eqs[("SP", "sp1")] == Var(("YF", "yf2")) | Var(("F", "f2"))
+
+    def test_f2_equations(self):
+        q, _, frag = figure1()
+        state = LocalEvalState(frag[1], q)
+        state.run_initial()
+        eqs = state.in_node_equations()
+        assert eqs[("F", "f2")] == Var(("SP", "sp1"))
+        assert eqs[("YF", "yf2")] == Var(("YF", "yf3"))
+
+    def test_f3_equations(self):
+        q, _, frag = figure1()
+        state = LocalEvalState(frag[2], q)
+        state.run_initial()
+        eqs = state.in_node_equations()
+        assert eqs[("F", "f4")] == Var(("YF", "yf1"))
+        assert eqs[("SP", "sp3")] == Var(("YF", "yf1"))
+        assert eqs[("YF", "yf3")] == Var(("YF", "yf1"))
+
+    def test_yb2_reduces_to_yf3_only(self):
+        # "Although X(YB,yb2) = X(YF,yf2) AND X(F,f3), lEval finds that
+        #  X(YB,yb2) can be defined by using X(YF,yf3) only."
+        q, _, frag = figure1()
+        state = LocalEvalState(frag[1], q)
+        state.run_initial()
+        system = state.equation_system()
+        reduced = system.reduced_system(keep=[("YB", "yb2")]).as_dict()
+        assert reduced[("YB", "yb2")] == Var(("YF", "yf3"))
+
+    def test_unreduced_yb2_uses_yf2_and_f3(self):
+        q, _, frag = figure1()
+        state = LocalEvalState(frag[1], q)
+        state.run_initial()
+        raw = state.equation_system().equation(("YB", "yb2"))
+        assert raw == (Var(("YF", "yf2")) & Var(("F", "f3")))
+
+
+class TestExample7:
+    """Phase 2 converges with no falsifications: everything stays true."""
+
+    def test_no_var_updates_needed(self):
+        q, _, frag = figure1()
+        result = run_dgpm(q, frag, DgpmConfig(enable_push=False))
+        assert result.metrics.n_messages == 0
+        assert result.relation.as_dict() == FIGURE1_EXPECTED_MATCHES
+
+
+class TestExample8:
+    """Removing (f2, sp1): X(F,f2) goes false at S2 and cascades."""
+
+    def test_falsification_starts_at_s2(self):
+        q, _, _ = figure1()
+        g = example8_graph()
+        frag = figure1_fragmentation(g)
+        state = LocalEvalState(frag[1], q)
+        falsified = state.run_initial()
+        assert ("F", "f2") in falsified
+
+    def test_cascade_empties_the_match(self):
+        q, _, _ = figure1()
+        g = example8_graph()
+        frag = figure1_fragmentation(g)
+        result = run_dgpm(q, frag)
+        assert not result.is_match
+        assert result.relation == simulation(q, g)
+
+
+class TestExamples9And10:
+    """Figure 5 message counts: 12 for dGPM, 6 for dGPMd."""
+
+    def test_dgpm_sends_12(self):
+        q, _, frag = figure5()
+        result = run_dgpm(q, frag, DgpmConfig(enable_push=False))
+        assert result.metrics.n_messages == 12
+
+    def test_dgpmd_sends_6(self):
+        q, _, frag = figure5()
+        result = run_dgpmd(q, frag)
+        assert result.metrics.n_messages == 6
+
+    def test_rank_zero_ships_nothing(self):
+        # "As no variable is associated with FB (r = 0), no data shipment
+        # is incurred" -- the first batch leaves at rank 1.
+        q, _, frag = figure5()
+        result = run_dgpmd(q, frag)
+        # 6 messages over ranks 1..3 and none at rank 0 or 4:
+        assert result.metrics.n_rounds <= 5

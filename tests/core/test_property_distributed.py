@@ -1,0 +1,108 @@
+"""Property-based tests: distributed == centralized, for arbitrary instances.
+
+The central claim of any distributed-evaluation paper: the partitioning of
+the data must never change the answer.  Hypothesis generates graphs,
+patterns and *partitions* together; every algorithm's result is compared to
+the centralized HHK oracle.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import run_dishhk, run_dmes, run_match
+from repro.core import DgpmConfig, run_dgpm, run_dgpmd
+from repro.graph.digraph import DiGraph
+from repro.graph.pattern import Pattern
+from repro.partition.fragmentation import fragment_graph
+from repro.simulation import simulation
+
+LABELS = "AB"
+
+
+@st.composite
+def distributed_instances(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    labels = draw(st.lists(st.sampled_from(LABELS), min_size=n, max_size=n))
+    graph = DiGraph({i: labels[i] for i in range(n)})
+    for _ in range(draw(st.integers(min_value=0, max_value=3 * n))):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            graph.add_edge(u, v)
+
+    n_frag = draw(st.integers(min_value=1, max_value=min(4, n)))
+    assignment = {}
+    for i in range(n):
+        assignment[i] = i % n_frag if i < n_frag else draw(
+            st.integers(min_value=0, max_value=n_frag - 1)
+        )
+    fragmentation = fragment_graph(graph, assignment)
+
+    qn = draw(st.integers(min_value=1, max_value=3))
+    qlabels = draw(st.lists(st.sampled_from(LABELS), min_size=qn, max_size=qn))
+    qedges = []
+    for _ in range(draw(st.integers(min_value=0, max_value=2 * qn))):
+        a = draw(st.integers(min_value=0, max_value=qn - 1))
+        b = draw(st.integers(min_value=0, max_value=qn - 1))
+        qedges.append((a, b))
+    pattern = Pattern({i: qlabels[i] for i in range(qn)}, qedges)
+    return graph, fragmentation, pattern
+
+
+@settings(max_examples=60, deadline=None)
+@given(distributed_instances())
+def test_dgpm_equals_oracle(instance):
+    graph, fragmentation, pattern = instance
+    oracle = simulation(pattern, graph)
+    assert run_dgpm(pattern, fragmentation).relation == oracle
+
+
+@settings(max_examples=40, deadline=None)
+@given(distributed_instances())
+def test_dgpm_nopt_equals_oracle(instance):
+    graph, fragmentation, pattern = instance
+    oracle = simulation(pattern, graph)
+    config = DgpmConfig().without_optimizations()
+    assert run_dgpm(pattern, fragmentation, config).relation == oracle
+
+
+@settings(max_examples=40, deadline=None)
+@given(distributed_instances())
+def test_dgpmd_equals_oracle_on_dag_queries(instance):
+    graph, fragmentation, pattern = instance
+    if not pattern.is_dag():
+        return
+    oracle = simulation(pattern, graph)
+    assert run_dgpmd(pattern, fragmentation).relation == oracle
+
+
+@settings(max_examples=30, deadline=None)
+@given(distributed_instances())
+def test_baselines_equal_oracle(instance):
+    graph, fragmentation, pattern = instance
+    oracle = simulation(pattern, graph)
+    assert run_match(pattern, fragmentation).relation == oracle
+    assert run_dishhk(pattern, fragmentation).relation == oracle
+    assert run_dmes(pattern, fragmentation).relation == oracle
+
+
+@settings(max_examples=40, deadline=None)
+@given(distributed_instances())
+def test_partition_invariance(instance):
+    """The same query on the same graph under two different partitions."""
+    graph, fragmentation, pattern = instance
+    n = graph.n_nodes
+    flipped = fragment_graph(
+        graph, {i: (0 if i % 2 == 0 else min(1, n - 1) and 1) if n > 1 else 0 for i in range(n)}
+    ) if n > 1 else fragmentation
+    a = run_dgpm(pattern, fragmentation).relation
+    b = run_dgpm(pattern, flipped).relation
+    assert a == b
+
+
+@settings(max_examples=40, deadline=None)
+@given(distributed_instances())
+def test_ds_budget_holds(instance):
+    """Theorem 2's DS budget O(|Ef| |Vq|), on arbitrary instances."""
+    graph, fragmentation, pattern = instance
+    result = run_dgpm(pattern, fragmentation, DgpmConfig(enable_push=False))
+    assert result.metrics.n_messages <= fragmentation.n_crossing_edges * pattern.n_nodes

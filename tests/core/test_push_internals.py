@@ -1,0 +1,111 @@
+"""Unit tests for the push operation's internals (Section 4.2)."""
+
+import pytest
+
+from repro.boolean.expr import FALSE, Var, conj, disj
+from repro.core.config import DgpmConfig
+from repro.core.depgraph import DependencyGraphs
+from repro.core.dgpm import DgpmSiteProgram, _PushState, run_dgpm
+from repro.graph.digraph import DiGraph
+from repro.graph.examples import figure1, figure2
+from repro.graph.pattern import Pattern
+from repro.partition.fragmentation import fragment_graph
+from repro.runtime.messages import MessageKind
+from repro.simulation import simulation
+
+
+class TestPushState:
+    def test_pending_equation_waits(self):
+        ps = _PushState()
+        assert ps.add(("u", "v"), Var(("a", "x")) | Var(("b", "y"))) is None
+        assert ps.on_leaf_false(("a", "x")) == []  # OR survives one leaf
+        assert ps.on_leaf_false(("b", "y")) == [("u", "v")]
+
+    def test_conjunction_falsifies_on_first_leaf(self):
+        ps = _PushState()
+        ps.add(("u", "v"), Var(("a", "x")) & Var(("b", "y")))
+        assert ps.on_leaf_false(("a", "x")) == [("u", "v")]
+
+    def test_known_false_applied_at_registration(self):
+        ps = _PushState()
+        ps.on_leaf_false(("a", "x"))
+        # a conjunction over an already-false leaf is dead on arrival
+        assert ps.add(("u", "v"), Var(("a", "x")) & Var(("b", "y"))) == ("u", "v")
+
+    def test_leaf_false_is_idempotent(self):
+        ps = _PushState()
+        ps.add(("u", "v"), Var(("a", "x")))
+        assert ps.on_leaf_false(("a", "x")) == [("u", "v")]
+        assert ps.on_leaf_false(("a", "x")) == []
+
+    def test_unrelated_leaf_ignored(self):
+        ps = _PushState()
+        ps.add(("u", "v"), Var(("a", "x")))
+        assert ps.on_leaf_false(("z", "z")) == []
+
+
+class TestBenefitFunction:
+    def _program(self, theta=0.2):
+        q, _, frag = figure1()
+        deps = DependencyGraphs(frag)
+        return DgpmSiteProgram(0, frag, q, deps, DgpmConfig(push_threshold=theta))
+
+    def test_benefit_zero_when_nothing_unresolved(self):
+        program = self._program()
+        program.state.run_initial()
+        equations = {("YF", "yf1"): FALSE.substitute({})}
+        # all-constant equations -> no unresolved in-nodes -> benefit 0
+        assert program._benefit({("YF", "yf1"): FALSE}) == 0.0
+
+    def test_benefit_matches_paper_formula(self):
+        program = self._program()
+        program.state.run_initial()
+        equations = program.state.in_node_equations()
+        pending = {k: e for k, e in equations.items() if not e.is_const()}
+        m = sum(e.n_terms for e in pending.values())
+        expected = len(program.state.virtual_candidates()) / (m * len(pending))
+        assert program._benefit(equations) == pytest.approx(expected)
+
+    def test_threshold_infinite_never_pushes(self):
+        program = self._program(theta=float("inf"))
+        result = program.on_start()
+        assert all(m.kind != MessageKind.EQUATION for m in result.messages)
+        assert program.pushes_triggered == 0
+
+    def test_push_happens_once(self):
+        program = self._program(theta=0.0)
+        result = program.on_start()
+        eq_msgs = [m for m in result.messages if m.kind == MessageKind.EQUATION]
+        assert eq_msgs, "theta=0 must trigger a push"
+        assert program.push_done
+        # second attempt is a no-op
+        assert program._try_push() == []
+
+
+class TestPushEndToEnd:
+    def test_chain_correct_at_every_theta(self):
+        q, g, frag = figure2(16, close_cycle=False)
+        oracle = simulation(q, g)
+        for theta in (0.0, 0.1, 0.2, 0.5, 2.0):
+            result = run_dgpm(q, frag, DgpmConfig(push_threshold=theta))
+            assert result.relation == oracle, theta
+
+    def test_rewire_forwarding_keeps_correctness(self):
+        # A graph where the pushed equations' leaves falsify *before* the
+        # rewire can land: forwarding must cover the gap.
+        g = DiGraph(
+            {i: lab for i, lab in enumerate("ABCABC")},
+            [(0, 1), (1, 2), (3, 4), (4, 5), (2, 3), (5, 0)],
+        )
+        frag = fragment_graph(g, {0: 0, 1: 1, 2: 2, 3: 0, 4: 1, 5: 2})
+        q = Pattern({"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c"), ("c", "a")])
+        oracle = simulation(q, g)
+        for theta in (0.0, 0.2):
+            assert run_dgpm(q, frag, DgpmConfig(push_threshold=theta)).relation == oracle
+
+    def test_equation_blowup_falls_back_to_values(self):
+        q, g, frag = figure2(12, close_cycle=False)
+        config = DgpmConfig(push_max_terms=0)  # force the blowup guard
+        result = run_dgpm(q, frag, config)
+        assert result.relation == simulation(q, g)
+        assert result.metrics.extras["pushes"] == 0

@@ -1,0 +1,130 @@
+"""Unit tests for the per-site partial evaluation state (lEval's engine)."""
+
+import pytest
+
+from repro.boolean.expr import TRUE, Var
+from repro.core.state import LocalEvalState
+from repro.graph.digraph import DiGraph
+from repro.graph.examples import figure1
+from repro.graph.pattern import Pattern
+from repro.partition.fragmentation import fragment_graph
+
+
+@pytest.fixture
+def two_site():
+    """A -> B crossing a site boundary; B -> C local to site 1."""
+    g = DiGraph({1: "A", 2: "B", 3: "C"}, [(1, 2), (2, 3)])
+    frag = fragment_graph(g, {1: 0, 2: 1, 3: 1})
+    q = Pattern({"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c")])
+    return g, frag, q
+
+
+class TestInitialEvaluation:
+    def test_optimistic_virtual_assumption(self, two_site):
+        _, frag, q = two_site
+        state = LocalEvalState(frag[0], q)
+        falsified = state.run_initial()
+        # node 1 keeps its candidacy because virtual node 2 is assumed true
+        assert falsified == []
+        assert state.is_candidate("a", 1)
+        assert state.is_candidate("b", 2)  # the optimistic virtual
+
+    def test_local_falsification(self):
+        g = DiGraph({1: "A", 2: "B"}, [])  # no edge: a cannot match
+        frag = fragment_graph(g, {1: 0, 2: 0})
+        q = Pattern({"a": "A", "b": "B"}, [("a", "b")])
+        state = LocalEvalState(frag[0], q)
+        falsified = state.run_initial()
+        assert ("a", 1) in falsified
+        assert not state.is_candidate("a", 1)
+
+    def test_run_initial_only_once(self, two_site):
+        _, frag, q = two_site
+        state = LocalEvalState(frag[0], q)
+        state.run_initial()
+        with pytest.raises(RuntimeError):
+            state.run_initial()
+
+    def test_label_mismatch_never_candidate(self, two_site):
+        _, frag, q = two_site
+        state = LocalEvalState(frag[0], q)
+        assert not state.is_candidate("b", 1)
+        assert not state.is_candidate("a", 2)
+
+
+class TestIncrementalFalsification:
+    def test_virtual_falsification_cascades(self, two_site):
+        _, frag, q = two_site
+        state = LocalEvalState(frag[0], q)
+        state.run_initial()
+        newly = state.falsify_virtual([("b", 2)])
+        assert ("a", 1) in newly
+        assert not state.is_candidate("a", 1)
+
+    def test_duplicate_falsification_is_noop(self, two_site):
+        _, frag, q = two_site
+        state = LocalEvalState(frag[0], q)
+        state.run_initial()
+        state.falsify_virtual([("b", 2)])
+        assert state.falsify_virtual([("b", 2)]) == []
+
+    def test_incremental_equals_from_scratch(self):
+        # falsify incrementally vs rebuilding with the same knowledge
+        g = DiGraph(
+            {1: "A", 2: "B", 3: "B", 4: "C"},
+            [(1, 2), (1, 3), (2, 4), (3, 4)],
+        )
+        frag = fragment_graph(g, {1: 0, 2: 0, 3: 1, 4: 1})
+        q = Pattern({"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c")])
+        inc = LocalEvalState(frag[0], q)
+        inc.run_initial()
+        inc.falsify_virtual([("b", 3), ("c", 4)])
+        scratch = LocalEvalState(frag[0], q, known_false_virtual=[("b", 3), ("c", 4)])
+        scratch.run_initial()
+        assert inc.local_matches() == scratch.local_matches()
+
+    def test_affected_area_only(self):
+        # an unrelated virtual falsification leaves other counters intact
+        g = DiGraph({1: "A", 2: "B", 3: "A", 4: "B"}, [(1, 2), (3, 4)])
+        frag = fragment_graph(g, {1: 0, 3: 0, 2: 1, 4: 1})
+        q = Pattern({"a": "A", "b": "B"}, [("a", "b")])
+        state = LocalEvalState(frag[0], q)
+        state.run_initial()
+        newly = state.falsify_virtual([("b", 2)])
+        assert newly == [("a", 1)]
+        assert state.is_candidate("a", 3)
+
+
+class TestViews:
+    def test_local_matches_exclude_virtuals(self, two_site):
+        _, frag, q = two_site
+        state = LocalEvalState(frag[0], q)
+        state.run_initial()
+        matches = state.local_matches()
+        assert matches["a"] == {1}
+        assert matches["b"] == set()  # 2 is virtual, not local
+
+    def test_virtual_candidates(self, two_site):
+        _, frag, q = two_site
+        state = LocalEvalState(frag[0], q)
+        state.run_initial()
+        assert state.virtual_candidates() == [("b", 2)]
+
+
+class TestSymbolicEquations:
+    def test_figure1_example6_equations(self):
+        q, _, frag = figure1()
+        state = LocalEvalState(frag[0], q)
+        state.run_initial()
+        eqs = state.in_node_equations()
+        assert eqs[("YF", "yf1")] == Var(("F", "f2"))
+        assert eqs[("SP", "sp1")] == Var(("YF", "yf2")) | Var(("F", "f2"))
+
+    def test_childless_query_node_is_true(self):
+        g = DiGraph({1: "A", 2: "A"}, [(1, 2)])
+        frag = fragment_graph(g, {1: 0, 2: 1})
+        q = Pattern({"a": "A"})
+        state = LocalEvalState(frag[0], q)
+        state.run_initial()
+        system = state.equation_system()
+        assert system.equation(("a", 1)) == TRUE

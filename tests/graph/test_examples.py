@@ -1,0 +1,128 @@
+"""The paper's running examples, pinned fact by fact.
+
+Every assertion here corresponds to a statement in the paper (Examples 2-10);
+these are the ground-truth anchors of the reproduction.
+"""
+
+from repro.graph import algorithms
+from repro.graph.examples import (
+    FIGURE1_EXPECTED_MATCHES,
+    example8_graph,
+    figure1,
+    figure1_fragmentation,
+    figure1_graph,
+    figure1_query,
+    figure2,
+    figure2_two_site,
+    figure5,
+)
+from repro.simulation import simulation
+
+
+class TestFigure1:
+    def test_example2_match_relation(self):
+        q, g, _ = figure1()
+        rel = simulation(q, g)
+        assert rel.is_match
+        assert rel.as_dict() == FIGURE1_EXPECTED_MATCHES
+
+    def test_example2_f1_not_a_match(self):
+        q, g, _ = figure1()
+        rel = simulation(q, g)
+        assert "f1" not in rel.matches_of("F")
+        assert "yb1" not in rel.matches_of("YB")
+
+    def test_example4_fragment_f1(self):
+        _, _, frag = figure1()
+        f1 = frag[0]
+        assert f1.virtual_nodes == frozenset({"f4", "f2", "yf2"})
+        assert f1.in_nodes == frozenset({"sp1", "yf1"})
+        assert set(f1.crossing_edges()) == {
+            ("f1", "f4"), ("yf1", "f2"), ("sp1", "yf2"), ("sp1", "f2"),
+        }
+
+    def test_example6_f2_f3_in_nodes(self):
+        _, _, frag = figure1()
+        assert frag[1].in_nodes == frozenset({"f2", "yf2"})
+        assert frag[2].in_nodes == frozenset({"f4", "sp3", "yf3"})
+
+    def test_fragmentation_is_valid(self):
+        _, _, frag = figure1()
+        frag.validate()
+
+    def test_query_shape(self):
+        q = figure1_query()
+        assert q.shape == (4, 5)
+        assert not q.is_dag()
+
+    def test_example8_no_match_after_edge_removal(self):
+        q = figure1_query()
+        g = example8_graph()
+        assert not g.has_edge("f2", "sp1")
+        rel = simulation(q, g)
+        assert not rel.is_match
+
+    def test_example8_fragmentation_still_valid(self):
+        frag = figure1_fragmentation(example8_graph())
+        frag.validate()
+
+
+class TestFigure2:
+    def test_closed_cycle_matches_everything(self):
+        q, g, frag = figure2(7)
+        frag.validate()
+        rel = simulation(q, g)
+        assert rel.is_match
+        assert len(rel.matches_of("A")) == 7
+        assert len(rel.matches_of("B")) == 7
+
+    def test_open_chain_matches_nothing(self):
+        q, g, _ = figure2(7, close_cycle=False)
+        rel = simulation(q, g)
+        assert not rel.is_match
+
+    def test_single_edge_fragments(self):
+        _, _, frag = figure2(5)
+        assert frag.n_fragments == 5
+        for f in frag:
+            assert f.n_local_nodes == 2
+
+    def test_constant_fragment_size_as_n_grows(self):
+        sizes = set()
+        for n in (3, 6, 12):
+            _, _, frag = figure2(n)
+            sizes.add(frag.largest_fragment.size)
+        assert len(sizes) == 1  # |Fm| constant: the Theorem-1(1) setup
+
+    def test_two_site_variant(self):
+        q, g, frag = figure2_two_site(6)
+        frag.validate()
+        assert frag.n_fragments == 2
+        labels = {g.label(v) for v in frag[0].local_nodes}
+        assert labels == {"A"}
+
+
+class TestFigure5:
+    def test_example9_ranks(self):
+        q, _, _ = figure5()
+        assert q.topological_ranks() == {
+            "FB": 0, "YB2": 1, "SP": 2, "YF": 3, "F": 3, "YB1": 4,
+        }
+
+    def test_no_match(self):
+        q, g, _ = figure5()
+        assert not simulation(q, g).is_match
+
+    def test_no_fb_labeled_data_node(self):
+        _, g, _ = figure5()
+        assert g.nodes_with_label("FB") == []
+
+    def test_five_fragments(self):
+        _, _, frag = figure5()
+        frag.validate()
+        assert frag.n_fragments == 5
+
+    def test_query_is_dag_with_diameter_4(self):
+        q, _, _ = figure5()
+        assert q.is_dag()
+        assert q.diameter() == 4

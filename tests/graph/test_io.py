@@ -1,0 +1,79 @@
+"""Unit tests for graph serialization."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_labeled_graph
+from repro.graph.io import (
+    dump_edgelist,
+    dump_json,
+    load_edgelist,
+    load_json,
+    serialized_size_bytes,
+)
+
+
+@pytest.fixture
+def sample() -> DiGraph:
+    return random_labeled_graph(60, 200, seed=5)
+
+
+class TestJson:
+    def test_round_trip(self, sample, tmp_path):
+        path = tmp_path / "g.json"
+        dump_json(sample, path)
+        assert load_json(path, int_ids=True) == sample
+
+    def test_string_ids_by_default(self, tmp_path):
+        g = DiGraph({"x": "A", "y": "B"}, [("x", "y")])
+        path = tmp_path / "g.json"
+        dump_json(g, path)
+        assert load_json(path) == g
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphError):
+            load_json(tmp_path / "absent.json")
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphError):
+            load_json(path)
+
+
+class TestEdgelist:
+    def test_round_trip(self, sample, tmp_path):
+        path = tmp_path / "g.tsv"
+        dump_edgelist(sample, path)
+        assert load_edgelist(path, int_ids=True) == sample
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphError):
+            load_edgelist(tmp_path / "absent.tsv")
+
+    def test_malformed_node_line_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("#node\tonlyid\n")
+        with pytest.raises(GraphError):
+            load_edgelist(path)
+
+    def test_malformed_edge_line_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("#node\t1\tA\n1\t2\t3\n")
+        with pytest.raises(GraphError):
+            load_edgelist(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("#node\t1\tA\n\n#node\t2\tB\n1\t2\n")
+        g = load_edgelist(path, int_ids=True)
+        assert g.n_nodes == 2
+        assert g.has_edge(1, 2)
+
+
+class TestSize:
+    def test_size_grows_with_graph(self):
+        small = random_labeled_graph(50, 100, seed=1)
+        big = random_labeled_graph(500, 1000, seed=1)
+        assert serialized_size_bytes(big) > 5 * serialized_size_bytes(small)

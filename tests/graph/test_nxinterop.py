@@ -1,0 +1,47 @@
+"""networkx interoperability tests (skipped if networkx is absent)."""
+
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_labeled_graph
+from repro.graph.nxinterop import from_networkx, to_networkx
+
+
+class TestRoundTrip:
+    def test_to_and_from(self):
+        g = random_labeled_graph(80, 240, seed=9)
+        assert from_networkx(to_networkx(g)) == g
+
+    def test_labels_travel(self):
+        nx_g = networkx.DiGraph()
+        nx_g.add_node(1, label="A")
+        nx_g.add_node(2, label="B")
+        nx_g.add_edge(1, 2)
+        g = from_networkx(nx_g)
+        assert g.label(1) == "A"
+        assert g.has_edge(1, 2)
+
+    def test_default_label_for_unlabeled_nodes(self):
+        nx_g = networkx.DiGraph()
+        nx_g.add_node(1)
+        g = from_networkx(nx_g, default_label="?")
+        assert g.label(1) == "?"
+
+    def test_undirected_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(networkx.Graph())
+
+    def test_against_networkx_algorithms(self):
+        # cross-check our Tarjan against networkx's on a random graph
+        from repro.graph import algorithms
+
+        g = random_labeled_graph(150, 600, seed=11)
+        ours = {frozenset(c) for c in algorithms.tarjan_scc(g)}
+        theirs = {
+            frozenset(c)
+            for c in networkx.strongly_connected_components(to_networkx(g))
+        }
+        assert ours == theirs

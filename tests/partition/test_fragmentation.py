@@ -1,0 +1,118 @@
+"""Unit tests for fragments and fragmentations (Section 2.2)."""
+
+import pytest
+
+from repro.errors import FragmentationError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_labeled_graph
+from repro.partition.fragmentation import fragment_graph
+from repro.runtime.costmodel import DEFAULT_COST
+
+
+@pytest.fixture
+def small_graph() -> DiGraph:
+    return DiGraph(
+        {1: "A", 2: "B", 3: "C", 4: "A", 5: "B"},
+        [(1, 2), (2, 3), (3, 4), (4, 5), (5, 1), (2, 4)],
+    )
+
+
+@pytest.fixture
+def small_frag(small_graph):
+    return fragment_graph(small_graph, {1: 0, 2: 0, 3: 1, 4: 1, 5: 1})
+
+
+class TestFragmentGraph:
+    def test_partition_of_v(self, small_frag):
+        assert small_frag[0].local_nodes == frozenset({1, 2})
+        assert small_frag[1].local_nodes == frozenset({3, 4, 5})
+
+    def test_virtual_nodes_definition(self, small_frag):
+        # F0.O: out-neighbours of {1,2} outside = {3, 4}
+        assert small_frag[0].virtual_nodes == frozenset({3, 4})
+        # F1.O: out-neighbours of {3,4,5} outside = {1}
+        assert small_frag[1].virtual_nodes == frozenset({1})
+
+    def test_in_nodes_definition(self, small_frag):
+        assert small_frag[0].in_nodes == frozenset({1})
+        assert small_frag[1].in_nodes == frozenset({3, 4})
+
+    def test_union_of_o_equals_union_of_i(self, small_frag):
+        all_o = frozenset().union(*(f.virtual_nodes for f in small_frag))
+        all_i = frozenset().union(*(f.in_nodes for f in small_frag))
+        assert all_o == all_i
+
+    def test_fragment_stores_no_virtual_out_edges(self, small_frag):
+        for frag in small_frag:
+            for v in frag.virtual_nodes:
+                assert frag.graph.successors(v) == []
+
+    def test_crossing_edges(self, small_frag):
+        # (3, 4) stays inside fragment 1, so only three edges cross
+        assert set(small_frag.crossing_edges()) == {(2, 3), (2, 4), (5, 1)}
+        assert small_frag.n_crossing_edges == 3
+
+    def test_vf_and_ratios(self, small_frag):
+        assert small_frag.virtual_nodes() == {1, 3, 4}
+        assert small_frag.n_virtual_nodes == 3
+        assert small_frag.vf_ratio == pytest.approx(3 / 5)
+        assert small_frag.ef_ratio == pytest.approx(3 / 6)
+
+    def test_owner_lookup(self, small_frag):
+        assert small_frag.owner(1) == 0
+        assert small_frag.owner(4) == 1
+        with pytest.raises(FragmentationError):
+            small_frag.owner(99)
+
+    def test_largest_fragment(self, small_frag):
+        assert small_frag.largest_fragment.fid == 1
+
+    def test_fragment_size_measure(self, small_frag):
+        f0 = small_frag[0]
+        # |V0| = 2 locals; E0 = edges out of locals = (1,2),(2,3),(2,4) = 3
+        assert f0.n_local_nodes == 2
+        assert f0.n_edges == 3
+        assert f0.size == 5
+
+    def test_owner_of_virtual(self, small_frag):
+        assert small_frag[0].owner_of_virtual(3) == 1
+        assert small_frag[1].owner_of_virtual(1) == 0
+
+    def test_serialized_bytes_positive(self, small_frag):
+        assert small_frag[0].local_serialized_bytes(DEFAULT_COST) > 0
+
+
+class TestValidation:
+    def test_valid_fragmentation_passes(self, small_frag):
+        small_frag.validate()
+
+    def test_random_fragmentations_validate(self):
+        g = random_labeled_graph(120, 500, seed=3)
+        for n in (2, 5, 9):
+            frag = fragment_graph(g, {v: v % n for v in g.nodes()})
+            frag.validate()
+
+    def test_incomplete_assignment_rejected(self, small_graph):
+        with pytest.raises(FragmentationError):
+            fragment_graph(small_graph, {1: 0, 2: 0})
+
+    def test_empty_fragment_rejected(self, small_graph):
+        with pytest.raises(FragmentationError):
+            fragment_graph(small_graph, {1: 0, 2: 0, 3: 0, 4: 0, 5: 2})
+
+    def test_foreign_node_rejected(self, small_graph):
+        assignment = {1: 0, 2: 0, 3: 1, 4: 1, 5: 1, 99: 0}
+        with pytest.raises(FragmentationError):
+            fragment_graph(small_graph, assignment)
+
+
+class TestConnectedFragments:
+    def test_connected_check_true(self):
+        g = DiGraph({1: "A", 2: "B", 3: "C", 4: "D"}, [(1, 2), (3, 4)])
+        frag = fragment_graph(g, {1: 0, 2: 0, 3: 1, 4: 1})
+        assert frag.has_connected_fragments()
+
+    def test_connected_check_false(self):
+        g = DiGraph({1: "A", 2: "B", 3: "C", 4: "D"}, [(1, 2), (3, 4)])
+        frag = fragment_graph(g, {1: 0, 3: 0, 2: 1, 4: 1})
+        assert not frag.has_connected_fragments()

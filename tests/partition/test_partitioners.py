@@ -1,0 +1,124 @@
+"""Unit tests for the partitioning strategies."""
+
+import pytest
+
+from repro.errors import FragmentationError
+from repro.graph import algorithms
+from repro.graph.generators import (
+    contiguous_block_assignment,
+    random_labeled_graph,
+    random_tree,
+    web_graph,
+)
+from repro.partition import (
+    balanced_bfs_partition,
+    fragment_graph,
+    hash_partition,
+    random_partition,
+    refine_to_vf_ratio,
+    tree_partition,
+)
+from repro.partition.metrics import partition_stats
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return web_graph(1500, 7000, seed=4)
+
+
+class TestBasicPartitioners:
+    @pytest.mark.parametrize("fn", [hash_partition, random_partition, balanced_bfs_partition])
+    def test_valid_and_covering(self, fn, graph):
+        frag = fn(graph, 6, seed=1)
+        frag.validate()
+        assert frag.n_fragments == 6
+
+    @pytest.mark.parametrize("fn", [hash_partition, random_partition, balanced_bfs_partition])
+    def test_deterministic(self, fn, graph):
+        a = fn(graph, 4, seed=2)
+        b = fn(graph, 4, seed=2)
+        assert {v: a.owner(v) for v in graph.nodes()} == {v: b.owner(v) for v in graph.nodes()}
+
+    def test_random_partition_balanced(self, graph):
+        frag = random_partition(graph, 5, seed=1)
+        sizes = [f.n_local_nodes for f in frag]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_bfs_partition_cuts_less_than_random(self, graph):
+        bfs = balanced_bfs_partition(graph, 6, seed=1)
+        rnd = random_partition(graph, 6, seed=1)
+        assert bfs.n_crossing_edges < rnd.n_crossing_edges
+
+    @pytest.mark.parametrize("fn", [hash_partition, random_partition, balanced_bfs_partition])
+    def test_too_few_nodes_rejected(self, fn):
+        tiny = random_labeled_graph(3, 3, seed=1)
+        with pytest.raises(FragmentationError):
+            fn(tiny, 10)
+
+
+class TestRefinement:
+    def test_raises_ratio_to_target(self, graph):
+        base = fragment_graph(graph, contiguous_block_assignment(graph, 6))
+        assert base.vf_ratio < 0.25
+        refined = refine_to_vf_ratio(base, 0.40, seed=2)
+        refined.validate()
+        assert refined.vf_ratio == pytest.approx(0.40, abs=0.05)
+
+    def test_preserves_fragment_count_and_rough_balance(self, graph):
+        base = fragment_graph(graph, contiguous_block_assignment(graph, 6))
+        refined = refine_to_vf_ratio(base, 0.45, seed=2)
+        assert refined.n_fragments == 6
+        stats = partition_stats(refined)
+        assert stats.balance <= 2.5
+
+    def test_noop_when_already_at_target(self, graph):
+        base = fragment_graph(graph, contiguous_block_assignment(graph, 6))
+        refined = refine_to_vf_ratio(base, base.vf_ratio, seed=2)
+        assert refined.vf_ratio == pytest.approx(base.vf_ratio, abs=0.03)
+
+    def test_graph_unchanged(self, graph):
+        base = fragment_graph(graph, contiguous_block_assignment(graph, 6))
+        refined = refine_to_vf_ratio(base, 0.5, seed=2)
+        assert refined.graph is graph
+
+
+class TestTreePartition:
+    def test_connected_subtrees(self):
+        tree = random_tree(400, seed=5)
+        frag = tree_partition(tree, 10, seed=1)
+        frag.validate()
+        assert frag.has_connected_fragments()
+
+    def test_each_fragment_at_most_one_in_node(self):
+        tree = random_tree(300, seed=6)
+        frag = tree_partition(tree, 8, seed=1)
+        for f in frag:
+            assert len(f.in_nodes) <= 1
+
+    def test_virtual_nodes_are_subtree_roots(self):
+        tree = random_tree(200, seed=7)
+        frag = tree_partition(tree, 6, seed=1)
+        all_in = set().union(*(f.in_nodes for f in frag))
+        for f in frag:
+            assert f.virtual_nodes <= all_in
+
+    def test_fragment_count(self):
+        tree = random_tree(100, seed=8)
+        for n in (1, 4, 9):
+            assert tree_partition(tree, n, seed=1).n_fragments == n
+
+    def test_too_many_fragments_rejected(self):
+        tree = random_tree(5, seed=9)
+        with pytest.raises(FragmentationError):
+            tree_partition(tree, 10)
+
+
+class TestStats:
+    def test_describe_contains_key_figures(self, graph):
+        frag = random_partition(graph, 4, seed=1)
+        stats = partition_stats(frag)
+        text = stats.describe()
+        assert "|F|=4" in text
+        assert "|Vf|=" in text
+        assert stats.n_nodes == graph.n_nodes
+        assert 0.0 <= stats.vf_ratio <= 1.0

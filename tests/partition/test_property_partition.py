@@ -1,0 +1,86 @@
+"""Property-based tests for the fragmentation layer.
+
+Invariants of Section 2.2, checked on arbitrary graphs and assignments:
+the Fi.O/Fi.I definitions, the ∪O = ∪I identity, crossing-edge consistency,
+and reconstructability (the union of fragment-local information recovers G).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.partition.fragmentation import fragment_graph
+
+
+@st.composite
+def graph_and_assignment(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    labels = draw(st.lists(st.sampled_from("ABC"), min_size=n, max_size=n))
+    graph = DiGraph({i: labels[i] for i in range(n)})
+    for _ in range(draw(st.integers(min_value=0, max_value=3 * n))):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            graph.add_edge(u, v)
+    n_frag = draw(st.integers(min_value=1, max_value=min(5, n)))
+    assignment = {
+        i: (i if i < n_frag else draw(st.integers(min_value=0, max_value=n_frag - 1)))
+        for i in range(n)
+    }
+    return graph, assignment
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph_and_assignment())
+def test_section_2_2_invariants(data):
+    graph, assignment = data
+    frag = fragment_graph(graph, assignment)
+    frag.validate()  # the full Section-2.2 invariant bundle
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph_and_assignment())
+def test_union_of_o_equals_union_of_i(data):
+    graph, assignment = data
+    frag = fragment_graph(graph, assignment)
+    all_o = set().union(*(f.virtual_nodes for f in frag)) if frag.n_fragments else set()
+    all_i = set().union(*(f.in_nodes for f in frag)) if frag.n_fragments else set()
+    assert all_o == all_i == frag.virtual_nodes()
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph_and_assignment())
+def test_crossing_edges_partition_the_cut(data):
+    graph, assignment = data
+    frag = fragment_graph(graph, assignment)
+    expected = {(u, v) for u, v in graph.edges() if assignment[u] != assignment[v]}
+    assert set(frag.crossing_edges()) == expected
+    # and every crossing edge is stored exactly once (at its source fragment)
+    per_fragment = [set(f.crossing_edges()) for f in frag]
+    for i, a in enumerate(per_fragment):
+        for b in per_fragment[i + 1:]:
+            assert not (a & b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph_and_assignment())
+def test_fragments_reconstruct_the_graph(data):
+    """Distribution must lose nothing: fragment-local info recovers G."""
+    graph, assignment = data
+    frag = fragment_graph(graph, assignment)
+    nodes = {}
+    edges = set()
+    for fragment in frag:
+        for v in fragment.local_nodes:
+            nodes[v] = fragment.graph.label(v)
+        edges.update(fragment.graph.edges())
+    assert nodes == dict(graph.labels())
+    assert edges == set(graph.edges())
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph_and_assignment())
+def test_fragment_sizes_cover_graph(data):
+    graph, assignment = data
+    frag = fragment_graph(graph, assignment)
+    assert sum(f.n_local_nodes for f in frag) == graph.n_nodes
+    assert sum(f.graph.n_edges for f in frag) == graph.n_edges

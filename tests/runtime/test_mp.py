@@ -1,0 +1,53 @@
+"""Tests for the real-process executor (simulator validation)."""
+
+import pytest
+
+from repro.core import DgpmConfig, run_dgpm
+from repro.graph.examples import example8_graph, figure1, figure1_fragmentation
+from repro.graph.generators import random_labeled_graph
+from repro.graph.pattern import Pattern
+from repro.partition import random_partition
+from repro.runtime.mp import run_dgpm_multiprocess
+from repro.simulation import simulation
+
+
+class TestMpExecutor:
+    def test_figure1_matches_simulator(self):
+        q, g, frag = figure1()
+        config = DgpmConfig(enable_push=False)
+        sim_run = run_dgpm(q, frag, config)
+        mp_run = run_dgpm_multiprocess(q, frag, config)
+        assert mp_run.relation == sim_run.relation == simulation(q, g)
+        assert mp_run.metrics.n_messages == sim_run.metrics.n_messages
+
+    def test_cascading_falsifications_across_processes(self):
+        q, _, _ = figure1()
+        g = example8_graph()
+        frag = figure1_fragmentation(g)
+        config = DgpmConfig(enable_push=False)
+        mp_run = run_dgpm_multiprocess(q, frag, config)
+        assert not mp_run.is_match
+        assert mp_run.relation == simulation(q, g)
+        assert mp_run.metrics.n_messages == run_dgpm(q, frag, config).metrics.n_messages
+
+    def test_push_configuration_works_in_processes(self):
+        q, g, frag = figure1()
+        config = DgpmConfig(enable_push=True, push_threshold=0.0)
+        mp_run = run_dgpm_multiprocess(q, frag, config)
+        assert mp_run.relation == simulation(q, g)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_instances(self, seed):
+        graph = random_labeled_graph(40, 160, n_labels=3, seed=seed)
+        frag = random_partition(graph, 3, seed=seed)
+        q = Pattern({"a": "L0", "b": "L1"}, [("a", "b"), ("b", "a")])
+        config = DgpmConfig(enable_push=False)
+        mp_run = run_dgpm_multiprocess(q, frag, config)
+        assert mp_run.relation == simulation(q, graph)
+
+    def test_metrics_shape(self):
+        q, _, frag = figure1()
+        mp_run = run_dgpm_multiprocess(q, frag, DgpmConfig(enable_push=False))
+        assert mp_run.metrics.algorithm == "dGPM-mp"
+        assert mp_run.metrics.pt_seconds > 0
+        assert mp_run.metrics.n_rounds >= 1

@@ -1,0 +1,84 @@
+"""Tests for bounded simulation ([11]'s semantics, an extension module)."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.graph.digraph import DiGraph
+from repro.graph.pattern import Pattern
+from repro.simulation import simulation
+from repro.simulation.bounded import bounded_simulation
+from tests.conftest import random_instance
+
+
+@pytest.fixture
+def chain():
+    # A -> x -> x -> B   (labels: A, X, X, B)
+    return DiGraph(
+        {0: "A", 1: "X", 2: "X", 3: "B"},
+        [(0, 1), (1, 2), (2, 3)],
+    )
+
+
+class TestSemantics:
+    def test_bound_one_equals_plain_simulation(self):
+        for seed in range(25):
+            graph, pattern = random_instance(seed, max_nodes=14)
+            assert bounded_simulation(pattern, graph) == simulation(pattern, graph)
+
+    def test_larger_bound_bridges_paths(self, chain):
+        q = Pattern({"a": "A", "b": "B"}, [("a", "b")])
+        assert not bounded_simulation(q, chain).is_match  # k=1: no direct edge
+        assert not bounded_simulation(q, chain, {("a", "b"): 2}).is_match
+        assert bounded_simulation(q, chain, {("a", "b"): 3}).is_match
+
+    def test_unbounded_is_reachability(self, chain):
+        q = Pattern({"a": "A", "b": "B"}, [("a", "b")])
+        rel = bounded_simulation(q, chain, default_bound=None)
+        assert rel.is_match
+        assert rel.matches_of("a") == frozenset({0})
+
+    def test_monotone_in_bound(self):
+        for seed in range(15):
+            graph, pattern = random_instance(seed, max_nodes=12)
+            k1 = bounded_simulation(pattern, graph, default_bound=1)
+            k3 = bounded_simulation(pattern, graph, default_bound=3)
+            for u in pattern.nodes():
+                assert k1.raw_matches_of(u) <= k3.raw_matches_of(u)
+
+    def test_cycle_supports_itself_at_any_bound(self):
+        g = DiGraph({0: "A", 1: "B"}, [(0, 1), (1, 0)])
+        q = Pattern({"a": "A", "b": "B"}, [("a", "b"), ("b", "a")])
+        for k in (1, 2, 5, None):
+            assert bounded_simulation(q, g, default_bound=k).is_match
+
+    def test_self_reach_requires_cycle(self):
+        # a node reaches itself only through a genuine cycle
+        g = DiGraph({0: "A"}, [])
+        q = Pattern({"a": "A", "a2": "A"}, [("a", "a2")])
+        assert not bounded_simulation(q, g, default_bound=None).is_match
+        g.add_edge(0, 0)
+        assert bounded_simulation(q, g, default_bound=None).is_match
+
+
+class TestValidation:
+    def test_unknown_edge_bound_rejected(self, chain):
+        q = Pattern({"a": "A", "b": "B"}, [("a", "b")])
+        with pytest.raises(PatternError):
+            bounded_simulation(q, chain, {("a", "zzz"): 2})
+
+    def test_nonpositive_bound_rejected(self, chain):
+        q = Pattern({"a": "A", "b": "B"}, [("a", "b")])
+        with pytest.raises(PatternError):
+            bounded_simulation(q, chain, {("a", "b"): 0})
+
+    def test_mixed_bounds(self):
+        # one edge strict, one relaxed
+        g = DiGraph(
+            {0: "A", 1: "B", 2: "X", 3: "C"},
+            [(0, 1), (1, 2), (2, 3)],
+        )
+        q = Pattern({"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c")])
+        rel = bounded_simulation(q, g, {("a", "b"): 1, ("b", "c"): 2})
+        assert rel.is_match
+        rel_strict = bounded_simulation(q, g, {("a", "b"): 1, ("b", "c"): 1})
+        assert not rel_strict.is_match

@@ -1,0 +1,90 @@
+"""Unit tests for the centralized simulation engines (naive, HHK, DAG)."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.graph.digraph import DiGraph
+from repro.graph.pattern import Pattern
+from repro.simulation import dag_simulation, naive_simulation, simulation
+
+
+class TestBasics:
+    def test_single_node_match(self):
+        g = DiGraph({1: "A"})
+        q = Pattern({"a": "A"})
+        for engine in (simulation, naive_simulation, dag_simulation):
+            rel = engine(q, g)
+            assert rel.is_match
+            assert rel.matches_of("a") == frozenset({1})
+
+    def test_label_mismatch_no_match(self):
+        g = DiGraph({1: "B"})
+        q = Pattern({"a": "A"})
+        assert not simulation(q, g).is_match
+
+    def test_child_condition(self, triangle_graph, triangle_query):
+        rel = simulation(triangle_query, triangle_graph)
+        assert rel.is_match
+        assert rel.matches_of("qa") == frozenset({"a"})
+
+    def test_broken_cycle_no_match(self, triangle_graph, triangle_query):
+        triangle_graph.remove_edge("c", "a")
+        assert not simulation(triangle_query, triangle_graph).is_match
+
+    def test_simulation_is_many_to_many(self):
+        # two A nodes both point at the same B: both match
+        g = DiGraph({1: "A", 2: "A", 3: "B"}, [(1, 3), (2, 3)])
+        q = Pattern({"a": "A", "b": "B"}, [("a", "b")])
+        rel = simulation(q, g)
+        assert rel.matches_of("a") == frozenset({1, 2})
+
+    def test_chain_truncation(self, chain_graph):
+        # query chain longer than any data path from the tail fails there
+        q = Pattern({"q0": "E", "q1": "O"}, [("q0", "q1")])
+        rel = simulation(q, chain_graph)
+        # x4 (E) has the successor x5 (O); x5 itself can't match q0
+        assert "x4" in rel.matches_of("q0")
+        assert "x5" not in rel.matches_of("q0")
+
+
+class TestDataLocality:
+    def test_figure2_lack_of_locality(self):
+        # Example 3: the match of A1 depends on the far end of the chain.
+        from repro.graph.examples import figure2_graph, figure2_query
+
+        q = figure2_query()
+        closed = figure2_graph(30)
+        assert simulation(q, closed).is_match
+        open_chain = figure2_graph(30, close_cycle=False)
+        # one missing edge n hops away flips every node's verdict
+        assert not simulation(q, open_chain).is_match
+
+
+class TestDagEngine:
+    def test_rejects_cyclic_pattern(self):
+        q = Pattern({"a": "A", "b": "A"}, [("a", "b"), ("b", "a")])
+        g = DiGraph({1: "A"})
+        with pytest.raises(PatternError):
+            dag_simulation(q, g)
+
+    def test_agrees_with_hhk_on_dag_query(self):
+        g = DiGraph({1: "A", 2: "B", 3: "C"}, [(1, 2), (2, 3), (1, 3)])
+        q = Pattern({"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c")])
+        assert dag_simulation(q, g) == simulation(q, g)
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_hhk_equals_naive(self, seed):
+        from tests.conftest import random_instance
+
+        graph, pattern = random_instance(seed)
+        assert simulation(pattern, graph) == naive_simulation(pattern, graph)
+
+    @pytest.mark.parametrize("seed", range(30, 50))
+    def test_dag_engine_agrees_when_applicable(self, seed):
+        from tests.conftest import random_instance
+
+        graph, pattern = random_instance(seed)
+        if pattern.is_dag():
+            assert dag_simulation(pattern, graph) == simulation(pattern, graph)

@@ -1,0 +1,67 @@
+"""Unit tests for the match-relation result type."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.pattern import Pattern
+from repro.simulation.matchrel import (
+    MatchRelation,
+    is_maximum_simulation,
+    is_valid_simulation,
+)
+
+
+class TestSemantics:
+    def test_boolean_view_true(self):
+        rel = MatchRelation(["a", "b"], {"a": {1}, "b": {2}})
+        assert rel.is_match
+        assert bool(rel)
+
+    def test_empty_query_node_collapses_relation(self):
+        # Paper: Q(G) is empty when some query node has no match.
+        rel = MatchRelation(["a", "b"], {"a": {1}, "b": set()})
+        assert not rel.is_match
+        assert rel.as_relation() == set()
+        assert rel.matches_of("a") == frozenset()
+        # ... but the raw view keeps the diagnostics
+        assert rel.raw_matches_of("a") == frozenset({1})
+
+    def test_as_relation_pairs(self):
+        rel = MatchRelation(["a"], {"a": {1, 2}})
+        assert rel.as_relation() == {("a", 1), ("a", 2)}
+        assert len(rel) == 2
+
+    def test_equality_and_hash(self):
+        r1 = MatchRelation(["a"], {"a": {1}})
+        r2 = MatchRelation(["a"], {"a": {1}})
+        r3 = MatchRelation(["a"], {"a": {2}})
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+        assert r1 != r3
+
+    def test_query_nodes_preserved(self):
+        rel = MatchRelation(["a", "b"], {"a": {1}})
+        assert list(rel.query_nodes()) == ["a", "b"]
+
+
+class TestValidityChecker:
+    def setup_method(self):
+        self.g = DiGraph({1: "A", 2: "B"}, [(1, 2)])
+        self.q = Pattern({"a": "A", "b": "B"}, [("a", "b")])
+
+    def test_valid_simulation_accepted(self):
+        assert is_valid_simulation(self.q, self.g, {"a": {1}, "b": {2}})
+
+    def test_label_mismatch_rejected(self):
+        assert not is_valid_simulation(self.q, self.g, {"a": {2}, "b": {2}})
+
+    def test_missing_child_witness_rejected(self):
+        g = DiGraph({1: "A", 2: "B"})  # no edge
+        assert not is_valid_simulation(self.q, g, {"a": {1}, "b": {2}})
+
+    def test_empty_relation_is_trivially_valid(self):
+        assert is_valid_simulation(self.q, self.g, {})
+
+    def test_maximum_checker_agrees_with_engine(self):
+        from repro.simulation import simulation
+
+        rel = simulation(self.q, self.g)
+        assert is_maximum_simulation(self.q, self.g, rel)

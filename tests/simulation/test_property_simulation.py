@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) for the simulation engines.
+
+Invariants checked on arbitrary labeled digraphs and patterns:
+
+* the three engines agree (HHK == naive == DAG-layered when applicable);
+* the result is a *valid* simulation (child condition holds);
+* the result is *maximal*: no label-compatible pair can be added;
+* monotonicity: adding edges to G can only grow the raw match sets;
+* the identity witness: a pattern copied from a subgraph of G matches.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.pattern import Pattern
+from repro.simulation import dag_simulation, naive_simulation, simulation
+from repro.simulation.matchrel import is_valid_simulation
+
+LABELS = "AB"
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 10) -> DiGraph:
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    labels = draw(st.lists(st.sampled_from(LABELS), min_size=n, max_size=n))
+    graph = DiGraph({i: labels[i] for i in range(n)})
+    n_edges = draw(st.integers(min_value=0, max_value=3 * n))
+    for _ in range(n_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def patterns(draw, max_nodes: int = 4) -> Pattern:
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    labels = draw(st.lists(st.sampled_from(LABELS), min_size=n, max_size=n))
+    edges = []
+    n_edges = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(n_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        edges.append((u, v))
+    return Pattern({i: labels[i] for i in range(n)}, edges)
+
+
+@settings(max_examples=120, deadline=None)
+@given(graphs(), patterns())
+def test_engines_agree(graph, pattern):
+    fast = simulation(pattern, graph)
+    slow = naive_simulation(pattern, graph)
+    assert fast == slow
+    if pattern.is_dag():
+        assert dag_simulation(pattern, graph) == fast
+
+
+@settings(max_examples=120, deadline=None)
+@given(graphs(), patterns())
+def test_result_is_valid_simulation(graph, pattern):
+    rel = simulation(pattern, graph)
+    raw = {u: rel.raw_matches_of(u) for u in pattern.nodes()}
+    assert is_valid_simulation(pattern, graph, raw)
+
+
+@settings(max_examples=80, deadline=None)
+@given(graphs(), patterns())
+def test_result_is_maximal(graph, pattern):
+    rel = simulation(pattern, graph)
+    raw = {u: set(rel.raw_matches_of(u)) for u in pattern.nodes()}
+    for u in pattern.nodes():
+        want = pattern.label(u)
+        for v in graph.nodes():
+            if graph.label(v) != want or v in raw[u]:
+                continue
+            grown = {key: set(vals) for key, vals in raw.items()}
+            grown[u].add(v)
+            assert not is_valid_simulation(pattern, graph, grown), (
+                f"pair ({u}, {v}) could be added: result was not maximal"
+            )
+
+
+@settings(max_examples=80, deadline=None)
+@given(graphs(max_nodes=8), patterns(max_nodes=3), st.data())
+def test_monotone_in_graph_edges(graph, pattern, data):
+    before = simulation(pattern, graph)
+    u = data.draw(st.sampled_from(sorted(graph.nodes())))
+    v = data.draw(st.sampled_from(sorted(graph.nodes())))
+    graph.add_edge(u, v)
+    after = simulation(pattern, graph)
+    for q in pattern.nodes():
+        assert before.raw_matches_of(q) <= after.raw_matches_of(q)
+
+
+@settings(max_examples=80, deadline=None)
+@given(graphs(max_nodes=8), st.data())
+def test_identity_witness(graph, data):
+    nodes = sorted(graph.nodes())
+    k = data.draw(st.integers(min_value=1, max_value=min(4, len(nodes))))
+    sample = data.draw(st.permutations(nodes)).copy()[:k]
+    sub = graph.induced_subgraph(sample)
+    pattern = Pattern(sub.labels(), sub.edges())
+    rel = simulation(pattern, graph)
+    for v in sample:
+        assert v in rel.raw_matches_of(v), "subgraph-copied pattern must match itself"

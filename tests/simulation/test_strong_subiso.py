@@ -1,0 +1,122 @@
+"""Tests for strong simulation and subgraph isomorphism (Section 2.1 context)."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.examples import figure1
+from repro.graph.pattern import Pattern
+from repro.simulation import simulation
+from repro.simulation.strong import ball, dual_simulation, strong_simulation
+from repro.simulation.subiso import (
+    find_subgraph_isomorphism,
+    has_subgraph_isomorphism,
+    subgraph_isomorphisms,
+)
+
+
+class TestDualSimulation:
+    def test_dual_is_subset_of_plain(self):
+        q, g, _ = figure1()
+        plain = simulation(q, g)
+        dual = dual_simulation(q, g)
+        for u in q.nodes():
+            assert dual.raw_matches_of(u) <= plain.raw_matches_of(u)
+
+    def test_parent_condition_prunes(self):
+        # b2 has no A-parent, so dual simulation drops it; plain keeps it.
+        g = DiGraph({1: "A", 2: "B", 3: "B"}, [(1, 2)])
+        q = Pattern({"a": "A", "b": "B"}, [("a", "b")])
+        plain = simulation(q, g)
+        dual = dual_simulation(q, g)
+        # plain simulation keeps 3 (childless query node => label suffices);
+        # the dual parent condition prunes it (no A-parent).
+        assert plain.matches_of("b") == frozenset({2, 3})
+        assert 3 not in dual.raw_matches_of("b")
+
+
+class TestBall:
+    def test_ball_radius_zero_is_center(self):
+        g = DiGraph({1: "A", 2: "B"}, [(1, 2)])
+        b = ball(g, 1, 0)
+        assert set(b.nodes()) == {1}
+
+    def test_ball_is_undirected_neighbourhood(self):
+        g = DiGraph({1: "A", 2: "B", 3: "C"}, [(1, 2), (3, 2)])
+        b = ball(g, 2, 1)
+        assert set(b.nodes()) == {1, 2, 3}
+
+
+class TestStrongSimulation:
+    def test_strong_subset_of_plain(self):
+        q, g, _ = figure1()
+        plain = simulation(q, g)
+        strong = strong_simulation(q, g)
+        for u in q.nodes():
+            assert strong.raw_matches_of(u) <= plain.raw_matches_of(u)
+
+    def test_strong_misses_long_cycle_matches(self):
+        # Section 2.1: strong simulation "may miss potential matches".  On
+        # the long A/B cycle, every diameter-1 ball is too small to contain
+        # a witness cycle, so strong simulation finds nothing even though
+        # plain simulation matches every node.
+        from repro.graph.examples import figure2_graph, figure2_query
+
+        q = figure2_query()
+        closed = figure2_graph(12)
+        assert simulation(q, closed).is_match
+        assert not strong_simulation(q, closed).is_match
+
+    def test_strong_matches_tight_cycle(self):
+        # ... but a genuine 2-cycle fits inside the ball and is found.
+        g = DiGraph({1: "A", 2: "B"}, [(1, 2), (2, 1)])
+        q = Pattern({"a": "A", "b": "B"}, [("a", "b"), ("b", "a")])
+        rel = strong_simulation(q, g)
+        assert rel.is_match
+        assert rel.matches_of("a") == frozenset({1})
+
+
+class TestSubgraphIsomorphism:
+    def test_triangle_embeds(self, triangle_graph, triangle_query):
+        assert has_subgraph_isomorphism(triangle_query, triangle_graph)
+        emb = find_subgraph_isomorphism(triangle_query, triangle_graph)
+        assert emb == {"qa": "a", "qb": "b", "qc": "c"}
+
+    def test_injective(self):
+        # simulation matches (two query nodes -> one data node) but subiso
+        # requires distinct images
+        g = DiGraph({1: "A", 2: "B"}, [(1, 2), (2, 1)])
+        q = Pattern(
+            {"a1": "A", "b1": "B", "a2": "A"},
+            [("a1", "b1"), ("b1", "a2")],
+        )
+        assert simulation(q, g).is_match
+        assert not has_subgraph_isomorphism(q, g)
+
+    def test_enumerates_all_embeddings(self):
+        g = DiGraph({1: "A", 2: "A", 3: "B"}, [(1, 3), (2, 3)])
+        q = Pattern({"a": "A", "b": "B"}, [("a", "b")])
+        embeddings = list(subgraph_isomorphisms(q, g))
+        assert {frozenset(e.items()) for e in embeddings} == {
+            frozenset({("a", 1), ("b", 3)}),
+            frozenset({("a", 2), ("b", 3)}),
+        }
+
+    def test_example3_locality_contrast(self):
+        # Figure 2: subiso on Q0 only needs a 2-hop neighbourhood; the open
+        # chain still contains no A<->B cycle, so no embedding exists.
+        from repro.graph.examples import figure2_graph, figure2_query
+
+        q = figure2_query()
+        assert not has_subgraph_isomorphism(q, figure2_graph(10, close_cycle=False))
+        assert has_subgraph_isomorphism(q, DiGraph({1: "A", 2: "B"}, [(1, 2), (2, 1)]))
+
+    def test_subiso_implies_simulation_match(self):
+        from tests.conftest import random_instance
+
+        hits = 0
+        for seed in range(60):
+            graph, pattern = random_instance(seed, max_nodes=10)
+            if has_subgraph_isomorphism(pattern, graph):
+                hits += 1
+                assert simulation(pattern, graph).is_match
+        assert hits > 0  # the implication was actually exercised

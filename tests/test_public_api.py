@@ -1,0 +1,71 @@
+"""Integration tests through the public package surface only."""
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing attribute {name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestQuickstartFlow:
+    def test_readme_flow(self):
+        g = repro.web_graph(1000, 5000, seed=1)
+        frag = repro.partition(g, n_fragments=4, seed=1)
+        from repro.bench.workloads import cyclic_pattern
+
+        q = cyclic_pattern(g, 4, 6, seed=1)
+        result = repro.run_dgpm(q, frag)
+        assert result.relation == repro.simulation(q, g)
+        assert result.metrics.ds_kb >= 0
+        assert result.is_match
+
+    def test_partition_with_vf_target(self):
+        g = repro.web_graph(1500, 7500, seed=2)
+        frag = repro.partition(g, 6, seed=2, vf_ratio=0.30)
+        frag.validate()
+        assert frag.vf_ratio == pytest.approx(0.30, abs=0.06)
+
+    def test_auto_dispatch_tree(self):
+        tree = repro.random_tree(60, seed=1)
+        frag = repro.tree_partition(tree, 4, seed=1)
+        q = repro.Pattern({"q": tree.label(0)})
+        result = repro.run_auto(q, frag)
+        assert result.metrics.algorithm == "dGPMt"
+
+    def test_custom_cost_model(self):
+        g = repro.web_graph(500, 2000, seed=3)
+        frag = repro.partition(g, 3, seed=3)
+        q = repro.Pattern({"a": "dom0", "b": "dom1"}, [("a", "b")])
+        slow = repro.DgpmConfig(cost=repro.CostModel(latency_s=1.0))
+        fast = repro.DgpmConfig(cost=repro.CostModel(latency_s=0.0001))
+        slow_pt = repro.run_dgpm(q, frag, slow).metrics.pt_seconds
+        fast_pt = repro.run_dgpm(q, frag, fast).metrics.pt_seconds
+        assert slow_pt > fast_pt
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.GraphError, repro.ReproError)
+        assert issubclass(repro.PatternError, repro.ReproError)
+        assert issubclass(repro.FragmentationError, repro.ReproError)
+        assert issubclass(repro.ProtocolError, repro.ReproError)
+
+
+class TestMultiprocessExecutor:
+    def test_mp_matches_simulator(self):
+        from repro.runtime.mp import run_dgpm_multiprocess
+
+        g = repro.web_graph(400, 1600, seed=4)
+        frag = repro.partition(g, 3, seed=4)
+        from repro.bench.workloads import cyclic_pattern
+
+        q = cyclic_pattern(g, 4, 5, seed=2)
+        sim_result = repro.run_dgpm(q, frag, repro.DgpmConfig(enable_push=False))
+        mp_result = run_dgpm_multiprocess(q, frag, repro.DgpmConfig(enable_push=False))
+        assert mp_result.relation == sim_result.relation
+        assert mp_result.metrics.n_messages == sim_result.metrics.n_messages
