@@ -1,0 +1,98 @@
+"""Sustained query-stream serving: resident SimulationSession vs one-shot.
+
+Not a paper figure -- this is the ROADMAP's serving scenario: the same
+resident fragmentation answers a stream of repeated pattern queries.  The
+session layer must beat per-query ``run_dgpm`` by >= 2x on the 16-fragment
+mixed workload (setup amortized + LRU cache), with identical answers.
+
+Runs two ways:
+
+* ``pytest benchmarks/ -o python_files='bench_*.py'`` -- full sweep, recorded
+  next to the Fig.-6 series;
+* ``python benchmarks/bench_query_stream.py [--smoke]`` -- standalone, used
+  by CI (``--smoke`` shrinks sizes so a regression fails loudly in seconds).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.report import record_report
+from repro.bench.stream import query_stream_series
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def series():
+    s = query_stream_series(fragment_counts=(4, 8, 16))
+    record_report("query_stream", s.render(), RESULTS)
+    return s
+
+
+def test_stream_parity(series):
+    for p in series.points:
+        assert p.parity, f"session answers diverged at |F|={p.n_fragments}"
+
+
+def test_stream_speedup_at_16_fragments(series):
+    p16 = next(p for p in series.points if p.n_fragments == 16)
+    assert p16.speedup >= 2.0, (
+        f"session serving must amortize setup: {p16.speedup:.2f}x < 2x "
+        f"(one-shot {p16.oneshot_qps:.1f} q/s vs session {p16.session_qps:.1f} q/s)"
+    )
+
+
+def test_stream_cache_hits_reported(series):
+    for p in series.points:
+        assert p.cache_hit_rate > 0.0, "mixed stream must produce cache hits"
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes for CI")
+    parser.add_argument("--fragments", type=int, nargs="+", default=[4, 8, 16])
+    parser.add_argument("--nodes", type=int, default=3000)
+    parser.add_argument("--edges", type=int, default=15000)
+    parser.add_argument("--distinct", type=int, default=6)
+    parser.add_argument("--repeat", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    # CI smoke runs on noisy shared runners: gate at a lenient 1.3x that
+    # still catches "amortization broke entirely"; the full-size run keeps
+    # the paper-grade 2x bar.
+    threshold = 2.0
+    if args.smoke:
+        args.nodes, args.edges = 600, 3000
+        args.distinct, args.repeat = 3, 3
+        args.fragments = [2, 4, 16]
+        threshold = 1.3
+
+    series = query_stream_series(
+        fragment_counts=tuple(args.fragments),
+        n_nodes=args.nodes,
+        n_edges=args.edges,
+        n_distinct=args.distinct,
+        repeat=args.repeat,
+    )
+    print(series.render())
+    failures = []
+    if not all(p.parity for p in series.points):
+        failures.append("answer parity violated")
+    p_wide = max(series.points, key=lambda p: p.n_fragments)
+    if p_wide.n_fragments >= 16 and p_wide.speedup < threshold:
+        failures.append(
+            f"speedup at |F|={p_wide.n_fragments} is {p_wide.speedup:.2f}x "
+            f"(< {threshold}x)"
+        )
+    if failures:
+        print("FAIL:", "; ".join(failures))
+        return 1
+    print("ok: session serving beats one-shot, answers identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,9 @@ Public surface
   (Theorem 3), :func:`run_dgpmt` (Corollary 4), :func:`run_auto`, configured
   by :class:`DgpmConfig`;
 * baselines: :func:`run_match`, :func:`run_dishhk`, :func:`run_dmes`;
+* resident serving: :class:`SimulationSession` in :mod:`repro.session` holds
+  a fragmentation and serves query streams with per-graph setup amortized
+  and an LRU result cache (``session.run_many(queries)``);
 * benchmarks: the experiment definitions of Figure 6 in :mod:`repro.bench`.
 """
 
@@ -61,6 +64,7 @@ from repro.partition import (
     tree_partition,
 )
 from repro.runtime import CostModel, RunMetrics, RunResult
+from repro.session import SessionStats, SimulationSession
 from repro.simulation import MatchRelation, dag_simulation, naive_simulation, simulation
 
 __version__ = "1.0.0"
@@ -102,6 +106,8 @@ __all__ = [
     "refine_to_vf_ratio", "tree_partition",
     # distributed algorithms
     "DgpmConfig", "run_dgpm", "run_dgpmd", "run_dgpmt", "run_auto",
+    # resident multi-query serving
+    "SimulationSession", "SessionStats",
     # baselines
     "run_match", "run_dishhk", "run_dmes",
     # runtime

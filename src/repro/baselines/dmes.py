@@ -193,17 +193,19 @@ class _DmesCoordinator:
         return []
 
 
-def run_dmes(
+def execute_dmes(
     query: Pattern,
     fragmentation: Fragmentation,
     config: Optional[DgpmConfig] = None,
+    deps: Optional[DependencyGraphs] = None,
 ) -> RunResult:
-    """Evaluate ``query`` with the vertex-centric dMes baseline."""
+    """One dMes evaluation; ``deps`` may be a session's cached structures."""
     config = config or DgpmConfig()
     cost = config.cost
     start = time.perf_counter()
     network = Network(cost)
-    deps = DependencyGraphs(fragmentation)
+    if deps is None:
+        deps = DependencyGraphs(fragmentation)
 
     for frag in fragmentation:
         network.send(
@@ -236,3 +238,17 @@ def run_dmes(
         supersteps=max(p.supersteps for p in programs.values()),
     )
     return RunResult(relation=relation, metrics=metrics)
+
+
+def run_dmes(
+    query: Pattern,
+    fragmentation: Fragmentation,
+    config: Optional[DgpmConfig] = None,
+) -> RunResult:
+    """Evaluate ``query`` with the vertex-centric dMes baseline.
+
+    One-shot convenience over :class:`~repro.session.SimulationSession`.
+    """
+    from repro.session import SimulationSession
+
+    return SimulationSession(fragmentation, config=config).run(query, algorithm="dmes")

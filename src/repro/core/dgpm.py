@@ -319,22 +319,25 @@ def assemble_result(query: Pattern, result_messages: List[Message]) -> MatchRela
     return MatchRelation(query.nodes(), merged)
 
 
-def run_dgpm(
+def execute_dgpm(
     query: Pattern,
     fragmentation: Fragmentation,
     config: Optional[DgpmConfig] = None,
+    deps: Optional[DependencyGraphs] = None,
 ) -> RunResult:
-    """Evaluate ``query`` over ``fragmentation`` with dGPM (Theorem 2).
+    """One dGPM evaluation over (possibly pre-built) shared structures.
 
-    Returns the match relation plus metered PT/DS (see
-    :class:`~repro.runtime.metrics.RunMetrics`).  With
-    ``config.without_optimizations()`` this is the paper's dGPMNOpt.
+    ``deps`` may be the session's cached :class:`DependencyGraphs`; when
+    omitted it is derived here, making this the full one-shot protocol.
+    Drivers (:mod:`repro.session.drivers`) call this with the cached copy so
+    repeated queries never pay the per-graph setup again.
     """
     config = config or DgpmConfig()
     cost = config.cost
     start = time.perf_counter()
     network = Network(cost, scramble=config.scramble)
-    deps = DependencyGraphs(fragmentation)
+    if deps is None:
+        deps = DependencyGraphs(fragmentation)
 
     # Phase 1: the coordinator posts Q to every site (metered as QUERY).
     for frag in fragmentation:
@@ -372,3 +375,24 @@ def run_dgpm(
         pushes=sum(p.pushes_triggered for p in programs.values()),
     )
     return RunResult(relation=relation, metrics=metrics)
+
+
+def run_dgpm(
+    query: Pattern,
+    fragmentation: Fragmentation,
+    config: Optional[DgpmConfig] = None,
+) -> RunResult:
+    """Evaluate ``query`` over ``fragmentation`` with dGPM (Theorem 2).
+
+    Returns the match relation plus metered PT/DS (see
+    :class:`~repro.runtime.metrics.RunMetrics`).  With
+    ``config.without_optimizations()`` this is the paper's dGPMNOpt.
+
+    One-shot convenience: equivalent to
+    ``SimulationSession(fragmentation, config=config).run(query,
+    algorithm="dgpm")``; for repeated querying of a resident fragmentation,
+    hold a :class:`~repro.session.SimulationSession` instead.
+    """
+    from repro.session import SimulationSession
+
+    return SimulationSession(fragmentation, config=config).run(query, algorithm="dgpm")

@@ -169,16 +169,13 @@ class DgpmdSiteProgram:
         )
 
 
-def run_dgpmd(
+def execute_dgpmd(
     query: Pattern,
     fragmentation: Fragmentation,
     config: Optional[DgpmConfig] = None,
+    deps: Optional[DependencyGraphs] = None,
 ) -> RunResult:
-    """Evaluate a DAG query (or any query on a DAG graph) with dGPMd.
-
-    Raises :class:`~repro.errors.PatternError` when neither ``Q`` nor ``G``
-    is a DAG -- use :func:`~repro.core.dgpm.run_dgpm` there instead.
-    """
+    """One dGPMd evaluation; ``deps`` may be a session's cached structures."""
     config = config or DgpmConfig()
     cost = config.cost
     start = time.perf_counter()
@@ -201,7 +198,8 @@ def run_dgpmd(
         raise PatternError("dGPMd requires a DAG query or a DAG data graph")
 
     network = Network(cost)
-    deps = DependencyGraphs(fragmentation)
+    if deps is None:
+        deps = DependencyGraphs(fragmentation)
     for frag in fragmentation:
         network.send(
             Message(
@@ -230,3 +228,20 @@ def run_dgpmd(
     wall = time.perf_counter() - start
     metrics = engine.metrics("dGPMd", wall_seconds=wall, extra_compute=assemble_time)
     return RunResult(relation=relation, metrics=metrics)
+
+
+def run_dgpmd(
+    query: Pattern,
+    fragmentation: Fragmentation,
+    config: Optional[DgpmConfig] = None,
+) -> RunResult:
+    """Evaluate a DAG query (or any query on a DAG graph) with dGPMd.
+
+    Raises :class:`~repro.errors.PatternError` when neither ``Q`` nor ``G``
+    is a DAG -- use :func:`~repro.core.dgpm.run_dgpm` there instead.
+
+    One-shot convenience over :class:`~repro.session.SimulationSession`.
+    """
+    from repro.session import SimulationSession
+
+    return SimulationSession(fragmentation, config=config).run(query, algorithm="dgpmd")

@@ -196,16 +196,12 @@ class _TreeCoordinator:
         return replies
 
 
-def run_dgpmt(
+def execute_dgpmt(
     query: Pattern,
     fragmentation: Fragmentation,
     config: Optional[DgpmConfig] = None,
 ) -> RunResult:
-    """Evaluate ``query`` on a distributed tree with dGPMt (Corollary 4).
-
-    Raises :class:`~repro.errors.GraphError` if ``G`` is not a rooted tree or
-    :class:`~repro.errors.FragmentationError` if fragments are not connected.
-    """
+    """One dGPMt evaluation (two coordinator round-trips)."""
     config = config or DgpmConfig()
     cost = config.cost
     start = time.perf_counter()
@@ -245,3 +241,20 @@ def run_dgpmt(
     wall = time.perf_counter() - start
     metrics = engine.metrics("dGPMt", wall_seconds=wall, extra_compute=assemble_time)
     return RunResult(relation=relation, metrics=metrics)
+
+
+def run_dgpmt(
+    query: Pattern,
+    fragmentation: Fragmentation,
+    config: Optional[DgpmConfig] = None,
+) -> RunResult:
+    """Evaluate ``query`` on a distributed tree with dGPMt (Corollary 4).
+
+    Raises :class:`~repro.errors.GraphError` if ``G`` is not a rooted tree or
+    :class:`~repro.errors.FragmentationError` if fragments are not connected.
+
+    One-shot convenience over :class:`~repro.session.SimulationSession`.
+    """
+    from repro.session import SimulationSession
+
+    return SimulationSession(fragmentation, config=config).run(query, algorithm="dgpmt")

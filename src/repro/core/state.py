@@ -51,13 +51,10 @@ class LocalEvalState:
         graph = fragment.graph
 
         #: sim[u] -- not-yet-falsified candidates among the fragment's nodes
+        #: (served from the graph's lazy label index, no full-graph scan)
         self.sim: Dict[Node, Set[Node]] = {}
-        by_label: Dict[object, List[Node]] = {}
         for u in query.nodes():
-            by_label.setdefault(query.label(u), []).append(u)
-        for u in query.nodes():
-            want = query.label(u)
-            self.sim[u] = {v for v in graph.nodes() if graph.label(v) == want}
+            self.sim[u] = set(graph.nodes_with_label(query.label(u)))
 
         # Pre-apply falsifications of virtual variables already known
         # (used by the from-scratch recomputation of dGPMNOpt).
@@ -68,22 +65,22 @@ class LocalEvalState:
                 pre_removed.append((u, v))
 
         #: count[(v, u')] for local v: successors of v still in sim(u')
+        #: -- seeded from the graph's successor-label counts; before the
+        #: pre-removals below, succ(v) ∩ sim(u') is exactly the successors
+        #: of v labeled fv(u').
         self.count: Dict[Tuple[Node, Node], int] = {}
         relevant = [u for u in query.nodes() if query.parents(u)]
-        relevant_by_label: Dict[object, List[Node]] = {}
-        for u in relevant:
-            relevant_by_label.setdefault(query.label(u), []).append(u)
         for v in fragment.local_nodes:
-            for succ in graph.successors(v):
-                lab = graph.label(succ)
-                for u_child in relevant_by_label.get(lab, ()):
-                    if succ in self.sim[u_child]:
-                        key = (v, u_child)
-                        self.count[key] = self.count.get(key, 0) + 1
-        # Missing keys mean zero; normalize for the loop below.
-        for v in fragment.local_nodes:
+            slc = graph.successor_label_counts(v)
             for u_child in relevant:
-                self.count.setdefault((v, u_child), 0)
+                self.count[(v, u_child)] = slc.get(query.label(u_child), 0)
+        # Discount pre-removed candidates: their (all-local) predecessors no
+        # longer see them in sim(u).
+        for u, v in pre_removed:
+            for v_pred in graph.predecessors(v):
+                key = (v_pred, u)
+                if key in self.count:
+                    self.count[key] -= 1
 
         self._worklist: Deque[VarKey] = deque()
         self._newly_false: List[VarKey] = []

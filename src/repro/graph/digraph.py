@@ -4,8 +4,15 @@ The representation is a plain adjacency-list digraph with:
 
 * hashable node identifiers (ints in all generators, but any hashable works),
 * one label per node, drawn from an arbitrary alphabet ``Sigma``,
-* O(1) access to successors, predecessors, and degrees,
-* cheap induced-subgraph extraction (used heavily by the fragmentation layer).
+* O(1) access to successors, predecessors, degrees, and edge membership
+  (adjacency lists keep deterministic iteration order; shadow sets answer
+  membership),
+* cheap induced-subgraph extraction (used heavily by the fragmentation layer),
+* lazy label indexes (label -> nodes, node -> successor-label counts) that are
+  built on first use and invalidated by mutation, so repeated queries over a
+  resident graph never rescan it,
+* a monotonically increasing :attr:`~DiGraph.version` that mutation bumps --
+  the session layer uses it to detect stale caches.
 
 Edge labels from the paper are supported through the standard reduction the
 paper itself describes (Section 2.1): insert a dummy node carrying the edge
@@ -14,7 +21,8 @@ label.  :func:`reify_edge_labels` implements that reduction.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Set, Tuple
+from types import MappingProxyType
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import GraphError
 
@@ -45,7 +53,16 @@ class DiGraph:
     'B'
     """
 
-    __slots__ = ("_labels", "_succ", "_pred", "_n_edges")
+    __slots__ = (
+        "_labels",
+        "_succ",
+        "_succ_set",
+        "_pred",
+        "_n_edges",
+        "_version",
+        "_label_index",
+        "_succ_label_counts",
+    )
 
     def __init__(
         self,
@@ -54,8 +71,14 @@ class DiGraph:
     ) -> None:
         self._labels: Dict[Node, Label] = {}
         self._succ: Dict[Node, List[Node]] = {}
+        #: shadow sets mirroring ``_succ`` for O(1) membership tests
+        self._succ_set: Dict[Node, Set[Node]] = {}
         self._pred: Dict[Node, List[Node]] = {}
         self._n_edges = 0
+        self._version = 0
+        #: lazy indexes; ``None`` until first use, dropped on invalidation
+        self._label_index: Optional[Dict[Label, List[Node]]] = None
+        self._succ_label_counts: Optional[Dict[Node, Dict[Label, int]]] = None
         if nodes:
             for node, label in nodes.items():
                 self.add_node(node, label)
@@ -70,8 +93,15 @@ class DiGraph:
         """Add ``node`` with ``label``; relabels if the node already exists."""
         if node not in self._labels:
             self._succ[node] = []
+            self._succ_set[node] = set()
             self._pred[node] = []
+        elif self._labels[node] == label:
+            return
         self._labels[node] = label
+        self._version += 1
+        self._label_index = None
+        # A relabel changes the successor-label counts of the predecessors.
+        self._succ_label_counts = None
 
     def add_edge(self, u: Node, v: Node) -> None:
         """Add the directed edge ``(u, v)``.  Parallel edges are ignored."""
@@ -79,11 +109,14 @@ class DiGraph:
             raise GraphError(f"edge source {u!r} is not a node")
         if v not in self._labels:
             raise GraphError(f"edge target {v!r} is not a node")
-        if v in self._succ[u]:
+        if v in self._succ_set[u]:
             return
         self._succ[u].append(v)
+        self._succ_set[u].add(v)
         self._pred[v].append(u)
         self._n_edges += 1
+        self._version += 1
+        self._succ_label_counts = None
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the directed edge ``(u, v)``; raises if absent."""
@@ -92,7 +125,10 @@ class DiGraph:
             self._pred[v].remove(u)
         except (KeyError, ValueError):
             raise GraphError(f"edge ({u!r}, {v!r}) is not in the graph") from None
+        self._succ_set[u].discard(v)
         self._n_edges -= 1
+        self._version += 1
+        self._succ_label_counts = None
 
     # ------------------------------------------------------------------
     # inspection
@@ -136,16 +172,16 @@ class DiGraph:
             raise GraphError(f"unknown node {node!r}") from None
 
     def labels(self) -> Mapping[Node, Label]:
-        """Read-only view of the full labeling ``L``."""
-        return dict(self._labels)
+        """Read-only view of the full labeling ``L`` (no copy; live view)."""
+        return MappingProxyType(self._labels)
 
     def label_alphabet(self) -> Set[Label]:
         """The set of labels actually used in the graph."""
         return set(self._labels.values())
 
     def has_edge(self, u: Node, v: Node) -> bool:
-        """True iff ``(u, v)`` is an edge."""
-        return u in self._succ and v in self._succ[u]
+        """True iff ``(u, v)`` is an edge (O(1) via the shadow sets)."""
+        return u in self._succ_set and v in self._succ_set[u]
 
     def successors(self, node: Node) -> List[Node]:
         """Children of ``node`` (targets of its out-edges)."""
@@ -170,8 +206,54 @@ class DiGraph:
         return len(self.predecessors(node))
 
     def nodes_with_label(self, label: Label) -> List[Node]:
-        """All nodes carrying ``label`` (linear scan; generators build indexes)."""
-        return [v for v, lab in self._labels.items() if lab == label]
+        """All nodes carrying ``label``, in insertion order.
+
+        Served from a lazy label index built on first call and invalidated by
+        mutation, so resident graphs answer repeated queries in O(answer).
+        """
+        if self._label_index is None:
+            index: Dict[Label, List[Node]] = {}
+            for v, lab in self._labels.items():
+                index.setdefault(lab, []).append(v)
+            self._label_index = index
+        return list(self._label_index.get(label, ()))
+
+    def successor_label_counts(self, node: Node) -> Mapping[Label, int]:
+        """``label -> |{w in succ(node) : L(w) = label}|`` for ``node``.
+
+        Lazily computed for the whole graph on first call (and invalidated by
+        mutation); lets per-query evaluation state seed its HHK counters
+        without walking adjacency lists.
+        """
+        if self._succ_label_counts is None:
+            counts: Dict[Node, Dict[Label, int]] = {}
+            labels = self._labels
+            for v, succs in self._succ.items():
+                per: Dict[Label, int] = {}
+                for w in succs:
+                    lab = labels[w]
+                    per[lab] = per.get(lab, 0) + 1
+                counts[v] = per
+            self._succ_label_counts = counts
+        try:
+            return MappingProxyType(self._succ_label_counts[node])
+        except KeyError:
+            raise GraphError(f"unknown node {node!r}") from None
+
+    def warm_indexes(self) -> None:
+        """Force both lazy indexes now (they otherwise build on first use)."""
+        if self._labels:
+            self.nodes_with_label(next(iter(self._labels.values())))
+            self.successor_label_counts(next(iter(self._labels)))
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every node/edge/label change.
+
+        Consumers (e.g. the session layer) snapshot it to detect staleness of
+        anything derived from the graph.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # derived graphs

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Mapping, Set, Tuple
 
-from repro.errors import FragmentationError
+from repro.errors import FragmentationError, GraphError
 from repro.graph import algorithms
 from repro.graph.digraph import DiGraph, Node
 from repro.partition.fragment import Fragment
@@ -88,6 +88,16 @@ class Fragmentation:
         """``|Ef| / |E|``."""
         return self.n_crossing_edges / max(1, self.graph.n_edges)
 
+    @property
+    def version(self) -> Tuple[int, ...]:
+        """Combined mutation stamp of the base graph and every fragment graph.
+
+        The session layer snapshots this to detect that any stored graph was
+        mutated since its caches were built (see
+        :class:`repro.session.SimulationSession`).
+        """
+        return (self.graph.version,) + tuple(f.graph.version for f in self.fragments)
+
     def __repr__(self) -> str:
         return (
             f"Fragmentation(|F|={self.n_fragments}, |V|={self.graph.n_nodes}, "
@@ -133,6 +143,17 @@ class Fragmentation:
             }
             if frag.in_nodes != expected_in:
                 raise FragmentationError(f"fragment {frag.fid}: Fi.I mismatch")
+            for node in frag.graph.nodes():
+                try:
+                    expected = self.graph.label(node)
+                except GraphError:
+                    raise FragmentationError(
+                        f"fragment {frag.fid}: node {node!r} is not in G"
+                    ) from None
+                if frag.graph.label(node) != expected:
+                    raise FragmentationError(
+                        f"fragment {frag.fid}: label of {node!r} disagrees with G"
+                    )
             for u, v in frag.graph.edges():
                 if u in frag.virtual_nodes:
                     raise FragmentationError(

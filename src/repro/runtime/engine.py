@@ -139,7 +139,6 @@ class SyncEngine:
         link = sum(
             self.cost.latency_s + self.cost.transfer_seconds(volume)
             for volume in self.network.round_bytes
-            if True
         )
         return compute + link
 

@@ -30,9 +30,8 @@ from repro.runtime.metrics import RunMetrics, RunResult
 from repro.runtime.network import Network
 
 
-def _site_worker(fid, fragmentation, query, config, conn) -> None:
+def _site_worker(fid, fragmentation, query, config, deps, conn) -> None:
     """Worker-process loop: run one DgpmSiteProgram against a pipe."""
-    deps = DependencyGraphs(fragmentation)
     program = DgpmSiteProgram(fid, fragmentation, query, deps, config)
     result = program.on_start()
     conn.send(("msgs", result.messages))
@@ -54,17 +53,25 @@ def run_dgpm_multiprocess(
     fragmentation: Fragmentation,
     config: Optional[DgpmConfig] = None,
     max_rounds: int = 100_000,
+    deps: Optional[DependencyGraphs] = None,
 ) -> RunResult:
     """Evaluate dGPM with each site in its own OS process.
 
     Returns the same :class:`RunResult` shape as the simulator; PT here is
     wall-clock (processes genuinely run in parallel), DS is metered from the
     relayed messages with the same cost model.
+
+    ``deps`` may be a session's cached :class:`DependencyGraphs`; it is built
+    once here otherwise and shipped to every worker, so workers never re-derive
+    the per-graph structures (``SimulationSession.run(..., algorithm="dgpm-mp")``
+    reuses the resident copy).
     """
     config = config or DgpmConfig()
     cost = config.cost
     start = time.perf_counter()
     network = Network(cost)
+    if deps is None:
+        deps = DependencyGraphs(fragmentation)
 
     ctx = mp.get_context()
     pipes: Dict[int, mp.connection.Connection] = {}
@@ -73,7 +80,7 @@ def run_dgpm_multiprocess(
         parent_conn, child_conn = ctx.Pipe()
         proc = ctx.Process(
             target=_site_worker,
-            args=(frag.fid, fragmentation, query, config, child_conn),
+            args=(frag.fid, fragmentation, query, config, deps, child_conn),
             daemon=True,
         )
         proc.start()

@@ -1,0 +1,108 @@
+"""Result caching for :class:`~repro.session.SimulationSession`.
+
+Two pieces:
+
+* :func:`canonical_query_key` -- a stable digest of a :class:`Pattern` that
+  is independent of node/edge insertion order, so the "same" query sent twice
+  (e.g. re-parsed from a client request) hits the cache.  Labels go through
+  the session's interning table, which keeps the serialized form compact and
+  insulates the key from expensive label ``repr``\\ s.
+* :class:`LruResultCache` -- a small LRU keyed by
+  ``(algorithm, config, query)`` with hit/miss/eviction counters.  Graph
+  simulation is a pure function of (query, fragmentation), so cached results
+  stay valid until the fragmentation mutates -- the session handles that by
+  clearing the cache (see ``SimulationSession._refresh_if_stale``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.graph.pattern import Pattern
+from repro.runtime.metrics import RunResult
+
+
+class LabelInterner:
+    """Dense integer ids for an arbitrary (hashable) label alphabet.
+
+    Built once per session from the fragmentation's alphabet; unseen labels
+    (a query may mention labels absent from the data) are interned on demand.
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def intern(self, label: Hashable) -> int:
+        """Return the dense id of ``label``, allocating one if new."""
+        ident = self._ids.get(label)
+        if ident is None:
+            ident = len(self._ids)
+            self._ids[label] = ident
+        return ident
+
+    def intern_all(self, labels) -> None:
+        """Intern every label of an iterable (deterministic insertion order)."""
+        for label in labels:
+            self.intern(label)
+
+
+def canonical_query_key(query: Pattern, interner: Optional[LabelInterner] = None) -> str:
+    """A digest of ``query`` stable under node/edge enumeration order."""
+    def label_of(u):
+        lab = query.label(u)
+        return repr(lab) if interner is None else interner.intern(lab)
+
+    nodes = sorted((repr(u), label_of(u)) for u in query.nodes())
+    edges = sorted((repr(a), repr(b)) for a, b in query.edges())
+    blob = repr((nodes, edges)).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters the cache maintains (mirrored into ``SessionStats``)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+class LruResultCache:
+    """Least-recently-used cache of :class:`RunResult` objects."""
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, RunResult]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Tuple) -> Optional[RunResult]:
+        result = self._entries.get(key)
+        if result is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: Tuple, result: RunResult) -> None:
+        if self.max_entries == 0:
+            return
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,125 @@
+"""Algorithm drivers: the uniform per-query entry points of a session.
+
+An :class:`AlgorithmDriver` is the thin adapter between a resident
+:class:`~repro.session.SimulationSession` and one algorithm's ``execute_*``
+protocol function.  Drivers hold no per-query state; they pull the session's
+cached immutable structures (today the boundary/watcher tables of
+:class:`~repro.core.depgraph.DependencyGraphs`) and hand them to the
+protocol, so serving a query costs only the query, never the graph.
+
+The registry :data:`DRIVERS` maps the session's algorithm names to driver
+instances; ``"auto"`` is resolved by the session itself via
+:func:`repro.core.dispatch.choose_algorithm`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Protocol
+
+from repro.baselines.dishhk import execute_dishhk
+from repro.baselines.dmes import execute_dmes
+from repro.baselines.match_central import execute_match
+from repro.core.config import DgpmConfig
+from repro.core.dgpm import execute_dgpm
+from repro.core.dgpmd import execute_dgpmd
+from repro.core.dgpmt import execute_dgpmt
+from repro.graph.pattern import Pattern
+from repro.runtime.metrics import RunResult
+from repro.runtime.mp import run_dgpm_multiprocess
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.session.session import SimulationSession
+
+
+class AlgorithmDriver(Protocol):
+    """Uniform protocol every session-served algorithm implements."""
+
+    #: registry name (lowercase; what ``SimulationSession.run`` accepts)
+    name: str
+    #: display name matching ``RunMetrics.algorithm``
+    display_name: str
+
+    def run(
+        self, session: "SimulationSession", query: Pattern, config: DgpmConfig
+    ) -> RunResult:
+        """Evaluate ``query`` using the session's cached structures."""
+        ...
+
+
+class DgpmDriver:
+    name = "dgpm"
+    display_name = "dGPM"
+
+    def run(self, session, query, config):
+        return execute_dgpm(query, session.fragmentation, config, deps=session.deps)
+
+
+class DgpmdDriver:
+    name = "dgpmd"
+    display_name = "dGPMd"
+
+    def run(self, session, query, config):
+        # A non-DAG query either short-circuits (DAG data graph) or raises
+        # inside execute_dgpmd before deps are needed -- don't build them.
+        deps = session.deps if query.is_dag() else None
+        return execute_dgpmd(query, session.fragmentation, config, deps=deps)
+
+
+class DgpmtDriver:
+    name = "dgpmt"
+    display_name = "dGPMt"
+
+    def run(self, session, query, config):
+        return execute_dgpmt(query, session.fragmentation, config)
+
+
+class DmesDriver:
+    name = "dmes"
+    display_name = "dMes"
+
+    def run(self, session, query, config):
+        return execute_dmes(query, session.fragmentation, config, deps=session.deps)
+
+
+class DishhkDriver:
+    name = "dishhk"
+    display_name = "disHHK"
+
+    def run(self, session, query, config):
+        return execute_dishhk(query, session.fragmentation, config)
+
+
+class MatchDriver:
+    name = "match"
+    display_name = "Match"
+
+    def run(self, session, query, config):
+        return execute_match(query, session.fragmentation, config)
+
+
+class DgpmMultiprocessDriver:
+    """dGPM with real OS-process sites (the validation executor)."""
+
+    name = "dgpm-mp"
+    display_name = "dGPM-mp"
+
+    def run(self, session, query, config):
+        return run_dgpm_multiprocess(
+            query, session.fragmentation, config, deps=session.deps
+        )
+
+
+#: name -> driver instance; the session copies this at construction so callers
+#: can register custom drivers per session without global effects.
+DRIVERS: Dict[str, AlgorithmDriver] = {
+    driver.name: driver
+    for driver in (
+        DgpmDriver(),
+        DgpmdDriver(),
+        DgpmtDriver(),
+        DmesDriver(),
+        DishhkDriver(),
+        MatchDriver(),
+        DgpmMultiprocessDriver(),
+    )
+}

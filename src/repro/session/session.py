@@ -1,0 +1,227 @@
+"""Resident multi-query serving over a persistent fragmentation.
+
+The paper's setting is a *resident* distributed graph queried repeatedly --
+sites hold their fragments, the boundary tables are known, and queries
+arrive as a stream.  :class:`SimulationSession` is that architecture in one
+object: it loads a :class:`~repro.partition.fragmentation.Fragmentation`
+once, precomputes every structure that depends only on the graph, and then
+serves queries through the uniform driver registry of
+:mod:`repro.session.drivers`, so the per-query cost excludes the per-graph
+cost.
+
+Amortized across queries:
+
+* the boundary/watcher tables (:class:`~repro.core.depgraph.DependencyGraphs`,
+  the paper's local dependency graphs ``G_d^i``), built lazily on the first
+  algorithm that needs them;
+* the per-fragment label indexes and successor-label counters, which live on
+  each :class:`~repro.graph.digraph.DiGraph` (built on first use, reused by
+  every subsequent ``LocalEvalState``);
+* an interned label-id table over the fragmentation's alphabet;
+* an LRU cache of final results keyed by ``(algorithm, config, canonical
+  query hash)`` -- repeated queries are answered without touching a site.
+
+Mutation safety: the session snapshots the fragmentation's mutation stamp
+(:attr:`Fragmentation.version`, derived from every stored graph's version
+counter).  If any fragment graph or the base graph is mutated, the next
+``run`` notices the stale stamp, drops every cache, re-validates the
+fragmentation, and rebuilds -- results are never served from a graph that no
+longer exists.  The contract: mutations must keep the *fragmentation*
+consistent (update the base graph and the owning fragment's copy together,
+as :mod:`repro.core.incremental` and ``examples/query_server.py`` do);
+mutations that break the Section-2.2 invariants -- e.g. a new crossing edge
+that should have created a virtual node in a frozen ``Fi.O`` -- raise
+:class:`~repro.errors.FragmentationError` on the next ``run`` instead of
+silently answering from stale boundary tables.
+
+>>> session = SimulationSession(fragmentation)
+>>> first = session.run(query)                      # pays setup once
+>>> again = session.run(query)                      # served from cache
+>>> results = session.run_many(stream, algorithm="dgpm")
+>>> session.stats.cache_hits
+...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.config import DgpmConfig
+from repro.core.depgraph import DependencyGraphs
+from repro.errors import ReproError
+from repro.graph.pattern import Pattern
+from repro.partition.fragmentation import Fragmentation
+from repro.runtime.metrics import RunResult
+from repro.session.cache import LabelInterner, LruResultCache, canonical_query_key
+from repro.session.drivers import DRIVERS, AlgorithmDriver
+
+#: algorithm-name aliases accepted by :meth:`SimulationSession.run`
+#: (``dgpmnopt`` is handled separately: it is the dgpm driver plus
+#: ``config.without_optimizations()``)
+_ALIASES = {
+    "dgpm_mp": "dgpm-mp",
+}
+
+
+@dataclass
+class SessionStats:
+    """Serving counters of one session (cumulative since construction)."""
+
+    #: queries answered (cache hits included)
+    queries_served: int = 0
+    #: queries answered straight from the result cache
+    cache_hits: int = 0
+    #: queries that ran the distributed protocol
+    cache_misses: int = 0
+    #: results dropped because the LRU overflowed
+    cache_evictions: int = 0
+    #: times a mutation of the fragmentation forced a cache rebuild
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of served queries answered from cache."""
+        return self.cache_hits / self.queries_served if self.queries_served else 0.0
+
+
+class SimulationSession:
+    """A resident fragmentation plus everything amortizable across queries.
+
+    Parameters
+    ----------
+    fragmentation:
+        The distributed graph to serve; held by reference (not copied).
+    config:
+        Default :class:`DgpmConfig` for every query; ``run``/``run_many``
+        accept a per-query override.
+    cache_size:
+        Maximum number of cached results (0 disables result caching; the
+        structural caches are unaffected).
+    """
+
+    def __init__(
+        self,
+        fragmentation: Fragmentation,
+        config: Optional[DgpmConfig] = None,
+        cache_size: int = 128,
+    ) -> None:
+        self.fragmentation = fragmentation
+        self.config = config or DgpmConfig()
+        self.stats = SessionStats()
+        self.drivers: Dict[str, AlgorithmDriver] = dict(DRIVERS)
+        self.labels = LabelInterner()
+        self._cache = LruResultCache(cache_size)
+        self._deps: Optional[DependencyGraphs] = None
+        self._version = fragmentation.version
+        self.labels.intern_all(
+            sorted(fragmentation.graph.label_alphabet(), key=repr)
+        )
+
+    # ------------------------------------------------------------------
+    # cached immutable structures
+    # ------------------------------------------------------------------
+    @property
+    def deps(self) -> DependencyGraphs:
+        """The boundary/watcher tables, built once and shared by all drivers."""
+        if self._deps is None:
+            self._deps = DependencyGraphs(self.fragmentation)
+        return self._deps
+
+    def warm(self) -> "SimulationSession":
+        """Eagerly build every amortizable structure (optional; they are lazy).
+
+        Useful before benchmarking or before the first latency-sensitive
+        query: forces the dependency graphs plus each fragment's label index
+        and successor-label counters.
+        """
+        _ = self.deps
+        for frag in self.fragmentation:
+            frag.graph.warm_indexes()
+        return self
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every derived structure; the next query rebuilds them."""
+        self._deps = None
+        self._cache.clear()
+        self._version = self.fragmentation.version
+        self.stats.invalidations += 1
+
+    def _refresh_if_stale(self) -> None:
+        if self.fragmentation.version != self._version:
+            # A mutation that broke the fragmentation invariants (e.g. a new
+            # crossing edge with no virtual-node bookkeeping) must fail here,
+            # loudly, not be answered from stale boundary tables.
+            self.fragmentation.validate()
+            self.invalidate()
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        query: Pattern,
+        algorithm: str = "auto",
+        config: Optional[DgpmConfig] = None,
+    ) -> RunResult:
+        """Serve one query; identical in answer and metrics to the one-shot
+        ``run_*`` function of the same algorithm.
+
+        Cache hits return a result whose ``metrics.extras`` carries
+        ``cache_hit: 1.0`` (the underlying relation object is shared -- match
+        relations are immutable in practice).
+        """
+        self._refresh_if_stale()
+        config = config or self.config
+        if algorithm.lower() == "dgpmnopt":
+            config = config.without_optimizations()
+            algorithm = "dgpm"
+        driver = self._resolve_for_query(algorithm, query)
+        key = (driver.name, repr(config), canonical_query_key(query, self.labels))
+        self.stats.queries_served += 1
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            metrics = replace(
+                cached.metrics, extras={**cached.metrics.extras, "cache_hit": 1.0}
+            )
+            return RunResult(relation=cached.relation, metrics=metrics)
+        self.stats.cache_misses += 1
+        result = driver.run(self, query, config)
+        self._cache.put(key, result)
+        self.stats.cache_evictions = self._cache.stats.evictions
+        return result
+
+    def run_many(
+        self,
+        queries: Iterable[Pattern],
+        algorithm: str = "auto",
+        config: Optional[DgpmConfig] = None,
+    ) -> List[RunResult]:
+        """Serve a stream of queries in order; one result per query."""
+        return [self.run(query, algorithm=algorithm, config=config) for query in queries]
+
+    # ------------------------------------------------------------------
+    def _resolve_for_query(self, algorithm: str, query: Pattern) -> AlgorithmDriver:
+        name = _ALIASES.get(algorithm.lower(), algorithm.lower())
+        if name == "auto":
+            from repro.core.dispatch import choose_algorithm
+
+            paper_name = choose_algorithm(query, self.fragmentation)
+            name = paper_name.lower()
+        try:
+            return self.drivers[name]
+        except KeyError:
+            known = ", ".join(sorted(self.drivers))
+            raise ReproError(
+                f"unknown algorithm {algorithm!r} (known: auto, {known})"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationSession({self.fragmentation!r}, served={self.stats.queries_served}, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )

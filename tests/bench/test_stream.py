@@ -1,0 +1,53 @@
+"""Tests for the query-stream serving benchmark machinery (tiny sizes).
+
+Timing-based claims (the >= 2x speedup gate) live in
+``benchmarks/bench_query_stream.py``; here we only assert the functional
+contract: streams are well-formed, parity holds, hits are counted, and the
+report renders.
+"""
+
+from __future__ import annotations
+
+from repro import partition, web_graph
+from repro.bench.stream import (
+    StreamSeries,
+    measure_stream_point,
+    mixed_query_stream,
+    query_stream_series,
+)
+
+
+def test_mixed_stream_shape_and_freshness():
+    graph = web_graph(200, 900, n_labels=6, seed=1)
+    stream = mixed_query_stream(graph, n_distinct=3, repeat=2, seed=1)
+    assert len(stream) == 6
+    # Repeats are fresh objects (cache hits must come from canonical hashing).
+    assert stream[0] is not stream[3]
+    assert stream[0] == stream[3] or stream[0].shape == stream[3].shape
+
+
+def test_measure_point_parity_and_hits():
+    graph = web_graph(250, 1100, n_labels=6, seed=2)
+    frag = partition(graph, 3, seed=2)
+    stream = mixed_query_stream(graph, n_distinct=2, repeat=3, seed=2)
+    point = measure_stream_point(frag, stream, n_distinct=2)
+    assert point.parity
+    assert point.n_queries == len(stream)
+    assert point.cache_hit_rate > 0.0
+    assert point.session_seconds > 0.0 and point.oneshot_seconds > 0.0
+
+
+def test_series_sweep_and_render():
+    series = query_stream_series(
+        fragment_counts=(2, 3),
+        n_nodes=220,
+        n_edges=900,
+        n_distinct=2,
+        repeat=2,
+        seed=3,
+    )
+    assert [p.n_fragments for p in series.points] == [2, 3]
+    assert all(p.parity for p in series.points)
+    text = series.render()
+    assert "|F|" in text and "speedup" in text
+    assert isinstance(series, StreamSeries)

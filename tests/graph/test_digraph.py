@@ -142,3 +142,103 @@ class TestEdgeLabelReification:
         g = reify_edge_labels({1: "A", 2: "B"}, [(1, 2, None)])
         assert g.n_nodes == 2
         assert g.has_edge(1, 2)
+
+
+class TestReadOnlyLabelsView:
+    def test_labels_is_read_only(self):
+        g = DiGraph({1: "A", 2: "B"})
+        view = g.labels()
+        with pytest.raises(TypeError):
+            view[3] = "C"
+
+    def test_labels_view_is_live(self):
+        g = DiGraph({1: "A"})
+        view = g.labels()
+        g.add_node(2, "B")
+        assert view == {1: "A", 2: "B"}
+
+    def test_labels_view_equals_dict(self):
+        g = DiGraph({1: "A", 2: "B"})
+        assert dict(g.labels()) == {1: "A", 2: "B"}
+
+
+class TestLazyIndexes:
+    def test_label_index_tracks_relabel(self):
+        g = DiGraph({1: "A", 2: "B", 3: "A"})
+        assert sorted(g.nodes_with_label("A")) == [1, 3]  # builds the index
+        g.add_node(3, "B")  # relabel must invalidate it
+        assert sorted(g.nodes_with_label("A")) == [1]
+        assert sorted(g.nodes_with_label("B")) == [2, 3]
+
+    def test_label_index_tracks_new_nodes(self):
+        g = DiGraph({1: "A"})
+        assert g.nodes_with_label("B") == []
+        g.add_node(2, "B")
+        assert g.nodes_with_label("B") == [2]
+
+    def test_successor_label_counts(self):
+        g = DiGraph({1: "A", 2: "B", 3: "B", 4: "C"}, [(1, 2), (1, 3), (1, 4)])
+        assert dict(g.successor_label_counts(1)) == {"B": 2, "C": 1}
+        assert dict(g.successor_label_counts(2)) == {}
+
+    def test_successor_label_counts_track_mutation(self):
+        g = DiGraph({1: "A", 2: "B", 3: "B"}, [(1, 2)])
+        assert dict(g.successor_label_counts(1)) == {"B": 1}
+        g.add_edge(1, 3)
+        assert dict(g.successor_label_counts(1)) == {"B": 2}
+        g.remove_edge(1, 2)
+        assert dict(g.successor_label_counts(1)) == {"B": 1}
+
+    def test_successor_label_counts_unknown_node(self):
+        g = DiGraph({1: "A"})
+        with pytest.raises(GraphError):
+            g.successor_label_counts(99)
+
+    def test_successor_label_counts_read_only(self):
+        g = DiGraph({1: "A", 2: "B"}, [(1, 2)])
+        counts = g.successor_label_counts(1)
+        with pytest.raises(TypeError):
+            counts["B"] = 0
+
+
+class TestVersionCounter:
+    def test_version_bumps_on_mutation(self):
+        g = DiGraph()
+        v0 = g.version
+        g.add_node(1, "A")
+        g.add_node(2, "B")
+        v_nodes = g.version
+        assert v_nodes > v0
+        g.add_edge(1, 2)
+        v_edge = g.version
+        assert v_edge > v_nodes
+        g.remove_edge(1, 2)
+        assert g.version > v_edge
+
+    def test_noop_mutations_do_not_bump(self):
+        g = DiGraph({1: "A", 2: "B"}, [(1, 2)])
+        v = g.version
+        g.add_node(1, "A")  # same label: no-op
+        g.add_edge(1, 2)  # parallel edge: ignored
+        assert g.version == v
+
+
+class TestEdgeMembershipFast:
+    def test_has_edge_consistent_after_removal(self):
+        g = DiGraph({1: "A", 2: "B", 3: "C"}, [(1, 2), (1, 3)])
+        assert g.has_edge(1, 2)
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.has_edge(1, 3)
+        g.add_edge(1, 2)
+        assert g.has_edge(1, 2)
+        assert g.n_edges == 2
+
+    def test_dense_construction_dedupes(self):
+        g = DiGraph({i: "A" for i in range(50)})
+        for _ in range(3):
+            for i in range(50):
+                for j in range(50):
+                    if i != j:
+                        g.add_edge(i, j)
+        assert g.n_edges == 50 * 49
