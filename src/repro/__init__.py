@@ -34,7 +34,10 @@ Public surface
 * baselines: :func:`run_match`, :func:`run_dishhk`, :func:`run_dmes`;
 * resident serving: :class:`SimulationSession` in :mod:`repro.session` holds
   a fragmentation and serves query streams with per-graph setup amortized
-  and an LRU result cache (``session.run_many(queries)``);
+  and an LRU result cache (``session.run_many(queries)``); it is also the
+  write path -- ``session.delete_edge/insert_edge/add_node`` patch the
+  fragmentation in place and maintain the caches incrementally
+  (``O(|AFF|)`` repair for hot queries) instead of dropping them;
 * benchmarks: the experiment definitions of Figure 6 in :mod:`repro.bench`.
 """
 
@@ -64,7 +67,7 @@ from repro.partition import (
     tree_partition,
 )
 from repro.runtime import CostModel, RunMetrics, RunResult
-from repro.session import SessionStats, SimulationSession
+from repro.session import MutationOutcome, SessionStats, SimulationSession
 from repro.simulation import MatchRelation, dag_simulation, naive_simulation, simulation
 
 __version__ = "1.0.0"
@@ -106,8 +109,8 @@ __all__ = [
     "refine_to_vf_ratio", "tree_partition",
     # distributed algorithms
     "DgpmConfig", "run_dgpm", "run_dgpmd", "run_dgpmt", "run_auto",
-    # resident multi-query serving
-    "SimulationSession", "SessionStats",
+    # resident multi-query serving (incl. the in-place mutation API)
+    "SimulationSession", "SessionStats", "MutationOutcome",
     # baselines
     "run_match", "run_dishhk", "run_dmes",
     # runtime

@@ -16,7 +16,16 @@
 
 from repro.bench.workloads import cyclic_pattern, dag_pattern, tree_pattern
 from repro.bench.harness import ExperimentSeries, SweepPoint, run_sweep
-from repro.bench.stream import StreamPoint, StreamSeries, mixed_query_stream, query_stream_series
+from repro.bench.stream import (
+    StreamPoint,
+    StreamSeries,
+    UpdatePoint,
+    UpdateSeries,
+    mixed_query_stream,
+    mixed_update_stream,
+    query_stream_series,
+    update_stream_series,
+)
 
 __all__ = [
     "cyclic_pattern",
@@ -29,4 +38,8 @@ __all__ = [
     "StreamSeries",
     "mixed_query_stream",
     "query_stream_series",
+    "UpdatePoint",
+    "UpdateSeries",
+    "mixed_update_stream",
+    "update_stream_series",
 ]

@@ -1,7 +1,9 @@
-"""Sustained query-stream throughput: resident session vs one-shot runs.
+"""Sustained stream throughput of the resident session layer.
 
-The experiment behind ``benchmarks/bench_query_stream.py``: a resident
-fragmentation serves a stream of pattern queries, and we compare
+Two experiments live here.
+
+:func:`query_stream_series` (behind ``benchmarks/bench_query_stream.py``): a
+resident fragmentation serves a stream of pattern queries, and we compare
 
 * **one-shot** -- each query goes through the public ``run_dgpm`` entry
   point, paying the per-graph setup (dependency/watcher tables, engine and
@@ -16,13 +18,25 @@ graph, cycled ``repeat`` times (web workloads repeat hot queries; the cache
 is useless without repetition and undersold without distinct queries).
 Parity with the one-shot answers is asserted on every point -- throughput
 that changes answers would be worthless.
+
+:func:`update_stream_series` (behind ``benchmarks/bench_updates.py``): the
+same resident graph now *changes* under the query stream.  One session uses
+the in-place maintenance pipeline (fragmentation patched per update, warm
+incremental repair of hot cached queries, label-relevance retention); the
+baseline session drops every derived structure on every mutation
+(``maintenance="invalidate"`` -- the pre-maintenance behavior).  Both serve
+an identical interleaved delete/insert/query stream; every answer is
+parity-checked between the two modes, and the maintained session is
+additionally checked against a from-scratch centralized ``simulation`` after
+every mutation.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.bench.workloads import cyclic_pattern
 from repro.core.config import DgpmConfig
@@ -174,5 +188,241 @@ def query_stream_series(
         frag = partition(graph, n_fragments=n_fragments, seed=seed, vf_ratio=0.25)
         series.points.append(
             measure_stream_point(frag, stream, n_distinct=n_distinct, config=config)
+        )
+    return series
+
+
+# ----------------------------------------------------------------------
+# mutating streams: incremental maintenance vs drop-everything
+# ----------------------------------------------------------------------
+
+def mixed_update_stream(
+    graph: DiGraph,
+    n_rounds: int = 30,
+    n_hot: int = 3,
+    seed: int = 0,
+    queries: Optional[Sequence[Pattern]] = None,
+) -> List[Tuple]:
+    """An interleaved mutation/query op list over ``graph``.
+
+    Each round mutates once (mostly deletions; every fourth round re-inserts
+    a previously deleted edge, so the stream also exercises the revival
+    path) and then queries one of ``n_hot`` hot patterns.  When ``queries``
+    are given, every other deletion is drawn from edges whose label pair a
+    query edge carries -- the adversarial half of the stream that actually
+    invalidates answers and forces repairs (uniform deletions on a large
+    alphabet almost never touch a witness).  Ops are generated against a
+    scratch copy, so the same list can be replayed against independent
+    sessions.
+    """
+    rng = random.Random(seed)
+    scratch = graph.copy()
+    relevant_pairs = (
+        {(q.label(a), q.label(b)) for q in queries for a, b in q.edges()}
+        if queries
+        else set()
+    )
+    deleted: List[Tuple] = []
+    ops: List[Tuple] = []
+    for step in range(n_rounds):
+        if step % 4 == 3 and deleted:
+            u, v = deleted.pop(rng.randrange(len(deleted)))
+            scratch.add_edge(u, v)
+            ops.append(("insert", u, v))
+        else:
+            edges = list(scratch.edges())
+            if relevant_pairs and step % 2 == 0:
+                hot = [
+                    (u, v)
+                    for u, v in edges
+                    if (scratch.label(u), scratch.label(v)) in relevant_pairs
+                ]
+                if hot:
+                    edges = hot
+            u, v = edges[rng.randrange(len(edges))]
+            scratch.remove_edge(u, v)
+            deleted.append((u, v))
+            ops.append(("delete", u, v))
+        ops.append(("query", step % n_hot))
+    return ops
+
+
+@dataclass
+class UpdatePoint:
+    """Measured update+query throughput at one fragment count."""
+
+    n_fragments: int
+    n_ops: int
+    n_mutations: int
+    maintained_seconds: float
+    invalidate_seconds: float
+    #: answers identical between the two modes (a dedicated oracle pass
+    #: additionally *raises* if the maintained session ever disagrees with
+    #: from-scratch simulation after a mutation, when enabled)
+    parity: bool
+    cache_repaired: int
+    cache_kept: int
+    cache_evicted: int
+    invalidations: int  # of the maintained session; must stay 0
+
+    @property
+    def maintained_ops(self) -> float:
+        return self.n_ops / self.maintained_seconds if self.maintained_seconds else 0.0
+
+    @property
+    def invalidate_ops(self) -> float:
+        return self.n_ops / self.invalidate_seconds if self.invalidate_seconds else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Drop-everything wall time over maintained wall time."""
+        return (
+            self.invalidate_seconds / self.maintained_seconds
+            if self.maintained_seconds
+            else 0.0
+        )
+
+
+@dataclass
+class UpdateSeries:
+    """The sweep over fragment counts for the mutating-stream experiment."""
+
+    points: List[UpdatePoint] = field(default_factory=list)
+
+    def render(self) -> str:
+        header = (
+            f"{'|F|':>5} {'ops':>5} {'muts':>5} {'drop-all ops/s':>15} "
+            f"{'maintained ops/s':>17} {'speedup':>8} {'repaired':>9} "
+            f"{'kept':>6} {'evicted':>8} {'parity':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for p in self.points:
+            lines.append(
+                f"{p.n_fragments:>5} {p.n_ops:>5} {p.n_mutations:>5} "
+                f"{p.invalidate_ops:>15.1f} {p.maintained_ops:>17.1f} "
+                f"{p.speedup:>7.2f}x {p.cache_repaired:>9} {p.cache_kept:>6} "
+                f"{p.cache_evicted:>8} {'ok' if p.parity else 'FAIL':>7}"
+            )
+        return "\n".join(lines)
+
+
+def _replay_ops(session, queries, ops, oracle: bool):
+    """Apply ``ops``; return (timed seconds, served relations).
+
+    Only the op itself is timed.  With ``oracle`` set, every mutation is
+    followed by an *untimed* from-scratch ``simulation`` check of every hot
+    query against the session's current graph.
+    """
+    from repro.simulation import simulation
+
+    elapsed = 0.0
+    relations = []
+    graph = session.fragmentation.graph
+    for op in ops:
+        if op[0] == "query":
+            t0 = time.perf_counter()
+            result = session.run(queries[op[1]], algorithm="dgpm")
+            elapsed += time.perf_counter() - t0
+            relations.append(result.relation)
+        elif op[0] == "delete":
+            t0 = time.perf_counter()
+            session.delete_edge(op[1], op[2])
+            elapsed += time.perf_counter() - t0
+        else:
+            t0 = time.perf_counter()
+            session.insert_edge(op[1], op[2])
+            elapsed += time.perf_counter() - t0
+        if oracle and op[0] != "query":
+            for q in queries:
+                served = session.run(q, algorithm="dgpm").relation
+                if served != simulation(q, graph):
+                    raise AssertionError(f"parity violated after {op!r}")
+    return elapsed, relations
+
+
+def measure_update_point(
+    make_fragmentation,
+    ops: Sequence[Tuple],
+    queries: Sequence[Pattern],
+    n_fragments: int,
+    oracle: bool = True,
+) -> UpdatePoint:
+    """Replay one op stream in both maintenance modes and compare.
+
+    ``make_fragmentation`` builds a *fresh* fragmentation (each mode mutates
+    its own resident graph).  Hot queries are pre-served twice per session
+    (untimed) so the maintained session starts with warm states -- the
+    steady-state a long-running server reaches anyway.
+
+    With ``oracle`` set, a *third* (maintained) session replays the stream
+    with from-scratch ``simulation`` checks after every mutation; keeping the
+    oracle off the timed sessions means neither gets its cache pre-warmed by
+    the checking itself.
+    """
+    def fresh_session(mode: str) -> SimulationSession:
+        session = SimulationSession(make_fragmentation(), maintenance=mode).warm()
+        for _ in range(2):
+            for q in queries:
+                session.run(q, algorithm="dgpm")
+        return session
+
+    maintained = fresh_session("incremental")
+    maintained_seconds, maintained_rel = _replay_ops(
+        maintained, queries, ops, oracle=False
+    )
+    invalidate_seconds, invalidate_rel = _replay_ops(
+        fresh_session("invalidate"), queries, ops, oracle=False
+    )
+    if oracle:
+        # Raises AssertionError on the first divergence from the oracle.
+        _replay_ops(fresh_session("incremental"), queries, ops, oracle=True)
+
+    stats = maintained.stats
+    parity = maintained_rel == invalidate_rel and stats.invalidations == 0
+    return UpdatePoint(
+        n_fragments=n_fragments,
+        n_ops=len(ops),
+        n_mutations=sum(1 for op in ops if op[0] != "query"),
+        maintained_seconds=maintained_seconds,
+        invalidate_seconds=invalidate_seconds,
+        parity=parity,
+        cache_repaired=stats.entries_repaired,
+        cache_kept=stats.entries_kept,
+        cache_evicted=stats.entries_evicted,
+        invalidations=stats.invalidations,
+    )
+
+
+def update_stream_series(
+    fragment_counts: Sequence[int] = (4, 8),
+    n_nodes: int = 2000,
+    n_edges: int = 10000,
+    n_rounds: int = 30,
+    n_hot: int = 3,
+    seed: int = 13,
+    oracle: bool = True,
+) -> UpdateSeries:
+    """Sweep update+query ops/sec over fragment counts on one web graph."""
+    from repro import partition
+
+    series = UpdateSeries()
+    for n_fragments in fragment_counts:
+        graph = web_graph(n_nodes, n_edges, seed=seed)
+        queries = [
+            cyclic_pattern(graph, n_nodes=3, n_edges=4, seed=seed + s)
+            for s in range(n_hot)
+        ]
+        ops = mixed_update_stream(
+            graph, n_rounds=n_rounds, n_hot=n_hot, seed=seed, queries=queries
+        )
+
+        def make_fragmentation():
+            fresh = web_graph(n_nodes, n_edges, seed=seed)
+            return partition(fresh, n_fragments=n_fragments, seed=seed, vf_ratio=0.25)
+
+        series.points.append(
+            measure_update_point(
+                make_fragmentation, ops, queries, n_fragments, oracle=oracle
+            )
         )
     return series

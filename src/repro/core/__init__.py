@@ -13,7 +13,10 @@
 * :mod:`~repro.core.impossibility` -- the Theorem-1 gadget families and an
   auditor that demonstrates the impossibility empirically.
 * :class:`~repro.core.incremental.IncrementalDgpmSession` -- long-lived
-  evaluation maintaining ``Q(G)`` under edge updates (Section 4.2 / [13]).
+  evaluation maintaining ``Q(G)`` under edge updates (Section 4.2 / [13]);
+  :class:`~repro.core.incremental.IncrementalMatchState` is the same
+  machinery over shared session-owned structures (one per hot query of a
+  :class:`~repro.session.SimulationSession`).
 """
 
 from repro.core.config import DgpmConfig
@@ -21,7 +24,11 @@ from repro.core.dgpm import run_dgpm
 from repro.core.dgpmd import run_dgpmd
 from repro.core.dgpmt import run_dgpmt
 from repro.core.dispatch import run_auto
-from repro.core.incremental import IncrementalDgpmSession
+from repro.core.incremental import (
+    IncrementalDgpmSession,
+    IncrementalMatchState,
+    UpdateMetrics,
+)
 
 __all__ = [
     "DgpmConfig",
@@ -30,4 +37,6 @@ __all__ = [
     "run_dgpmt",
     "run_auto",
     "IncrementalDgpmSession",
+    "IncrementalMatchState",
+    "UpdateMetrics",
 ]

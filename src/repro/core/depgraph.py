@@ -10,6 +10,12 @@ to every site program.
 The structure is bidirectional because the push operation (Section 4.2) also
 needs the *children* direction: for each virtual node of ``Si``, the owning
 site.
+
+The tables are *patchable*: :meth:`DependencyGraphs.apply_delta` absorbs a
+:class:`~repro.partition.fragmentation.MutationDelta` from the
+fragmentation's in-place mutation API, updating only the touched
+watcher/owner entries -- a session serving queries over a mutating graph
+never rebuilds them (see :class:`repro.session.SimulationSession`).
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.graph.digraph import Node
-from repro.partition.fragmentation import Fragmentation
+from repro.partition.fragmentation import Fragmentation, MutationDelta
 
 
 class DependencyGraphs:
@@ -34,6 +40,25 @@ class DependencyGraphs:
                 owner = frag.owner_of_virtual(v)
                 self.owners[frag.fid][v] = owner
                 self.watchers[owner].setdefault(v, set()).add(frag.fid)
+
+    def apply_delta(self, delta: MutationDelta) -> None:
+        """Patch the watcher/owner tables after one fragmentation update.
+
+        Only boundary transitions matter: a crossing edge whose source
+        fragment stops (starts) holding ``v`` as a virtual node removes
+        (adds) one watcher entry.  Local edges, and crossing edges that leave
+        ``Fi.O`` membership unchanged, are no-ops here.
+        """
+        if delta.virtual_dropped:
+            self.owners[delta.source_fid].pop(delta.v, None)
+            sites = self.watchers[delta.target_fid].get(delta.v)
+            if sites is not None:
+                sites.discard(delta.source_fid)
+                if not sites:
+                    del self.watchers[delta.target_fid][delta.v]
+        if delta.virtual_added:
+            self.owners[delta.source_fid][delta.v] = delta.target_fid
+            self.watchers[delta.target_fid].setdefault(delta.v, set()).add(delta.source_fid)
 
     def watcher_sites(self, fid: int, in_node: Node) -> Set[int]:
         """Sites that must be told when an ``X(u, in_node)`` of site ``fid`` flips."""

@@ -222,7 +222,7 @@ class DgpmSiteProgram:
         messages.extend(self._try_push())
         if messages:
             messages.append(self._control_flag(True))
-        return TickResult(messages=messages, halted=True)
+        return TickResult(messages=messages, halted=True, n_falsified=len(falsified))
 
     def on_tick(self, round_no: int, inbox: List[Message]) -> TickResult:
         incoming: List[VarKey] = []
@@ -270,7 +270,7 @@ class DgpmSiteProgram:
         messages.extend(late_rewire_forwards)
         if messages:
             messages.append(self._control_flag(True))
-        return TickResult(messages=messages, halted=True)
+        return TickResult(messages=messages, halted=True, n_falsified=len(falsified))
 
     def _recompute_from_scratch(self, incoming: List[VarKey]) -> List[VarKey]:
         """dGPMNOpt: rebuild the whole local evaluation on every message."""

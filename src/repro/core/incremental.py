@@ -12,8 +12,23 @@ updates:
   messages the affected boundary variables require -- deleting an edge no
   match depends on costs nothing and ships nothing.
 * **edge insertion** can revive matches, which the falsification-only
-  protocol cannot express; the session falls back to a full re-evaluation
-  (the honest cost, clearly reported in the update metrics).
+  protocol cannot express; affected queries fall back to a full
+  re-evaluation (the honest cost, clearly reported in the update metrics).
+  Insertions that *cannot* change the answer -- no query edge carries the
+  inserted edge's label pair -- are absorbed by patching the one successor
+  counter they feed.
+
+Two layers:
+
+* :class:`IncrementalMatchState` is the warm per-query state over *shared*
+  structures -- the fragmentation and
+  :class:`~repro.core.depgraph.DependencyGraphs` belong to the caller
+  (typically a :class:`~repro.session.SimulationSession`), which patches
+  them via the fragmentation's in-place mutation API before asking the
+  state to repair itself.  One session keeps one of these per hot query.
+* :class:`IncrementalDgpmSession` is the standalone single-query front end:
+  it owns a private copy of the graph and fragmentation and drives the
+  mutation pipeline itself.
 
 Usage::
 
@@ -34,12 +49,12 @@ from repro.core.config import DgpmConfig
 from repro.core.depgraph import DependencyGraphs
 from repro.core.dgpm import DgpmSiteProgram
 from repro.core.state import VarKey
-from repro.errors import GraphError, ReproError
-from repro.graph.digraph import DiGraph, Node
+from repro.errors import ReproError
+from repro.graph.digraph import Label, Node
 from repro.graph.pattern import Pattern
 from repro.partition.fragmentation import Fragmentation, fragment_graph
 from repro.runtime.engine import SyncEngine
-from repro.runtime.messages import COORDINATOR, Message
+from repro.runtime.messages import COORDINATOR
 from repro.runtime.network import Network
 from repro.simulation.matchrel import MatchRelation
 
@@ -53,50 +68,99 @@ class UpdateMetrics:
     ds_bytes: int             # protocol data bytes shipped
     n_rounds: int             # message rounds to re-quiescence
     wall_seconds: float
-    falsified_local: int      # locally falsified variables (the |AFF| proxy)
+    falsified_local: int      # falsified local variables across all sites
+                              # (the |AFF| proxy)
 
 
-class IncrementalDgpmSession:
-    """A long-lived dGPM evaluation that absorbs graph updates.
+@dataclass
+class RepairCost:
+    """What one in-place repair (or re-evaluation) of a warm state cost."""
 
-    The session owns a private copy of the graph and fragmentation (callers'
-    objects are never mutated) and keeps every site's
-    :class:`~repro.core.state.LocalEvalState` alive between updates.
+    n_falsified: int
+    n_messages: int
+    ds_bytes: int
+    n_rounds: int
+
+
+def edge_update_may_change_answer(query: Pattern, u_label: Label, v_label: Label) -> bool:
+    """Can inserting/deleting an edge labeled ``(u_label, v_label)`` change ``Q(G)``?
+
+    The simulation conditions inspect a data edge ``(u, v)`` only as a
+    witness for a query edge ``(a, b)`` with ``L(a) = L(u)`` and
+    ``L(b) = L(v)``; if no query edge carries that label pair, the maximum
+    match is unchanged by the update and every cached answer stays valid.
+    """
+    return any(
+        query.label(a) == u_label and query.label(b) == v_label
+        for a, b in query.edges()
+    )
+
+
+def node_update_may_change_answer(query: Pattern, label: Label) -> bool:
+    """Can adding an isolated node with ``label`` change ``Q(G)``?
+
+    An edge-less node can only match a *childless* query node of the same
+    label (any query child would need a witnessing successor).
+    """
+    return any(
+        query.label(q) == label and not query.children(q) for q in query.nodes()
+    )
+
+
+class IncrementalMatchState:
+    """Warm evaluation of one query over caller-owned shared structures.
+
+    The caller mutates the fragmentation (and patches ``deps``) through the
+    in-place mutation API *first*, then calls the matching ``apply_*`` /
+    ``absorb_*`` repair below.  Every site's
+    :class:`~repro.core.state.LocalEvalState` stays alive between updates, so
+    a deletion's repair work is ``O(|AFF|)`` plus the messages the affected
+    boundary variables require.
     """
 
     def __init__(
         self,
         query: Pattern,
         fragmentation: Fragmentation,
+        deps: DependencyGraphs,
         config: Optional[DgpmConfig] = None,
     ) -> None:
         config = config or DgpmConfig(enable_push=False)
         if not config.incremental:
-            raise ReproError("the incremental session requires config.incremental")
+            raise ReproError("incremental maintenance requires config.incremental")
         if config.enable_push:
-            # Push rewires watcher sets dynamically; sessions keep the
+            # Push rewires watcher sets dynamically; warm states keep the
             # protocol in its plain falsification-shipping form.
             config = DgpmConfig(
                 incremental=True, enable_push=False,
                 boolean_only=config.boolean_only, cost=config.cost,
             )
         self.query = query
+        self.fragmentation = fragmentation
+        self.deps = deps
         self.config = config
-        self._graph = fragmentation.graph.copy()
-        assignment = {v: fragmentation.owner(v) for v in self._graph.nodes()}
-        self.fragmentation = fragment_graph(self._graph, assignment)
-        self._bootstrap()
+        #: query nodes that have parents (the only ones counters track)
+        self._parented = [u for u in query.nodes() if query.parents(u)]
+        self.bootstrap()
 
     # ------------------------------------------------------------------
-    def _bootstrap(self) -> None:
-        deps = DependencyGraphs(self.fragmentation)
+    def bootstrap(self) -> RepairCost:
+        """(Re)build every site's state and run the fixpoint from scratch."""
         network = Network(self.config.cost)
         self.programs: Dict[int, DgpmSiteProgram] = {
-            frag.fid: DgpmSiteProgram(frag.fid, self.fragmentation, self.query, deps, self.config)
+            frag.fid: DgpmSiteProgram(
+                frag.fid, self.fragmentation, self.query, self.deps, self.config
+            )
             for frag in self.fragmentation
         }
         engine = SyncEngine(self.programs, network, self.config.cost)
         engine.run_fixpoint()
+        return RepairCost(
+            n_falsified=0,
+            n_messages=network.data_message_count,
+            ds_bytes=network.data_bytes,
+            n_rounds=engine.n_rounds,
+        )
 
     def relation(self) -> MatchRelation:
         """The current maximum match ``Q(G)``."""
@@ -106,22 +170,20 @@ class IncrementalDgpmSession:
                 merged[u] |= vs
         return MatchRelation(self.query.nodes(), merged)
 
-    @property
-    def graph(self) -> DiGraph:
-        """The session's current graph (do not mutate directly)."""
-        return self._graph
-
     # ------------------------------------------------------------------
-    def delete_edge(self, u: Node, v: Node) -> UpdateMetrics:
-        """Remove edge ``(u, v)`` and incrementally repair the match."""
-        start = time.perf_counter()
-        if not self._graph.has_edge(u, v):
-            raise GraphError(f"edge ({u!r}, {v!r}) is not in the graph")
+    # deletion: native O(|AFF|) repair
+    # ------------------------------------------------------------------
+    def apply_delete(self, u: Node, v: Node, v_label: Label) -> RepairCost:
+        """Repair after edge ``(u, v)`` was removed from the (shared) graphs.
+
+        Counter surgery at the owner site, then message rounds to
+        quiescence.  ``n_falsified`` sums the locally falsified variables of
+        *every* site touched by the cascade -- zero means the answer is
+        untouched.
+        """
         owner = self.fragmentation.owner(u)
         program = self.programs[owner]
-
-        self._graph.remove_edge(u, v)
-        falsified = self._delete_from_state(program, u, v)
+        falsified = self._delete_surgery(program, u, v, v_label)
         n_falsified = len(falsified)
 
         # Ship the owner's newly falsified in-node variables and iterate.
@@ -134,25 +196,25 @@ class IncrementalDgpmSession:
             inboxes.pop(COORDINATOR, None)
             for fid, inbox in inboxes.items():
                 result = self.programs[fid].on_tick(rounds, inbox)
-                n_falsified += 0  # remote AFF tracked at the sites themselves
+                n_falsified += result.n_falsified
                 network.send_all(result.messages)
-
-        return UpdateMetrics(
-            kind="delete",
+        return RepairCost(
+            n_falsified=n_falsified,
             n_messages=network.data_message_count,
             ds_bytes=network.data_bytes,
             n_rounds=rounds,
-            wall_seconds=time.perf_counter() - start,
-            falsified_local=n_falsified,
         )
 
-    def _delete_from_state(self, program: DgpmSiteProgram, u: Node, v: Node) -> List[VarKey]:
-        """Counter surgery for one removed edge, then local propagation."""
+    def _delete_surgery(
+        self, program: DgpmSiteProgram, u: Node, v: Node, v_label: Label
+    ) -> List[VarKey]:
+        """Counter surgery for one removed edge, then local propagation.
+
+        The fragment graph no longer stores the edge (the fragmentation's
+        mutation API removed it); only the evaluation state is patched here.
+        """
         state = program.state
-        fragment_graph_ = state.fragment.graph
-        fragment_graph_.remove_edge(u, v)
         query = self.query
-        v_label = self._graph.label(v)
         for u_child in query.nodes():
             if query.label(u_child) != v_label or not query.parents(u_child):
                 continue
@@ -171,35 +233,121 @@ class IncrementalDgpmSession:
         return state.drain_newly_false()
 
     # ------------------------------------------------------------------
+    # insertion / node addition: targeted absorption
+    # ------------------------------------------------------------------
+    def absorb_irrelevant_insert(self, u: Node, v: Node, v_label: Label) -> None:
+        """Patch counters for an insert that cannot change the answer.
+
+        Precondition: :func:`edge_update_may_change_answer` returned False
+        for the edge's label pair.  The one successor counter the edge feeds
+        is incremented (iff ``v`` is still a candidate) so later deletions
+        keep decrementing against truthful counts; no falsification or
+        revival is possible.
+        """
+        owner = self.fragmentation.owner(u)
+        state = self.programs[owner].state
+        for u_child in self._parented:
+            if self.query.label(u_child) != v_label:
+                continue
+            key = (u, u_child)
+            if key in state.count and state.is_candidate(u_child, v):
+                state.count[key] += 1
+
+    def absorb_add_node(self, node: Node, label: Label, fid: int) -> bool:
+        """Register a freshly added isolated node; returns True iff the
+        answer changed (the node matches a childless query node)."""
+        state = self.programs[fid].state
+        changed = False
+        for q in self.query.nodes():
+            if self.query.label(q) != label:
+                continue
+            if not self.query.children(q):
+                state.sim[q].add(node)
+                changed = True
+            # A parented q cannot match an edge-less node; run_initial would
+            # have falsified it immediately, so it is simply never added.
+        for u_child in self._parented:
+            state.count[(node, u_child)] = 0
+        return changed
+
+
+class IncrementalDgpmSession:
+    """A long-lived single-query dGPM evaluation that absorbs graph updates.
+
+    The session owns a private copy of the graph and fragmentation (callers'
+    objects are never mutated) and keeps every site's
+    :class:`~repro.core.state.LocalEvalState` alive between updates.  Each
+    update is applied through the fragmentation's in-place mutation API, so
+    fragment metadata (``Fi.O``/``Fi.I``) and the dependency graphs stay
+    consistent -- ``session.fragmentation.validate()`` holds after any
+    update sequence.
+    """
+
+    def __init__(
+        self,
+        query: Pattern,
+        fragmentation: Fragmentation,
+        config: Optional[DgpmConfig] = None,
+    ) -> None:
+        config = config or DgpmConfig(enable_push=False)
+        if not config.incremental:
+            raise ReproError("the incremental session requires config.incremental")
+        self.query = query
+        self._graph = fragmentation.graph.copy()
+        assignment = {v: fragmentation.owner(v) for v in self._graph.nodes()}
+        self.fragmentation = fragment_graph(self._graph, assignment)
+        self._deps = DependencyGraphs(self.fragmentation)
+        self._state = IncrementalMatchState(query, self.fragmentation, self._deps, config)
+        self.config = self._state.config
+
+    # ------------------------------------------------------------------
+    @property
+    def programs(self) -> Dict[int, DgpmSiteProgram]:
+        """The live per-site programs (owned by the warm match state)."""
+        return self._state.programs
+
+    def relation(self) -> MatchRelation:
+        """The current maximum match ``Q(G)``."""
+        return self._state.relation()
+
+    @property
+    def graph(self):
+        """The session's current graph (do not mutate directly)."""
+        return self._graph
+
+    # ------------------------------------------------------------------
+    def delete_edge(self, u: Node, v: Node) -> UpdateMetrics:
+        """Remove edge ``(u, v)`` and incrementally repair the match."""
+        start = time.perf_counter()
+        delta = self.fragmentation.delete_edge(u, v)
+        self._deps.apply_delta(delta)
+        repair = self._state.apply_delete(u, v, delta.v_label)
+        return UpdateMetrics(
+            kind="delete",
+            n_messages=repair.n_messages,
+            ds_bytes=repair.ds_bytes,
+            n_rounds=repair.n_rounds,
+            wall_seconds=time.perf_counter() - start,
+            falsified_local=repair.n_falsified,
+        )
+
     def insert_edge(self, u: Node, v: Node) -> UpdateMetrics:
         """Add edge ``(u, v)``; falls back to full re-evaluation.
 
         Insertions can revive previously falsified matches, which the
         monotone falsification protocol cannot undo -- the session rebuilds
         every site's state and reruns the fixpoint (metrics reflect it).
+        The fragmentation itself is still patched in place.
         """
         start = time.perf_counter()
-        if u not in self._graph or v not in self._graph:
-            raise GraphError("both endpoints must exist")
-        if self._graph.has_edge(u, v):
-            raise GraphError(f"edge ({u!r}, {v!r}) already present")
-        self._graph.add_edge(u, v)
-        assignment = {w: self.fragmentation.owner(w) for w in self._graph.nodes()}
-        self.fragmentation = fragment_graph(self._graph, assignment)
-
-        network = Network(self.config.cost)
-        deps = DependencyGraphs(self.fragmentation)
-        self.programs = {
-            frag.fid: DgpmSiteProgram(frag.fid, self.fragmentation, self.query, deps, self.config)
-            for frag in self.fragmentation
-        }
-        engine = SyncEngine(self.programs, network, self.config.cost)
-        engine.run_fixpoint()
+        delta = self.fragmentation.insert_edge(u, v)
+        self._deps.apply_delta(delta)
+        cost = self._state.bootstrap()
         return UpdateMetrics(
             kind="insert(recompute)",
-            n_messages=network.data_message_count,
-            ds_bytes=network.data_bytes,
-            n_rounds=engine.n_rounds,
+            n_messages=cost.n_messages,
+            ds_bytes=cost.ds_bytes,
+            n_rounds=cost.n_rounds,
             wall_seconds=time.perf_counter() - start,
             falsified_local=0,
         )

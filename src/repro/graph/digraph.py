@@ -9,8 +9,10 @@ The representation is a plain adjacency-list digraph with:
   membership),
 * cheap induced-subgraph extraction (used heavily by the fragmentation layer),
 * lazy label indexes (label -> nodes, node -> successor-label counts) that are
-  built on first use and invalidated by mutation, so repeated queries over a
-  resident graph never rescan it,
+  built on first use and *maintained in place* by edge insertions/deletions
+  and node additions/removals (a relabel still drops them -- it would touch
+  every predecessor's counts), so resident graphs absorbing a mutation stream
+  never rescan themselves,
 * a monotonically increasing :attr:`~DiGraph.version` that mutation bumps --
   the session layer uses it to detect stale caches.
 
@@ -95,7 +97,14 @@ class DiGraph:
             self._succ[node] = []
             self._succ_set[node] = set()
             self._pred[node] = []
-        elif self._labels[node] == label:
+            self._labels[node] = label
+            self._version += 1
+            if self._label_index is not None:
+                self._label_index.setdefault(label, []).append(node)
+            if self._succ_label_counts is not None:
+                self._succ_label_counts[node] = {}
+            return
+        if self._labels[node] == label:
             return
         self._labels[node] = label
         self._version += 1
@@ -116,7 +125,10 @@ class DiGraph:
         self._pred[v].append(u)
         self._n_edges += 1
         self._version += 1
-        self._succ_label_counts = None
+        if self._succ_label_counts is not None:
+            per = self._succ_label_counts[u]
+            lab = self._labels[v]
+            per[lab] = per.get(lab, 0) + 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the directed edge ``(u, v)``; raises if absent."""
@@ -128,7 +140,41 @@ class DiGraph:
         self._succ_set[u].discard(v)
         self._n_edges -= 1
         self._version += 1
-        self._succ_label_counts = None
+        if self._succ_label_counts is not None:
+            per = self._succ_label_counts[u]
+            lab = self._labels[v]
+            remaining = per.get(lab, 0) - 1
+            if remaining > 0:
+                per[lab] = remaining
+            else:
+                per.pop(lab, None)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every incident edge; raises if unknown.
+
+        Used by the fragmentation maintenance layer to prune a virtual node
+        whose last crossing edge was deleted.
+        """
+        if node not in self._labels:
+            raise GraphError(f"unknown node {node!r}")
+        for v in list(self._succ[node]):
+            self.remove_edge(node, v)
+        for p in list(self._pred[node]):
+            self.remove_edge(p, node)
+        label = self._labels.pop(node)
+        del self._succ[node]
+        del self._succ_set[node]
+        del self._pred[node]
+        self._version += 1
+        if self._label_index is not None:
+            # A warm index always lists the node under its label; a miss here
+            # is index corruption and must fail at the corruption site.
+            bucket = self._label_index[label]
+            bucket.remove(node)
+            if not bucket:
+                del self._label_index[label]
+        if self._succ_label_counts is not None:
+            self._succ_label_counts.pop(node, None)
 
     # ------------------------------------------------------------------
     # inspection
@@ -208,8 +254,9 @@ class DiGraph:
     def nodes_with_label(self, label: Label) -> List[Node]:
         """All nodes carrying ``label``, in insertion order.
 
-        Served from a lazy label index built on first call and invalidated by
-        mutation, so resident graphs answer repeated queries in O(answer).
+        Served from a lazy label index built on first call and maintained in
+        place by node additions/removals (dropped only on relabel), so
+        resident graphs answer repeated queries in O(answer).
         """
         if self._label_index is None:
             index: Dict[Label, List[Node]] = {}
@@ -221,9 +268,10 @@ class DiGraph:
     def successor_label_counts(self, node: Node) -> Mapping[Label, int]:
         """``label -> |{w in succ(node) : L(w) = label}|`` for ``node``.
 
-        Lazily computed for the whole graph on first call (and invalidated by
-        mutation); lets per-query evaluation state seed its HHK counters
-        without walking adjacency lists.
+        Lazily computed for the whole graph on first call and patched in
+        place by edge mutations (dropped only on relabel); lets per-query
+        evaluation state seed its HHK counters without walking adjacency
+        lists even while the graph absorbs an update stream.
         """
         if self._succ_label_counts is None:
             counts: Dict[Node, Dict[Label, int]] = {}

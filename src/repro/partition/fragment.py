@@ -11,6 +11,13 @@ Matches the paper's Section 2.2 definition exactly:
   exactly the nodes whose match status other sites are waiting on;
 * the stored :class:`~repro.graph.digraph.DiGraph` is the subgraph induced by
   ``Vi ∪ Fi.O``, so it contains local edges plus crossing edges out of ``Vi``.
+
+Fragment metadata is *rebuildable in place*: the ``_add_*``/``_drop_*``
+helpers patch ``Vi``/``Fi.O``/``Fi.I`` one node at a time so the
+fragmentation's mutation API (:meth:`Fragmentation.delete_edge` and friends)
+can maintain the Section-2.2 invariants across updates without rebuilding
+fragments.  The sets stay exposed as frozensets -- callers outside the
+maintenance layer must treat them as immutable snapshots.
 """
 
 from __future__ import annotations
@@ -68,6 +75,33 @@ class Fragment:
     def owner_of_virtual(self, node: Node) -> int:
         """Fragment id that stores virtual node ``node`` locally."""
         return self._virtual_owner[node]
+
+    # ------------------------------------------------------------------
+    # in-place metadata maintenance (used by Fragmentation's mutation API;
+    # each helper replaces one frozenset so readers never see a half-applied
+    # update)
+    # ------------------------------------------------------------------
+    def _add_local_node(self, node: Node) -> None:
+        """Grow ``Vi`` by one node (its graph entry is added by the caller)."""
+        self.local_nodes = self.local_nodes | {node}
+
+    def _add_virtual_node(self, node: Node, owner: int) -> None:
+        """Record ``node`` as a member of ``Fi.O`` stored at site ``owner``."""
+        self.virtual_nodes = self.virtual_nodes | {node}
+        self._virtual_owner[node] = owner
+
+    def _drop_virtual_node(self, node: Node) -> None:
+        """Forget a virtual node whose last crossing edge from ``Vi`` is gone."""
+        self.virtual_nodes = self.virtual_nodes - {node}
+        self._virtual_owner.pop(node, None)
+
+    def _add_in_node(self, node: Node) -> None:
+        """Mark local ``node`` as having an incoming crossing edge."""
+        self.in_nodes = self.in_nodes | {node}
+
+    def _drop_in_node(self, node: Node) -> None:
+        """Unmark ``node``: no other fragment points at it anymore."""
+        self.in_nodes = self.in_nodes - {node}
 
     def crossing_edges(self) -> List[Tuple[Node, Node]]:
         """Edges from a local node to a virtual node (this fragment's share of ``Ef``)."""

@@ -5,16 +5,61 @@ structure of Section 2.2; :class:`Fragmentation` exposes the quantities the
 paper's bounds are written in (``|F|``, ``|Fm|``, ``Vf``, ``Ef``) and
 validates the consistency invariants (tests rely on
 :meth:`Fragmentation.validate`).
+
+A fragmentation is also *maintainable in place*: :meth:`Fragmentation.\
+delete_edge`, :meth:`Fragmentation.insert_edge` and
+:meth:`Fragmentation.add_node` patch the base graph, the owning fragment's
+stored subgraph, and the ``Fi.O``/``Fi.I`` membership of the touched
+endpoints together, so :meth:`validate` holds after every update.  Each
+returns a :class:`MutationDelta` describing exactly which boundary metadata
+moved -- consumers (the watcher tables of
+:class:`~repro.core.depgraph.DependencyGraphs`, the session layer's caches)
+use it to patch their own state incrementally instead of rebuilding.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import FragmentationError, GraphError
 from repro.graph import algorithms
-from repro.graph.digraph import DiGraph, Node
+from repro.graph.digraph import DiGraph, Label, Node
 from repro.partition.fragment import Fragment
+
+
+@dataclass(frozen=True)
+class MutationDelta:
+    """What one in-place fragmentation update changed, beyond the graphs.
+
+    ``source_fid`` owns the edge source (for ``add_node``: the fragment the
+    node joined); ``target_fid`` owns the edge target.  The four booleans
+    record boundary-metadata transitions: whether ``v`` entered/left the
+    source fragment's ``Fi.O`` and the target fragment's ``Fi.I``.  Labels
+    are carried so consumers can run label-relevance checks without touching
+    the graph again.
+    """
+
+    kind: str  # "delete" | "insert" | "add_node"
+    u: Node
+    v: Node
+    source_fid: int
+    target_fid: int
+    u_label: Label
+    v_label: Label
+    #: v left source fragment's Fi.O (its last crossing edge from there died)
+    virtual_dropped: bool = False
+    #: v entered source fragment's Fi.O (first crossing edge from there)
+    virtual_added: bool = False
+    #: v left target fragment's Fi.I (no incoming crossing edge remains)
+    in_dropped: bool = False
+    #: v entered target fragment's Fi.I
+    in_added: bool = False
+
+    @property
+    def crossing(self) -> bool:
+        """True iff the touched edge spans two fragments."""
+        return self.source_fid != self.target_fid
 
 
 class Fragmentation:
@@ -102,6 +147,108 @@ class Fragmentation:
         return (
             f"Fragmentation(|F|={self.n_fragments}, |V|={self.graph.n_nodes}, "
             f"|Vf|={self.n_virtual_nodes}, |Ef|={self.n_crossing_edges})"
+        )
+
+    # ------------------------------------------------------------------
+    # in-place maintenance (Section-2.2 invariants preserved per update)
+    # ------------------------------------------------------------------
+    def delete_edge(self, u: Node, v: Node) -> MutationDelta:
+        """Remove edge ``(u, v)`` from the base graph *and* the fragmentation.
+
+        Patches the owning fragment's stored subgraph, prunes ``v`` from its
+        ``Fi.O`` when the last crossing edge from that fragment dies (also
+        dropping the now-unreferenced virtual node from the fragment graph),
+        and clears ``v`` from its owner's ``Fi.I`` when no incoming crossing
+        edge remains.  :meth:`validate` holds afterwards.
+        """
+        if not self.graph.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) is not in the graph")
+        source_fid = self.owner(u)
+        target_fid = self.owner(v)
+        u_label = self.graph.label(u)
+        v_label = self.graph.label(v)
+        self.graph.remove_edge(u, v)
+        source = self.fragments[source_fid]
+        source.graph.remove_edge(u, v)
+
+        virtual_dropped = in_dropped = False
+        if source_fid != target_fid:
+            preds = self.graph.predecessors(v)
+            if not any(self._owner[p] == source_fid for p in preds):
+                # v's last crossing edge out of `source` is gone: v leaves
+                # Fi.O and its (edge-less) graph entry is pruned.
+                source._drop_virtual_node(v)
+                source.graph.remove_node(v)
+                virtual_dropped = True
+            if not any(self._owner[p] != target_fid for p in preds):
+                self.fragments[target_fid]._drop_in_node(v)
+                in_dropped = True
+        return MutationDelta(
+            kind="delete", u=u, v=v,
+            source_fid=source_fid, target_fid=target_fid,
+            u_label=u_label, v_label=v_label,
+            virtual_dropped=virtual_dropped, in_dropped=in_dropped,
+        )
+
+    def insert_edge(self, u: Node, v: Node) -> MutationDelta:
+        """Add edge ``(u, v)`` to the base graph *and* the fragmentation.
+
+        A new crossing edge registers ``v`` in the source fragment's ``Fi.O``
+        (adding the virtual node, with label, to its stored subgraph) and in
+        the target fragment's ``Fi.I`` as needed.
+        """
+        if u not in self.graph or v not in self.graph:
+            raise GraphError("both endpoints must exist")
+        if self.graph.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) already present")
+        source_fid = self.owner(u)
+        target_fid = self.owner(v)
+        u_label = self.graph.label(u)
+        v_label = self.graph.label(v)
+        self.graph.add_edge(u, v)
+        source = self.fragments[source_fid]
+
+        virtual_added = in_added = False
+        if source_fid != target_fid:
+            if v not in source.virtual_nodes:
+                source._add_virtual_node(v, owner=target_fid)
+                if v not in source.graph:
+                    source.graph.add_node(v, v_label)
+                virtual_added = True
+            target = self.fragments[target_fid]
+            if v not in target.in_nodes:
+                target._add_in_node(v)
+                in_added = True
+        source.graph.add_edge(u, v)
+        return MutationDelta(
+            kind="insert", u=u, v=v,
+            source_fid=source_fid, target_fid=target_fid,
+            u_label=u_label, v_label=v_label,
+            virtual_added=virtual_added, in_added=in_added,
+        )
+
+    def add_node(self, node: Node, label: Label, fid: Optional[int] = None) -> MutationDelta:
+        """Add an isolated ``node`` with ``label`` to fragment ``fid``.
+
+        ``fid`` defaults to the smallest fragment (by ``|Vi| + |Ei|``).  The
+        new node starts with no edges, so no boundary metadata moves; wire it
+        up with :meth:`insert_edge`.
+        """
+        if node in self.graph:
+            raise GraphError(f"node {node!r} already exists")
+        if fid is None:
+            fid = min(self.fragments, key=lambda f: f.size).fid
+        if not 0 <= fid < self.n_fragments:
+            raise FragmentationError(f"fragment id {fid} out of range")
+        self.graph.add_node(node, label)
+        fragment = self.fragments[fid]
+        fragment.graph.add_node(node, label)
+        fragment._add_local_node(node)
+        self._owner[node] = fid
+        return MutationDelta(
+            kind="add_node", u=node, v=node,
+            source_fid=fid, target_fid=fid,
+            u_label=label, v_label=label,
         )
 
     # ------------------------------------------------------------------

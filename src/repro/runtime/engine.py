@@ -37,6 +37,9 @@ class TickResult:
     #: True when the site has no local work left (it can still be woken
     #: by a later message).
     halted: bool = True
+    #: local variables this tick falsified (the site's share of |AFF|);
+    #: programs that do not track it leave the default 0
+    n_falsified: int = 0
 
 
 class SiteProgram(Protocol):

@@ -9,17 +9,25 @@ indexes, interned label ids), and serves a stream of queries through the
 cache -- so per-query cost excludes per-graph cost, the property that matters
 once the same resident graph sees heavy query traffic.
 
+The session is also the graph's write path: ``session.delete_edge`` /
+``insert_edge`` / ``add_node`` / ``apply`` patch the resident fragmentation
+in place and *maintain* the serving caches across the mutation (warm
+incremental repair for hot queries, label-relevance retention for the rest)
+instead of dropping them -- see :mod:`repro.session.session` for the
+contract.
+
 The one-shot entry points (``run_dgpm`` and friends) remain the public API;
 each is now a thin wrapper that builds a throwaway session.
 """
 
 from repro.session.cache import LabelInterner, LruResultCache, canonical_query_key
 from repro.session.drivers import DRIVERS, AlgorithmDriver
-from repro.session.session import SessionStats, SimulationSession
+from repro.session.session import MutationOutcome, SessionStats, SimulationSession
 
 __all__ = [
     "SimulationSession",
     "SessionStats",
+    "MutationOutcome",
     "AlgorithmDriver",
     "DRIVERS",
     "LabelInterner",

@@ -10,8 +10,12 @@ Two pieces:
 * :class:`LruResultCache` -- a small LRU keyed by
   ``(algorithm, config, query)`` with hit/miss/eviction counters.  Graph
   simulation is a pure function of (query, fragmentation), so cached results
-  stay valid until the fragmentation mutates -- the session handles that by
-  clearing the cache (see ``SimulationSession._refresh_if_stale``).
+  stay valid until the fragmentation mutates.  The session keeps them fresh
+  across mutations: entries whose answers cannot have changed are kept,
+  warm-maintained entries are repaired in place (:meth:`LruResultCache.\
+replace`), and the rest are evicted one at a time (:meth:`LruResultCache.\
+pop`); an ``on_evict`` hook lets the session drop its per-entry metadata
+  whenever the LRU ages something out.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.graph.pattern import Pattern
 from repro.runtime.metrics import RunResult
@@ -74,17 +78,35 @@ class CacheStats:
 
 
 class LruResultCache:
-    """Least-recently-used cache of :class:`RunResult` objects."""
+    """Least-recently-used cache of :class:`RunResult` objects.
 
-    def __init__(self, max_entries: int = 128) -> None:
+    ``on_evict`` (optional) is called with the key of every entry that
+    leaves the cache through LRU overflow or :meth:`pop` -- not through
+    :meth:`clear`, which callers use when they are resetting their own
+    bookkeeping anyway.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 128,
+        on_evict: Optional[Callable[[Tuple], None]] = None,
+    ) -> None:
         if max_entries < 0:
             raise ValueError("max_entries must be >= 0")
         self.max_entries = max_entries
         self._entries: "OrderedDict[Tuple, RunResult]" = OrderedDict()
         self.stats = CacheStats()
+        self._on_evict = on_evict
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._entries
+
+    def keys(self) -> List[Tuple]:
+        """Snapshot of the cached keys, LRU-first."""
+        return list(self._entries)
 
     def get(self, key: Tuple) -> Optional[RunResult]:
         result = self._entries.get(key)
@@ -95,14 +117,35 @@ class LruResultCache:
         self.stats.hits += 1
         return result
 
+    def peek(self, key: Tuple) -> Optional[RunResult]:
+        """Read an entry without touching recency or hit/miss counters."""
+        return self._entries.get(key)
+
     def put(self, key: Tuple, result: RunResult) -> None:
         if self.max_entries == 0:
             return
         self._entries[key] = result
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(evicted)
+
+    def replace(self, key: Tuple, result: RunResult) -> None:
+        """Swap the stored result of an existing entry, preserving recency.
+
+        Used by maintenance: a repaired answer replaces a stale one without
+        counting as a hit or promoting the entry.
+        """
+        if key in self._entries:
+            self._entries[key] = result
+
+    def pop(self, key: Tuple) -> None:
+        """Drop one entry (no-op if absent); fires ``on_evict``."""
+        if self._entries.pop(key, None) is not None:
+            if self._on_evict is not None:
+                self._on_evict(key)
 
     def clear(self) -> None:
         self._entries.clear()

@@ -1,6 +1,6 @@
-"""Resident multi-query serving over a persistent fragmentation.
+"""Resident multi-query serving over a persistent, *mutable* fragmentation.
 
-The paper's setting is a *resident* distributed graph queried repeatedly --
+The paper's setting is a resident distributed graph queried repeatedly --
 sites hold their fragments, the boundary tables are known, and queries
 arrive as a stream.  :class:`SimulationSession` is that architecture in one
 object: it loads a :class:`~repro.partition.fragmentation.Fragmentation`
@@ -21,37 +21,70 @@ Amortized across queries:
 * an LRU cache of final results keyed by ``(algorithm, config, canonical
   query hash)`` -- repeated queries are answered without touching a site.
 
-Mutation safety: the session snapshots the fragmentation's mutation stamp
-(:attr:`Fragmentation.version`, derived from every stored graph's version
-counter).  If any fragment graph or the base graph is mutated, the next
-``run`` notices the stale stamp, drops every cache, re-validates the
-fragmentation, and rebuilds -- results are never served from a graph that no
-longer exists.  The contract: mutations must keep the *fragmentation*
-consistent (update the base graph and the owning fragment's copy together,
-as :mod:`repro.core.incremental` and ``examples/query_server.py`` do);
-mutations that break the Section-2.2 invariants -- e.g. a new crossing edge
-that should have created a virtual node in a frozen ``Fi.O`` -- raise
-:class:`~repro.errors.FragmentationError` on the next ``run`` instead of
-silently answering from stale boundary tables.
+Mutation API and its invariant contract
+---------------------------------------
+
+The session is the write path for a graph that changes while being served:
+:meth:`delete_edge`, :meth:`insert_edge`, :meth:`add_node`, and the batched
+:meth:`apply` patch the resident fragmentation **in place** through
+:meth:`Fragmentation.delete_edge` and friends, which maintain the
+Section-2.2 invariants (``Fi.O``/``Fi.I`` membership, induced fragment
+subgraphs) per update -- ``fragmentation.validate()`` holds after any
+sequence of session-applied mutations.  The watcher/boundary tables are
+patched incrementally (:meth:`DependencyGraphs.apply_delta`), never rebuilt,
+and the result cache is *maintained*, not dropped:
+
+* entries whose answers provably cannot change (no query edge carries the
+  mutated edge's label pair; Section 2.1's simulation conditions only
+  inspect an edge as a witness for a same-labeled query edge) are kept;
+* hot entries hold a warm :class:`~repro.core.incremental.\
+IncrementalMatchState` (the paper's incremental lEval, Section 4.2 / [13]):
+  an edge deletion repairs their answers through the affected area only
+  (``O(|AFF|)``), and the repaired relation replaces the cached one --
+  entries are only rewritten when the answer actually changed;
+* insertions, which can revive matches, fall back to a targeted
+  re-evaluation of the affected warm entries (counters are merely patched
+  when the insert is label-irrelevant);
+* remaining affected entries are evicted individually.
+
+``maintenance="invalidate"`` keeps the old drop-everything behavior (the
+baseline that ``benchmarks/bench_updates.py`` gates against).
+
+Mutations applied *around* the session (directly to the stored graphs) are
+still detected: the session snapshots the fragmentation's mutation stamp
+(:attr:`Fragmentation.version`), and a stale stamp on the next ``run``
+re-validates the fragmentation and drops every cache -- external mutations
+that break the Section-2.2 invariants raise
+:class:`~repro.errors.FragmentationError` instead of being answered from
+stale boundary tables.
 
 >>> session = SimulationSession(fragmentation)
 >>> first = session.run(query)                      # pays setup once
 >>> again = session.run(query)                      # served from cache
->>> results = session.run_many(stream, algorithm="dgpm")
->>> session.stats.cache_hits
+>>> outcome = session.delete_edge(u, v)             # patches, not drops
+>>> outcome.cache_repaired, outcome.cache_kept
 ...
+>>> session.run(query).relation                     # still oracle-exact
 """
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import DgpmConfig
 from repro.core.depgraph import DependencyGraphs
+from repro.core.incremental import (
+    IncrementalMatchState,
+    edge_update_may_change_answer,
+    node_update_may_change_answer,
+)
 from repro.errors import ReproError
+from repro.graph.digraph import Label, Node
 from repro.graph.pattern import Pattern
-from repro.partition.fragmentation import Fragmentation
+from repro.partition.fragmentation import Fragmentation, MutationDelta
 from repro.runtime.metrics import RunResult
 from repro.session.cache import LabelInterner, LruResultCache, canonical_query_key
 from repro.session.drivers import DRIVERS, AlgorithmDriver
@@ -76,13 +109,49 @@ class SessionStats:
     cache_misses: int = 0
     #: results dropped because the LRU overflowed
     cache_evictions: int = 0
-    #: times a mutation of the fragmentation forced a cache rebuild
+    #: times every derived structure was dropped at once (external mutation
+    #: detected, explicit ``invalidate()``, or ``maintenance="invalidate"``)
     invalidations: int = 0
+    #: mutations applied through the session's mutation API
+    mutations: int = 0
+    #: cache entries kept across a mutation (answer provably unchanged)
+    entries_kept: int = 0
+    #: cache entries whose answers were repaired in place by a warm state
+    entries_repaired: int = 0
+    #: cache entries evicted because a mutation may have changed them
+    entries_evicted: int = 0
 
     @property
     def hit_rate(self) -> float:
         """Fraction of served queries answered from cache."""
         return self.cache_hits / self.queries_served if self.queries_served else 0.0
+
+
+@dataclass
+class MutationOutcome:
+    """What one session-applied mutation did to the serving state."""
+
+    kind: str            # "delete" | "insert" | "add_node"
+    wall_seconds: float
+    #: cached results untouched (answer provably or verifiably unchanged)
+    cache_kept: int
+    #: cached results whose relation was repaired in place
+    cache_repaired: int
+    #: cached results dropped (answer may have changed, no warm state)
+    cache_evicted: int
+    #: falsified variables across warm-state repairs (the |AFF| proxy;
+    #: deletions only)
+    falsified: int
+
+
+@dataclass
+class _CacheEntryMeta:
+    """Per-entry bookkeeping the digest key cannot recover."""
+
+    query: Pattern
+    algorithm: str
+    config: DgpmConfig
+    hits: int = 0
 
 
 class SimulationSession:
@@ -98,6 +167,17 @@ class SimulationSession:
     cache_size:
         Maximum number of cached results (0 disables result caching; the
         structural caches are unaffected).
+    maintenance:
+        ``"incremental"`` (default) patches caches across session-applied
+        mutations as described in the module docstring;
+        ``"invalidate"`` drops every derived structure on any mutation
+        (the pre-maintenance behavior, kept as the benchmark baseline).
+    max_warm_states:
+        Cap on warm per-query incremental states (each keeps every site's
+        evaluation state alive for one hot query).
+    warm_after_hits:
+        A cached query is promoted to a warm state once it has been served
+        from cache this many times (promotion itself costs one fixpoint).
     """
 
     def __init__(
@@ -105,13 +185,26 @@ class SimulationSession:
         fragmentation: Fragmentation,
         config: Optional[DgpmConfig] = None,
         cache_size: int = 128,
+        maintenance: str = "incremental",
+        max_warm_states: int = 8,
+        warm_after_hits: int = 1,
     ) -> None:
+        if maintenance not in ("incremental", "invalidate"):
+            raise ReproError(
+                f"unknown maintenance mode {maintenance!r} "
+                "(known: incremental, invalidate)"
+            )
         self.fragmentation = fragmentation
         self.config = config or DgpmConfig()
+        self.maintenance = maintenance
+        self.max_warm_states = max_warm_states
+        self.warm_after_hits = warm_after_hits
         self.stats = SessionStats()
         self.drivers: Dict[str, AlgorithmDriver] = dict(DRIVERS)
         self.labels = LabelInterner()
-        self._cache = LruResultCache(cache_size)
+        self._cache = LruResultCache(cache_size, on_evict=self._on_cache_evict)
+        self._meta: Dict[Tuple, _CacheEntryMeta] = {}
+        self._warm: "OrderedDict[Tuple, IncrementalMatchState]" = OrderedDict()
         self._deps: Optional[DependencyGraphs] = None
         self._version = fragmentation.version
         self.labels.intern_all(
@@ -132,10 +225,12 @@ class SimulationSession:
         """Eagerly build every amortizable structure (optional; they are lazy).
 
         Useful before benchmarking or before the first latency-sensitive
-        query: forces the dependency graphs plus each fragment's label index
-        and successor-label counters.
+        query: forces the dependency graphs plus the label index and
+        successor-label counters of the base graph *and* of every fragment
+        (the base graph serves dispatch and the centralized baselines).
         """
         _ = self.deps
+        self.fragmentation.graph.warm_indexes()
         for frag in self.fragmentation:
             frag.graph.warm_indexes()
         return self
@@ -147,16 +242,22 @@ class SimulationSession:
         """Drop every derived structure; the next query rebuilds them."""
         self._deps = None
         self._cache.clear()
+        self._meta.clear()
+        self._warm.clear()
         self._version = self.fragmentation.version
         self.stats.invalidations += 1
 
     def _refresh_if_stale(self) -> None:
         if self.fragmentation.version != self._version:
-            # A mutation that broke the fragmentation invariants (e.g. a new
+            # A mutation applied around the session's API (e.g. a new
             # crossing edge with no virtual-node bookkeeping) must fail here,
             # loudly, not be answered from stale boundary tables.
             self.fragmentation.validate()
             self.invalidate()
+
+    def _on_cache_evict(self, key: Tuple) -> None:
+        self._meta.pop(key, None)
+        self._warm.pop(key, None)
 
     # ------------------------------------------------------------------
     # serving
@@ -171,8 +272,12 @@ class SimulationSession:
         ``run_*`` function of the same algorithm.
 
         Cache hits return a result whose ``metrics.extras`` carries
-        ``cache_hit: 1.0`` (the underlying relation object is shared -- match
-        relations are immutable in practice).
+        ``cache_hit: 1.0``; the relation object is shared (safe:
+        :class:`~repro.simulation.matchrel.MatchRelation` is frozen) and the
+        metrics are copied, so callers can never poison the cache.  An entry
+        repaired across mutations additionally carries ``maintained: <n>``
+        (updates absorbed since it was computed) -- its metrics describe the
+        original run, its relation the current graph.
         """
         self._refresh_if_stale()
         config = config or self.config
@@ -185,13 +290,30 @@ class SimulationSession:
         cached = self._cache.get(key)
         if cached is not None:
             self.stats.cache_hits += 1
+            meta = self._meta.get(key)
+            if meta is not None:
+                meta.hits += 1
+                if key in self._warm:
+                    self._warm.move_to_end(key)  # recency for slot rotation
+                else:
+                    self._maybe_promote(key, meta)
             metrics = replace(
                 cached.metrics, extras={**cached.metrics.extras, "cache_hit": 1.0}
             )
             return RunResult(relation=cached.relation, metrics=metrics)
         self.stats.cache_misses += 1
         result = driver.run(self, query, config)
-        self._cache.put(key, result)
+        # Store a defensive snapshot: the caller owns the returned metrics
+        # object; mutating its extras must not leak into later hits.
+        stored = RunResult(
+            relation=result.relation,
+            metrics=replace(result.metrics, extras=dict(result.metrics.extras)),
+        )
+        self._cache.put(key, stored)
+        if key in self._cache:
+            self._meta[key] = _CacheEntryMeta(
+                query=query, algorithm=driver.name, config=config
+            )
         self.stats.cache_evictions = self._cache.stats.evictions
         return result
 
@@ -203,6 +325,173 @@ class SimulationSession:
     ) -> List[RunResult]:
         """Serve a stream of queries in order; one result per query."""
         return [self.run(query, algorithm=algorithm, config=config) for query in queries]
+
+    # ------------------------------------------------------------------
+    # mutations (the write path; see the module docstring for the contract)
+    # ------------------------------------------------------------------
+    def delete_edge(self, u: Node, v: Node) -> MutationOutcome:
+        """Delete edge ``(u, v)`` from the resident graph, maintaining caches.
+
+        Warm entries are repaired through the affected area only
+        (``O(|AFF|)``); label-irrelevant entries are kept; the rest are
+        evicted.
+        """
+        start = time.perf_counter()
+        self._refresh_if_stale()
+        delta = self.fragmentation.delete_edge(u, v)
+        return self._absorb(delta, start)
+
+    def insert_edge(self, u: Node, v: Node) -> MutationOutcome:
+        """Insert edge ``(u, v)``; affected warm entries re-evaluate.
+
+        Insertions can revive matches, which falsification-only repair
+        cannot express -- warm entries whose answers may change run a fresh
+        fixpoint over the (already patched) structures; label-irrelevant
+        inserts only patch one successor counter.
+        """
+        start = time.perf_counter()
+        self._refresh_if_stale()
+        delta = self.fragmentation.insert_edge(u, v)
+        return self._absorb(delta, start)
+
+    def add_node(self, node: Node, label: Label, fid: Optional[int] = None) -> MutationOutcome:
+        """Add an isolated labeled node to fragment ``fid`` (default: smallest)."""
+        start = time.perf_counter()
+        self._refresh_if_stale()
+        delta = self.fragmentation.add_node(node, label, fid)
+        return self._absorb(delta, start)
+
+    def apply(self, updates: Sequence[Tuple]) -> List[MutationOutcome]:
+        """Apply a batch of updates in order; one outcome per update.
+
+        Each update is ``("delete", u, v)``, ``("insert", u, v)``, or
+        ``("add_node", node, label[, fid])``.
+        """
+        out: List[MutationOutcome] = []
+        for update in updates:
+            kind = update[0]
+            if kind == "delete":
+                out.append(self.delete_edge(update[1], update[2]))
+            elif kind == "insert":
+                out.append(self.insert_edge(update[1], update[2]))
+            elif kind == "add_node":
+                out.append(self.add_node(*update[1:]))
+            else:
+                raise ReproError(
+                    f"unknown update kind {kind!r} (known: delete, insert, add_node)"
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    # maintenance internals
+    # ------------------------------------------------------------------
+    def _absorb(self, delta: MutationDelta, start: float) -> MutationOutcome:
+        """Propagate one fragmentation delta into every derived structure."""
+        self.stats.mutations += 1
+        if self.maintenance == "invalidate":
+            evicted = len(self._cache)
+            self.invalidate()
+            return MutationOutcome(
+                kind=delta.kind,
+                wall_seconds=time.perf_counter() - start,
+                cache_kept=0, cache_repaired=0, cache_evicted=evicted,
+                falsified=0,
+            )
+
+        if self._deps is not None:
+            self._deps.apply_delta(delta)
+        kept = repaired = evicted = falsified = 0
+        for key in self._cache.keys():
+            warm = self._warm.get(key)
+            if warm is not None:
+                changed, n_falsified = self._repair_warm(warm, delta)
+                falsified += n_falsified
+                if changed and self._rewrite_entry(key, warm):
+                    repaired += 1
+                else:
+                    kept += 1
+                continue
+            meta = self._meta.get(key)
+            if meta is None or self._may_change_answer(meta.query, delta):
+                self._cache.pop(key)
+                evicted += 1
+            else:
+                kept += 1
+        self._version = self.fragmentation.version
+        self.stats.entries_kept += kept
+        self.stats.entries_repaired += repaired
+        self.stats.entries_evicted += evicted
+        return MutationOutcome(
+            kind=delta.kind,
+            wall_seconds=time.perf_counter() - start,
+            cache_kept=kept, cache_repaired=repaired, cache_evicted=evicted,
+            falsified=falsified,
+        )
+
+    @staticmethod
+    def _may_change_answer(query: Pattern, delta: MutationDelta) -> bool:
+        if delta.kind == "add_node":
+            return node_update_may_change_answer(query, delta.u_label)
+        return edge_update_may_change_answer(query, delta.u_label, delta.v_label)
+
+    def _repair_warm(
+        self, warm: IncrementalMatchState, delta: MutationDelta
+    ) -> Tuple[bool, int]:
+        """Absorb one delta into a warm state; (answer may differ, |AFF|)."""
+        if delta.kind == "delete":
+            cost = warm.apply_delete(delta.u, delta.v, delta.v_label)
+            return cost.n_falsified > 0, cost.n_falsified
+        if delta.kind == "insert":
+            if edge_update_may_change_answer(warm.query, delta.u_label, delta.v_label):
+                warm.bootstrap()
+                return True, 0
+            warm.absorb_irrelevant_insert(delta.u, delta.v, delta.v_label)
+            return False, 0
+        return warm.absorb_add_node(delta.u, delta.u_label, delta.source_fid), 0
+
+    def _rewrite_entry(self, key: Tuple, warm: IncrementalMatchState) -> bool:
+        """Replace a cached relation with the repaired one; False if equal
+        (the "answer actually changed" check -- unchanged entries are kept
+        verbatim, repaired ones keep their metrics with a ``maintained``
+        marker)."""
+        cached = self._cache.peek(key)
+        if cached is None:
+            return False
+        new_relation = warm.relation()
+        if cached.relation == new_relation:
+            return False
+        extras = dict(cached.metrics.extras)
+        extras["maintained"] = extras.get("maintained", 0.0) + 1.0
+        self._cache.replace(
+            key,
+            RunResult(
+                relation=new_relation,
+                metrics=replace(cached.metrics, extras=extras),
+            ),
+        )
+        return True
+
+    def _maybe_promote(self, key: Tuple, meta: _CacheEntryMeta) -> None:
+        """Give a hot cached query a warm incremental state.
+
+        When every slot is taken, the least-recently-hit warm state is
+        retired to make room -- the warm set tracks the *currently* hottest
+        queries, not the first ones that ever got hot.
+        """
+        if (
+            self.maintenance != "incremental"
+            or meta.hits < self.warm_after_hits
+            or meta.config.boolean_only
+        ):
+            return
+        if len(self._warm) >= self.max_warm_states:
+            self._warm.popitem(last=False)
+        self._warm[key] = IncrementalMatchState(
+            meta.query,
+            self.fragmentation,
+            self.deps,
+            DgpmConfig(incremental=True, enable_push=False, cost=meta.config.cost),
+        )
 
     # ------------------------------------------------------------------
     def _resolve_for_query(self, algorithm: str, query: Pattern) -> AlgorithmDriver:

@@ -25,9 +25,15 @@ class MatchRelation:
     match, the relation as a whole is *empty* (``bool(rel) is False`` and
     ``as_relation()`` returns the empty set) -- this mirrors the paper's
     semantics that ``Q(G) = ∅`` when ``G`` does not match ``Q``.
+
+    Immutability is enforced, not just advertised: per-node sets are
+    frozensets, views return copies, and attribute assignment after
+    construction raises ``AttributeError``.  The session layer relies on
+    this -- cache hits share the relation object, so a mutable relation
+    would let one caller poison every later hit.
     """
 
-    __slots__ = ("_matches", "_query_nodes", "_is_match")
+    __slots__ = ("_matches", "_query_nodes", "_is_match", "_frozen")
 
     def __init__(self, query_nodes: Iterable[Node], matches: Mapping[Node, Iterable[Node]]) -> None:
         self._query_nodes: Tuple[Node, ...] = tuple(query_nodes)
@@ -35,6 +41,12 @@ class MatchRelation:
             u: frozenset(matches.get(u, ())) for u in self._query_nodes
         }
         self._is_match = all(self._matches[u] for u in self._query_nodes)
+        self._frozen = True
+
+    def __setattr__(self, name: str, value) -> None:
+        if getattr(self, "_frozen", False):
+            raise AttributeError("MatchRelation is immutable")
+        super().__setattr__(name, value)
 
     # ------------------------------------------------------------------
     # the two query semantics

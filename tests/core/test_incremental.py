@@ -73,6 +73,86 @@ class TestDeletion:
         assert update.falsified_local >= 1
 
 
+class TestFragmentMetadataRepair:
+    """Regression: deleting a crossing edge used to leave the owner
+    fragment's frozen ``Fi.O``/``Fi.I`` metadata stale, so a later
+    ``Fragmentation.validate()`` raised on a perfectly legal update and
+    stale virtual variables lingered in ``virtual_candidates()``."""
+
+    @staticmethod
+    def _chain_session():
+        graph = DiGraph({0: "L0", 1: "L1", 2: "L2"}, [(0, 1), (1, 2)])
+        frag = random_partition(graph, 3, seed=0)
+        # Force one node per fragment regardless of partitioner luck.
+        from repro.partition.fragmentation import fragment_graph
+
+        frag = fragment_graph(graph, {0: 0, 1: 1, 2: 2})
+        q = Pattern({"a": "L0", "b": "L1", "c": "L2"}, [("a", "b"), ("b", "c")])
+        return q, graph, frag
+
+    def test_delete_last_crossing_edge_validates(self):
+        q, _, frag = self._chain_session()
+        session = IncrementalDgpmSession(q, frag)
+        session.delete_edge(1, 2)  # the only crossing edge into node 2
+        session.fragmentation.validate()  # raised FragmentationError before
+        owner = session.fragmentation.owner(1)
+        fragment = session.fragmentation[owner]
+        assert 2 not in fragment.virtual_nodes
+        assert 2 not in fragment.graph
+        assert 2 not in session.fragmentation[session.fragmentation.owner(2)].in_nodes
+
+    def test_stale_virtual_candidates_pruned(self):
+        q, _, frag = self._chain_session()
+        session = IncrementalDgpmSession(q, frag)
+        owner = session.fragmentation.owner(1)
+        session.delete_edge(1, 2)
+        state = session.programs[owner].state
+        assert all(v != 2 for _, v in state.virtual_candidates())
+
+    def test_random_crossing_deletions_keep_validating(self):
+        graph = random_labeled_graph(24, 80, n_labels=3, seed=2)
+        frag = random_partition(graph, 3, seed=2)
+        q = Pattern({"a": "L0", "b": "L1"}, [("a", "b")])
+        session = IncrementalDgpmSession(q, frag)
+        crossing = [
+            (u, v) for u, v in session.fragmentation.crossing_edges()
+        ]
+        for u, v in crossing[:15]:
+            session.delete_edge(u, v)
+            session.fragmentation.validate()
+
+
+class TestAffectedAreaAccounting:
+    """Regression: remote falsifications were never counted (the dead
+    ``n_falsified += 0``), so ``falsified_local`` under-reported |AFF|."""
+
+    def test_remote_falsifications_counted(self):
+        graph = DiGraph({0: "L0", 1: "L1", 2: "L2"}, [(0, 1), (1, 2)])
+        from repro.partition.fragmentation import fragment_graph
+
+        frag = fragment_graph(graph, {0: 0, 1: 1, 2: 2})
+        q = Pattern({"a": "L0", "b": "L1", "c": "L2"}, [("a", "b"), ("b", "c")])
+        session = IncrementalDgpmSession(q, frag)
+        assert session.relation().is_match
+        # Deleting (1, 2) falsifies X(b, 1) at site 1 and, via the shipped
+        # falsification, X(a, 0) at site 0: |AFF| = 2, spanning two sites.
+        update = session.delete_edge(1, 2)
+        assert update.falsified_local == 2
+        graph.remove_edge(1, 2)
+        assert session.relation() == simulation(q, graph)
+
+    def test_figure1_cascade_counts_every_site(self):
+        q, g, frag = figure1()
+        session = IncrementalDgpmSession(q, frag)
+        update = session.delete_edge("f2", "sp1")
+        g.remove_edge("f2", "sp1")
+        assert session.relation() == simulation(q, g)
+        # The cascade kills the whole cycle: more variables than the owner
+        # site alone ever falsifies.
+        assert update.falsified_local > 2
+        assert update.n_messages > 0
+
+
 class TestInsertion:
     def test_insert_revives_matches(self):
         q, g, frag = figure1()

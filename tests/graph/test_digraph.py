@@ -56,6 +56,46 @@ class TestMutation:
         with pytest.raises(GraphError):
             g.remove_edge(1, 2)
 
+    def test_remove_node_drops_incident_edges(self):
+        g = DiGraph({1: "A", 2: "B", 3: "A"}, [(1, 2), (2, 3), (3, 1)])
+        g.remove_node(2)
+        assert 2 not in g
+        assert g.n_nodes == 2
+        assert g.n_edges == 1  # only (3, 1) survives
+        assert not g.has_edge(1, 2) and not g.has_edge(2, 3)
+        assert g.successors(1) == []
+
+    def test_remove_unknown_node_raises(self):
+        g = DiGraph({1: "A"})
+        with pytest.raises(GraphError):
+            g.remove_node(99)
+
+    def test_lazy_indexes_maintained_across_mutations(self):
+        """Edge/node mutations patch the warm indexes instead of dropping
+        them; the maintained answers must equal cold-rebuilt ones."""
+        g = DiGraph({1: "A", 2: "B", 3: "A", 4: "B"}, [(1, 2), (1, 3), (3, 4)])
+        g.warm_indexes()  # build both lazy indexes
+        g.add_edge(2, 4)
+        g.remove_edge(1, 2)
+        g.add_node(5, "B")
+        g.add_edge(1, 5)
+        g.remove_node(4)
+        cold = DiGraph({n: g.label(n) for n in g.nodes()}, g.edges())
+        for label in ("A", "B"):
+            assert sorted(g.nodes_with_label(label)) == sorted(cold.nodes_with_label(label))
+        for node in g.nodes():
+            assert dict(g.successor_label_counts(node)) == dict(
+                cold.successor_label_counts(node)
+            )
+
+    def test_relabel_still_invalidates_indexes(self):
+        g = DiGraph({1: "A", 2: "B"}, [(1, 2)])
+        g.warm_indexes()
+        g.add_node(2, "C")  # relabel: predecessors' counts change wholesale
+        assert g.nodes_with_label("C") == [2]
+        assert g.nodes_with_label("B") == []
+        assert dict(g.successor_label_counts(1)) == {"C": 1}
+
 
 class TestInspection:
     def test_degrees_and_neighbours(self):

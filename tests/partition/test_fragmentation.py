@@ -116,3 +116,118 @@ class TestConnectedFragments:
         g = DiGraph({1: "A", 2: "B", 3: "C", 4: "D"}, [(1, 2), (3, 4)])
         frag = fragment_graph(g, {1: 0, 3: 0, 2: 1, 4: 1})
         assert not frag.has_connected_fragments()
+
+
+class TestInPlaceMutation:
+    """The mutation API must keep every Section-2.2 invariant per update."""
+
+    def test_delete_local_edge(self, small_frag):
+        delta = small_frag.delete_edge(1, 2)  # both in fragment 0
+        assert delta.kind == "delete" and not delta.crossing
+        assert not small_frag.graph.has_edge(1, 2)
+        assert not small_frag[0].graph.has_edge(1, 2)
+        small_frag.validate()
+
+    def test_delete_crossing_edge_updates_boundary_sets(self, small_frag):
+        # (2, 3) is the only edge from fragment 0 into node 3.
+        delta = small_frag.delete_edge(2, 3)
+        assert delta.crossing and delta.virtual_dropped and delta.in_dropped
+        assert 3 not in small_frag[0].virtual_nodes
+        assert 3 not in small_frag[0].graph  # pruned, not left dangling
+        assert 3 not in small_frag[1].in_nodes
+        small_frag.validate()
+
+    def test_delete_keeps_shared_virtual(self):
+        g = DiGraph(
+            {1: "A", 2: "A", 3: "B"}, [(1, 3), (2, 3)]
+        )
+        frag = fragment_graph(g, {1: 0, 2: 0, 3: 1})
+        frag.delete_edge(1, 3)
+        # 3 is still reached from node 2 of fragment 0.
+        assert 3 in frag[0].virtual_nodes
+        assert 3 in frag[1].in_nodes
+        frag.validate()
+
+    def test_insert_crossing_edge_creates_boundary_metadata(self, small_frag):
+        # Node 5 is not yet pointed at from fragment 0, nor from outside
+        # fragment 1, so this crossing edge creates both boundary entries.
+        delta = small_frag.insert_edge(1, 5)
+        assert delta.crossing and delta.virtual_added and delta.in_added
+        assert 5 in small_frag[0].virtual_nodes
+        assert small_frag[0].owner_of_virtual(5) == 1
+        assert small_frag[0].graph.label(5) == "B"
+        assert 5 in small_frag[1].in_nodes
+        small_frag.validate()
+
+    def test_insert_to_existing_virtual_adds_no_metadata(self, small_frag):
+        delta = small_frag.insert_edge(1, 3)  # 3 already virtual via (2, 3)
+        assert delta.crossing and not delta.virtual_added
+        small_frag.validate()
+
+    def test_delete_then_reinsert_roundtrips(self, small_frag):
+        before_o = set(small_frag[0].virtual_nodes)
+        before_i = set(small_frag[1].in_nodes)
+        small_frag.delete_edge(2, 3)
+        small_frag.insert_edge(2, 3)
+        assert set(small_frag[0].virtual_nodes) == before_o
+        assert set(small_frag[1].in_nodes) == before_i
+        small_frag.validate()
+
+    def test_add_node_joins_fragment(self, small_frag):
+        delta = small_frag.add_node(99, "Z", fid=1)
+        assert delta.kind == "add_node"
+        assert 99 in small_frag[1].local_nodes
+        assert small_frag.owner(99) == 1
+        small_frag.validate()
+        small_frag.insert_edge(1, 99)  # wire it up across fragments
+        assert 99 in small_frag[0].virtual_nodes
+        small_frag.validate()
+
+    def test_add_node_defaults_to_smallest_fragment(self, small_frag):
+        smallest = min(small_frag, key=lambda f: f.size).fid
+        delta = small_frag.add_node(77, "Z")
+        assert delta.source_fid == smallest
+
+    def test_mutation_errors(self, small_frag):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            small_frag.delete_edge(1, 3)  # not an edge
+        with pytest.raises(GraphError):
+            small_frag.insert_edge(1, 2)  # already present
+        with pytest.raises(GraphError):
+            small_frag.insert_edge(1, 404)  # unknown endpoint
+        with pytest.raises(GraphError):
+            small_frag.add_node(1, "A")  # already exists
+        with pytest.raises(FragmentationError):
+            small_frag.add_node(404, "A", fid=9)  # fragment out of range
+
+    def test_random_mutation_sequences_stay_valid(self):
+        """validate() holds and patched watcher tables match rebuilt ones
+        after long random delete/insert/add_node sequences."""
+        import random
+
+        from repro.core.depgraph import DependencyGraphs
+
+        g = random_labeled_graph(40, 160, n_labels=4, seed=8)
+        frag = fragment_graph(g, {v: v % 4 for v in g.nodes()})
+        deps = DependencyGraphs(frag)
+        rng = random.Random(8)
+        for step in range(150):
+            r = rng.random()
+            if r < 0.5 and g.n_edges:
+                edges = list(g.edges())
+                delta = frag.delete_edge(*edges[rng.randrange(len(edges))])
+            elif r < 0.9:
+                nodes = list(g.nodes())
+                u, v = rng.choice(nodes), rng.choice(nodes)
+                if g.has_edge(u, v):
+                    continue
+                delta = frag.insert_edge(u, v)
+            else:
+                delta = frag.add_node(("fresh", step), f"L{rng.randrange(4)}")
+            deps.apply_delta(delta)
+            frag.validate()
+            fresh = DependencyGraphs(frag)
+            assert deps.watchers == fresh.watchers, step
+            assert deps.owners == fresh.owners, step

@@ -1,0 +1,161 @@
+"""Metamorphic suite: a mutating session must always equal the oracle.
+
+Random streams of interleaved deletes / inserts / node additions / queries
+are applied through :class:`SimulationSession`'s mutation API, and after
+*every* step the session's answer is checked against a from-scratch
+centralized ``simulation(query, G')`` on the current graph -- across three
+partitioners and every algorithm the session serves (shape-restricted
+algorithms get shape-preserving streams: deletions/re-insertions for dGPMd
+on DAGs, leaf growth for dGPMt on trees).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+import pytest
+
+from repro import (
+    SimulationSession,
+    balanced_bfs_partition,
+    citation_dag,
+    hash_partition,
+    random_partition,
+    random_tree,
+    simulation,
+    tree_partition,
+    web_graph,
+)
+from repro.bench.workloads import cyclic_pattern, dag_pattern, tree_pattern
+from repro.graph.pattern import Pattern
+
+PARTITIONERS = {
+    "random": lambda g, seed: random_partition(g, 3, seed=seed),
+    "bfs": lambda g, seed: balanced_bfs_partition(g, 3, seed=seed),
+    "hash": lambda g, seed: hash_partition(g, 3, seed=seed),
+}
+
+#: general-graph algorithms (dGPMd/dGPMt need shape-preserving streams below)
+GENERAL_ALGORITHMS = ["dgpm", "dgpmnopt", "dmes", "dishhk", "match"]
+
+
+def _mutate_once(rng, session, graph, deleted):
+    """One random update through the session API; returns what it did."""
+    r = rng.random()
+    if r < 0.45 and graph.n_edges:
+        edges = list(graph.edges())
+        u, v = edges[rng.randrange(len(edges))]
+        session.delete_edge(u, v)
+        deleted.append((u, v))
+        return "delete"
+    if r < 0.75 and deleted:
+        u, v = deleted.pop(rng.randrange(len(deleted)))
+        if not graph.has_edge(u, v):
+            session.insert_edge(u, v)
+            return "insert"
+        return "noop"
+    if r < 0.9:
+        node = ("meta", session.stats.mutations)
+        label = rng.choice(sorted(graph.label_alphabet(), key=repr))
+        session.add_node(node, label)
+        return "add_node"
+    nodes = list(graph.nodes())
+    u, v = rng.choice(nodes), rng.choice(nodes)
+    if u != v and not graph.has_edge(u, v):
+        session.insert_edge(u, v)
+        return "insert"
+    return "noop"
+
+
+@pytest.mark.parametrize("partitioner", sorted(PARTITIONERS))
+@pytest.mark.parametrize("algorithm", GENERAL_ALGORITHMS)
+def test_interleaved_stream_matches_oracle(partitioner, algorithm):
+    # Deterministic per-case seed (str hash is salted per process).
+    seed = zlib.crc32(f"{partitioner}/{algorithm}".encode()) % 1000
+    rng = random.Random(seed)
+    graph = web_graph(60, 260, n_labels=4, seed=seed)
+    frag = PARTITIONERS[partitioner](graph, seed)
+    session = SimulationSession(frag)
+    queries = [
+        cyclic_pattern(graph, 3, 4, seed=seed),
+        Pattern({"a": "dom0", "b": "dom1"}, [("a", "b")]),
+        Pattern({"p": "dom2"}),  # childless point query
+    ]
+    # Pre-serve so the stream starts with cached (and soon warm) entries.
+    for q in queries:
+        session.run(q, algorithm=algorithm)
+
+    deleted = []
+    for step in range(12):
+        _mutate_once(rng, session, graph, deleted)
+        frag.validate()
+        q = queries[step % len(queries)]
+        result = session.run(q, algorithm=algorithm)
+        assert result.relation == simulation(q, graph), (
+            partitioner, algorithm, step,
+        )
+    # Every query once more at the end, against the final graph.
+    for q in queries:
+        assert session.run(q, algorithm=algorithm).relation == simulation(q, graph)
+    assert session.stats.invalidations == 0  # maintained, never dropped
+
+
+def test_dgpmd_stream_on_dag():
+    """dGPMd serves a DAG under deletions and re-insertions (DAG-safe)."""
+    rng = random.Random(3)
+    graph = citation_dag(120, 420, seed=3)
+    frag = random_partition(graph, 3, seed=3)
+    session = SimulationSession(frag)
+    queries = [dag_pattern(graph, diameter=2, n_nodes=4, n_edges=4, seed=s) for s in (0, 1)]
+    for q in queries:
+        session.run(q, algorithm="dgpmd")
+    deleted = []
+    for step in range(10):
+        if step % 3 != 2 or not deleted:
+            edges = list(graph.edges())
+            u, v = edges[rng.randrange(len(edges))]
+            session.delete_edge(u, v)
+            deleted.append((u, v))
+        else:
+            u, v = deleted.pop()
+            session.insert_edge(u, v)  # re-insertion cannot create a cycle
+        frag.validate()
+        q = queries[step % len(queries)]
+        assert session.run(q, algorithm="dgpmd").relation == simulation(q, graph), step
+
+
+def test_dgpmt_stream_on_growing_tree():
+    """dGPMt serves a tree that grows leaves (tree + connectivity preserved:
+    each new node joins its parent's fragment)."""
+    rng = random.Random(5)
+    tree = random_tree(60, seed=5)
+    frag = tree_partition(tree, 3, seed=5)
+    session = SimulationSession(frag)
+    queries = [tree_pattern(tree, n_nodes=3, seed=s) for s in (0, 1)]
+    for q in queries:
+        session.run(q, algorithm="dgpmt")
+    labels = sorted(tree.label_alphabet(), key=repr)
+    for step in range(8):
+        parent = rng.choice(list(tree.nodes()))
+        leaf = ("leaf", step)
+        session.add_node(leaf, rng.choice(labels), fid=frag.owner(parent))
+        session.insert_edge(parent, leaf)  # local edge: fragment stays connected
+        frag.validate()
+        assert frag.has_connected_fragments()
+        q = queries[step % len(queries)]
+        assert session.run(q, algorithm="dgpmt").relation == simulation(q, tree), step
+
+
+def test_auto_dispatch_stream():
+    """The auto-dispatched session stays oracle-exact under mutations."""
+    rng = random.Random(11)
+    graph = web_graph(50, 220, n_labels=4, seed=11)
+    frag = random_partition(graph, 3, seed=11)
+    session = SimulationSession(frag)
+    q = cyclic_pattern(graph, 3, 4, seed=11)
+    deleted = []
+    for step in range(8):
+        _mutate_once(rng, session, graph, deleted)
+        frag.validate()
+        assert session.run(q).relation == simulation(q, graph), step
