@@ -1,0 +1,129 @@
+"""Concurrent serving: process workers vs one serial session (perf gate).
+
+The ROADMAP's heavy-traffic regime: the same resident 16-fragment graph
+serves a mixed query stream serially, through the thread backend, and
+through 4 process workers (replica sessions, deps shipped once, sticky
+routing).  Answers are parity-checked across all three modes.
+
+Gate: the process backend must sustain **>= 2x** the serial throughput at 4
+workers on the |F|=16 stream.  Parallel speedup needs parallel hardware, so
+the speedup gate engages when the host exposes >= 4 usable CPUs (CI does);
+on smaller hosts it degrades gracefully (>= 2 CPUs: a lenient 1.2x sanity
+bar, 1 CPU: parity only, loudly reported) instead of failing on physics.
+
+Runs two ways:
+
+* ``pytest benchmarks/ -o python_files='bench_*.py'`` -- full sweep, recorded
+  next to the Fig.-6 series;
+* ``python benchmarks/bench_concurrent.py [--smoke]`` -- standalone, used by
+  CI (``--smoke`` shrinks sizes so a regression fails loudly in seconds).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.concurrent import concurrent_stream_series, usable_cpus
+from repro.bench.report import record_report
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def series():
+    s = concurrent_stream_series(fragment_counts=(16,))
+    record_report("concurrent_stream", s.render(), RESULTS)
+    return s
+
+
+def test_concurrent_parity(series):
+    for p in series.points:
+        assert p.parity, f"concurrent answers diverged at |F|={p.n_fragments}"
+
+
+def test_process_workers_hit_replica_caches(series):
+    for p in series.points:
+        assert p.process_hit_rate > 0.0, "sticky routing produced no cache hits"
+
+
+@pytest.mark.skipif(
+    usable_cpus() < 4,
+    reason="the 2x@4-workers gate needs >= 4 usable CPUs to be physical",
+)
+def test_process_backend_speedup_gate(series):
+    p = max(series.points, key=lambda p: p.n_fragments)
+    assert p.process_speedup >= 2.0, (
+        f"process serving must parallelize: {p.process_speedup:.2f}x < 2x "
+        f"({p.serial_qps:.1f} q/s serial vs {p.process_qps:.1f} q/s at "
+        f"{p.n_workers} workers)"
+    )
+
+
+def test_thread_backend_overhead_is_bounded(series):
+    """The thread backend is for overlap, not speedup -- but its reader-lock
+    and pool overhead must never halve throughput."""
+    for p in series.points:
+        assert p.thread_speedup >= 0.5, (
+            f"thread front-end overhead too high: {p.thread_speedup:.2f}x"
+        )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes for CI")
+    parser.add_argument("--fragments", type=int, nargs="+", default=[16])
+    parser.add_argument("--nodes", type=int, default=3000)
+    parser.add_argument("--edges", type=int, default=15000)
+    parser.add_argument("--distinct", type=int, default=12)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    # CI smoke runs on noisy shared runners: a lenient 1.5x still catches
+    # "parallelism broke entirely"; the full-size run keeps the 2x bar.
+    threshold = 2.0
+    if args.smoke:
+        args.nodes, args.edges = 1200, 6000
+        args.distinct, args.repeat = 8, 3
+        threshold = 1.5
+
+    cpus = usable_cpus()
+    if cpus < 4:
+        # Scale expectations to the hardware rather than failing on physics.
+        threshold = 1.2 if cpus >= 2 else None
+
+    series = concurrent_stream_series(
+        fragment_counts=tuple(args.fragments),
+        n_nodes=args.nodes,
+        n_edges=args.edges,
+        n_distinct=args.distinct,
+        repeat=args.repeat,
+        n_workers=args.workers,
+    )
+    print(series.render())
+    failures = []
+    if not all(p.parity for p in series.points):
+        failures.append("answer parity violated")
+    p_wide = max(series.points, key=lambda p: p.n_fragments)
+    if threshold is None:
+        print(
+            "note: 1 usable CPU -- the process-parallel speedup gate is "
+            "skipped (parity still enforced); run on >= 4 CPUs for the 2x bar"
+        )
+    elif p_wide.process_speedup < threshold:
+        failures.append(
+            f"process speedup at |F|={p_wide.n_fragments} is "
+            f"{p_wide.process_speedup:.2f}x (< {threshold}x at {cpus} CPUs)"
+        )
+    if failures:
+        print("FAIL:", "; ".join(failures))
+        return 1
+    print("ok: concurrent serving parity holds"
+          + ("" if threshold is None else f", process backend >= {threshold}x"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,11 @@ Public surface
   write path -- ``session.delete_edge/insert_edge/add_node`` patch the
   fragmentation in place and maintain the caches incrementally
   (``O(|AFF|)`` repair for hot queries) instead of dropping them;
+* concurrent serving: :class:`ConcurrentSessionServer` fronts one session
+  with many reader threads (or a pool of replica worker processes) under a
+  reader-writer protocol -- queries run concurrently, mutations apply in
+  coalesced batches at quiescent points, and every result carries the
+  mutation stamp it observed (:mod:`repro.session.concurrent`);
 * benchmarks: the experiment definitions of Figure 6 in :mod:`repro.bench`.
 """
 
@@ -67,7 +72,14 @@ from repro.partition import (
     tree_partition,
 )
 from repro.runtime import CostModel, RunMetrics, RunResult
-from repro.session import MutationOutcome, SessionStats, SimulationSession
+from repro.session import (
+    ConcurrentSessionServer,
+    MutationOutcome,
+    SessionStats,
+    SimulationSession,
+    StampedOutcome,
+    StampedResult,
+)
 from repro.simulation import MatchRelation, dag_simulation, naive_simulation, simulation
 
 __version__ = "1.0.0"
@@ -111,6 +123,8 @@ __all__ = [
     "DgpmConfig", "run_dgpm", "run_dgpmd", "run_dgpmt", "run_auto",
     # resident multi-query serving (incl. the in-place mutation API)
     "SimulationSession", "SessionStats", "MutationOutcome",
+    # concurrent serving front-end
+    "ConcurrentSessionServer", "StampedResult", "StampedOutcome",
     # baselines
     "run_match", "run_dishhk", "run_dmes",
     # runtime

@@ -1,0 +1,188 @@
+"""Concurrent-serving throughput: one resident graph, three serving modes.
+
+The ROADMAP's heavy-traffic scenario after PR 2: many independent queries
+arrive at one resident fragmentation.  The same mixed stream (distinct
+patterns cycled ``repeat`` times, fresh ``Pattern`` objects per repetition)
+is served three ways:
+
+* **serial** -- one :class:`SimulationSession`, queries one at a time; the
+  PR-1 baseline and the denominator of every speedup below.
+* **thread** -- :class:`ConcurrentSessionServer` with the thread backend:
+  overlap and one shared cache, but pure-Python compute stays GIL-bound, so
+  this column is expected near 1x (it is measured to *prove* the overhead is
+  small, not to win).
+* **process** -- the process backend: replica sessions in OS workers
+  (dependency graphs shipped once), sticky least-loaded routing.  CPU-bound
+  streams scale with cores; ``benchmarks/bench_concurrent.py`` gates >= 2x
+  at 4 workers on the 16-fragment stream whenever the host has the cores to
+  express it.
+
+Parity is asserted per query against the serial relations (stamp 0 -- the
+stream never mutates), so throughput can never be bought with wrong answers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.bench.stream import mixed_query_stream
+from repro.core.config import DgpmConfig
+from repro.session import ConcurrentSessionServer, SimulationSession
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass
+class ConcurrentPoint:
+    """Measured throughput of the three serving modes at one fragment count."""
+
+    n_fragments: int
+    n_queries: int
+    n_distinct: int
+    n_workers: int
+    serial_seconds: float
+    thread_seconds: float
+    process_seconds: float
+    parity: bool
+    process_hit_rate: float
+
+    @property
+    def serial_qps(self) -> float:
+        return self.n_queries / self.serial_seconds if self.serial_seconds else 0.0
+
+    @property
+    def thread_qps(self) -> float:
+        return self.n_queries / self.thread_seconds if self.thread_seconds else 0.0
+
+    @property
+    def process_qps(self) -> float:
+        return self.n_queries / self.process_seconds if self.process_seconds else 0.0
+
+    @property
+    def thread_speedup(self) -> float:
+        return self.serial_seconds / self.thread_seconds if self.thread_seconds else 0.0
+
+    @property
+    def process_speedup(self) -> float:
+        return (
+            self.serial_seconds / self.process_seconds if self.process_seconds else 0.0
+        )
+
+
+@dataclass
+class ConcurrentSeries:
+    """The sweep over fragment counts, plus the environment that bounds it."""
+
+    n_cpus: int = field(default_factory=usable_cpus)
+    points: List[ConcurrentPoint] = field(default_factory=list)
+
+    def render(self) -> str:
+        header = (
+            f"{'|F|':>5} {'queries':>8} {'workers':>8} {'serial q/s':>11} "
+            f"{'thread q/s':>11} {'process q/s':>12} {'thread x':>9} "
+            f"{'process x':>10} {'hit rate':>9} {'parity':>7}"
+        )
+        lines = [f"usable CPUs: {self.n_cpus}", header, "-" * len(header)]
+        for p in self.points:
+            lines.append(
+                f"{p.n_fragments:>5} {p.n_queries:>8} {p.n_workers:>8} "
+                f"{p.serial_qps:>11.1f} {p.thread_qps:>11.1f} "
+                f"{p.process_qps:>12.1f} {p.thread_speedup:>8.2f}x "
+                f"{p.process_speedup:>9.2f}x {p.process_hit_rate:>8.0%} "
+                f"{'ok' if p.parity else 'FAIL':>7}"
+            )
+        return "\n".join(lines)
+
+
+def measure_concurrent_point(
+    fragmentation,
+    stream,
+    n_distinct: int,
+    n_workers: int = 4,
+    config: Optional[DgpmConfig] = None,
+) -> ConcurrentPoint:
+    """Serve one stream serially, threaded, and via process workers.
+
+    Worker/pool startup is excluded from every timing (a long-running server
+    pays it once); structure warm-up (dependency graphs, label indexes) is
+    symmetric -- the serial session warms explicitly, the servers inherit or
+    ship the same warm structures.
+    """
+    config = config or DgpmConfig()
+
+    serial_session = SimulationSession(fragmentation, config=config).warm()
+    t0 = time.perf_counter()
+    serial = serial_session.run_many(stream, algorithm="dgpm")
+    serial_seconds = time.perf_counter() - t0
+
+    with ConcurrentSessionServer(
+        fragmentation, backend="thread", n_workers=n_workers, config=config
+    ) as server:
+        server.session.warm()
+        t0 = time.perf_counter()
+        threaded = server.run_many(stream, algorithm="dgpm")
+        thread_seconds = time.perf_counter() - t0
+
+    with ConcurrentSessionServer(
+        fragmentation, backend="process", n_workers=n_workers, config=config
+    ) as server:
+        t0 = time.perf_counter()
+        processed = server.run_many(stream, algorithm="dgpm")
+        process_seconds = time.perf_counter() - t0
+        stats = server.worker_stats()
+        served = sum(s.queries_served for s in stats)
+        hit_rate = sum(s.cache_hits for s in stats) / served if served else 0.0
+
+    parity = all(
+        s.relation == t.relation == p.relation
+        for s, t, p in zip(serial, threaded, processed)
+    ) and all(r.stamp == 0 for r in threaded + processed)
+
+    return ConcurrentPoint(
+        n_fragments=fragmentation.n_fragments,
+        n_queries=len(stream),
+        n_distinct=n_distinct,
+        n_workers=n_workers,
+        serial_seconds=serial_seconds,
+        thread_seconds=thread_seconds,
+        process_seconds=process_seconds,
+        parity=parity,
+        process_hit_rate=hit_rate,
+    )
+
+
+def concurrent_stream_series(
+    fragment_counts: Sequence[int] = (16,),
+    n_nodes: int = 3000,
+    n_edges: int = 15000,
+    n_distinct: int = 12,
+    repeat: int = 3,
+    n_workers: int = 4,
+    seed: int = 7,
+    config: Optional[DgpmConfig] = None,
+) -> ConcurrentSeries:
+    """Sweep the three serving modes over fragment counts on one web graph."""
+    from repro import partition
+    from repro.graph.generators import web_graph
+
+    graph = web_graph(n_nodes, n_edges, seed=seed)
+    stream = mixed_query_stream(graph, n_distinct=n_distinct, repeat=repeat, seed=seed)
+    series = ConcurrentSeries()
+    for n_fragments in fragment_counts:
+        frag = partition(graph, n_fragments=n_fragments, seed=seed, vf_ratio=0.25)
+        series.points.append(
+            measure_concurrent_point(
+                frag, stream, n_distinct=n_distinct, n_workers=n_workers,
+                config=config,
+            )
+        )
+    return series

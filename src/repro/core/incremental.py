@@ -59,9 +59,13 @@ from repro.runtime.network import Network
 from repro.simulation.matchrel import MatchRelation
 
 
-@dataclass
+@dataclass(frozen=True)
 class UpdateMetrics:
-    """Cost of one incremental update."""
+    """Cost of one incremental update.
+
+    Frozen: update reports cross thread boundaries in the concurrent serving
+    layer, and an immutable snapshot can never be observed half-updated.
+    """
 
     kind: str                 # "delete" or "insert(recompute)"
     n_messages: int           # protocol data messages shipped
@@ -72,9 +76,13 @@ class UpdateMetrics:
                               # (the |AFF| proxy)
 
 
-@dataclass
+@dataclass(frozen=True)
 class RepairCost:
-    """What one in-place repair (or re-evaluation) of a warm state cost."""
+    """What one in-place repair (or re-evaluation) of a warm state cost.
+
+    Frozen for the same reason as :class:`UpdateMetrics`: repair reports are
+    read across threads and must be immutable snapshots.
+    """
 
     n_falsified: int
     n_messages: int

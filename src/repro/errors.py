@@ -29,3 +29,23 @@ class ProtocolError(ReproError):
 
 class WorkloadError(ReproError):
     """A benchmark workload could not be generated with the requested shape."""
+
+
+class MutationBatchError(ReproError):
+    """A mutation batch failed partway; the applied prefix stays applied.
+
+    ``applied`` carries the stamped outcomes of the updates that succeeded
+    before the failure (their stamps are in effect -- there is no rollback:
+    node additions have no inverse in the mutation API), ``failed_op`` the
+    update that raised, and ``__cause__`` the underlying error.
+    """
+
+    def __init__(self, message: str, applied, failed_op) -> None:
+        super().__init__(message)
+        self.applied = applied
+        self.failed_op = failed_op
+
+    def __reduce__(self):
+        # The default exception reduce replays only ``args`` (the message);
+        # replay all three so the error survives process boundaries.
+        return (type(self), (self.args[0], self.applied, self.failed_op))

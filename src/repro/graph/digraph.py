@@ -12,7 +12,9 @@ The representation is a plain adjacency-list digraph with:
   built on first use and *maintained in place* by edge insertions/deletions
   and node additions/removals (a relabel still drops them -- it would touch
   every predecessor's counts), so resident graphs absorbing a mutation stream
-  never rescan themselves,
+  never rescan themselves; the first-use build is race-free (double-checked
+  under a per-instance lock), so concurrent readers of a quiescent graph --
+  the session layer's thread backend -- never observe a half-built index,
 * a monotonically increasing :attr:`~DiGraph.version` that mutation bumps --
   the session layer uses it to detect stale caches.
 
@@ -23,6 +25,7 @@ label.  :func:`reify_edge_labels` implements that reduction.
 
 from __future__ import annotations
 
+import threading
 from types import MappingProxyType
 from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
@@ -64,6 +67,7 @@ class DiGraph:
         "_version",
         "_label_index",
         "_succ_label_counts",
+        "_index_lock",
     )
 
     def __init__(
@@ -81,6 +85,8 @@ class DiGraph:
         #: lazy indexes; ``None`` until first use, dropped on invalidation
         self._label_index: Optional[Dict[Label, List[Node]]] = None
         self._succ_label_counts: Optional[Dict[Node, Dict[Label, int]]] = None
+        #: guards the first-use builds above against concurrent readers
+        self._index_lock = threading.Lock()
         if nodes:
             for node, label in nodes.items():
                 self.add_node(node, label)
@@ -256,13 +262,17 @@ class DiGraph:
 
         Served from a lazy label index built on first call and maintained in
         place by node additions/removals (dropped only on relabel), so
-        resident graphs answer repeated queries in O(answer).
+        resident graphs answer repeated queries in O(answer).  The build is
+        double-checked under :attr:`_index_lock`: concurrent first calls on a
+        quiescent graph build once and never see a partial index.
         """
         if self._label_index is None:
-            index: Dict[Label, List[Node]] = {}
-            for v, lab in self._labels.items():
-                index.setdefault(lab, []).append(v)
-            self._label_index = index
+            with self._index_lock:
+                if self._label_index is None:
+                    index: Dict[Label, List[Node]] = {}
+                    for v, lab in self._labels.items():
+                        index.setdefault(lab, []).append(v)
+                    self._label_index = index
         return list(self._label_index.get(label, ()))
 
     def successor_label_counts(self, node: Node) -> Mapping[Label, int]:
@@ -274,15 +284,17 @@ class DiGraph:
         lists even while the graph absorbs an update stream.
         """
         if self._succ_label_counts is None:
-            counts: Dict[Node, Dict[Label, int]] = {}
-            labels = self._labels
-            for v, succs in self._succ.items():
-                per: Dict[Label, int] = {}
-                for w in succs:
-                    lab = labels[w]
-                    per[lab] = per.get(lab, 0) + 1
-                counts[v] = per
-            self._succ_label_counts = counts
+            with self._index_lock:
+                if self._succ_label_counts is None:
+                    counts: Dict[Node, Dict[Label, int]] = {}
+                    labels = self._labels
+                    for v, succs in self._succ.items():
+                        per: Dict[Label, int] = {}
+                        for w in succs:
+                            lab = labels[w]
+                            per[lab] = per.get(lab, 0) + 1
+                        counts[v] = per
+                    self._succ_label_counts = counts
         try:
             return MappingProxyType(self._succ_label_counts[node])
         except KeyError:
@@ -330,6 +342,21 @@ class DiGraph:
     def copy(self) -> "DiGraph":
         """A deep structural copy."""
         return DiGraph(self._labels, self.edges())
+
+    # ------------------------------------------------------------------
+    # pickling (graphs ship to worker processes; locks cannot)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_index_lock"
+        }
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._index_lock = threading.Lock()
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DiGraph):

@@ -43,7 +43,9 @@ class Pattern:
     False
     """
 
-    __slots__ = ("_graph",)
+    # __weakref__ lets serving layers keep weak per-pattern memos (e.g. the
+    # session's canonical-form cache) without pinning patterns alive.
+    __slots__ = ("_graph", "__weakref__")
 
     def __init__(
         self,

@@ -11,6 +11,14 @@ Design: a worker process per fragment executes the identical
 relaying each round's messages.  Rounds stay synchronous -- the goal is
 fidelity of the protocol, not peak throughput (the paper's asynchronous
 runs converge to the same fixpoint; see Section 4.1's correctness argument).
+
+:func:`_resident_session_worker` is the second kind of worker: instead of
+one fragment of one query, it holds a full replica
+:class:`~repro.session.SimulationSession` (fragmentation plus the pre-built
+dependency graphs, shipped once at startup -- the deps-amortization this
+module already uses for ``run_dgpm_multiprocess``) and serves whole queries.
+The concurrent front-end (:mod:`repro.session.concurrent`) uses a pool of
+these for true parallel speedup on CPU-bound query streams.
 """
 
 from __future__ import annotations
@@ -46,6 +54,53 @@ def _site_worker(fid, fragmentation, query, config, deps, conn) -> None:
         elif command == "stop":
             conn.close()
             return
+
+
+def _resident_session_worker(fragmentation, deps, session_kwargs, conn) -> None:
+    """Worker-process loop: a full replica session answering whole queries.
+
+    Commands (``(command, payload)`` over the pipe):
+
+    * ``("query", (query, algorithm, config))`` -> ``("ok", RunResult)`` or
+      ``("err", exception)``;
+    * ``("mutate", updates)`` -- apply a batch through the replica's mutation
+      API (keeps it in lockstep with the parent) -> ``("ok", n_applied)``;
+    * ``("stats", None)`` -> ``("ok", SessionStats)``;
+    * ``("stop", None)`` -- close and exit.
+
+    Replies that fail to pickle are downgraded to ``("err", ProtocolError)``
+    so the parent is never left blocked on a half-sent reply.
+    """
+    from repro.session.session import SimulationSession  # import cycle guard
+
+    session = SimulationSession(fragmentation, deps=deps, **session_kwargs)
+    while True:
+        try:
+            command, payload = conn.recv()
+        except EOFError:  # pragma: no cover - parent died
+            return
+        if command == "query":
+            query, algorithm, config = payload
+            try:
+                reply = ("ok", session.run(query, algorithm=algorithm, config=config))
+            except Exception as exc:
+                reply = ("err", exc)
+        elif command == "mutate":
+            try:
+                reply = ("ok", len(session.apply(payload)))
+            except Exception as exc:
+                reply = ("err", exc)
+        elif command == "stats":
+            reply = ("ok", session.stats)
+        elif command == "stop":
+            conn.close()
+            return
+        else:
+            reply = ("err", ProtocolError(f"unknown worker command {command!r}"))
+        try:
+            conn.send(reply)
+        except Exception as exc:  # pragma: no cover - unpicklable payload
+            conn.send(("err", ProtocolError(f"worker reply failed to pickle: {exc}")))
 
 
 def run_dgpm_multiprocess(

@@ -16,11 +16,27 @@ incremental repair for hot queries, label-relevance retention for the rest)
 instead of dropping them -- see :mod:`repro.session.session` for the
 contract.
 
+:class:`~repro.session.concurrent.ConcurrentSessionServer` serves one
+session from many threads -- or, with its process backend, from a pool of
+replica worker processes -- under a reader-writer protocol with snapshot
+stamps; see :mod:`repro.session.concurrent` for the contract.
+
 The one-shot entry points (``run_dgpm`` and friends) remain the public API;
 each is now a thin wrapper that builds a throwaway session.
 """
 
-from repro.session.cache import LabelInterner, LruResultCache, canonical_query_key
+from repro.session.cache import (
+    CanonicalQuery,
+    LabelInterner,
+    LruResultCache,
+    canonical_form,
+    canonical_query_key,
+)
+from repro.session.concurrent import (
+    ConcurrentSessionServer,
+    StampedOutcome,
+    StampedResult,
+)
 from repro.session.drivers import DRIVERS, AlgorithmDriver
 from repro.session.session import MutationOutcome, SessionStats, SimulationSession
 
@@ -28,9 +44,14 @@ __all__ = [
     "SimulationSession",
     "SessionStats",
     "MutationOutcome",
+    "ConcurrentSessionServer",
+    "StampedResult",
+    "StampedOutcome",
     "AlgorithmDriver",
     "DRIVERS",
     "LabelInterner",
     "LruResultCache",
+    "CanonicalQuery",
+    "canonical_form",
     "canonical_query_key",
 ]

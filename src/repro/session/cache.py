@@ -1,10 +1,15 @@
 """Result caching for :class:`~repro.session.SimulationSession`.
 
-Two pieces:
+Three pieces:
 
-* :func:`canonical_query_key` -- a stable digest of a :class:`Pattern` that
-  is independent of node/edge insertion order, so the "same" query sent twice
-  (e.g. re-parsed from a client request) hits the cache.  Labels go through
+* :func:`canonical_form` / :func:`canonical_query_key` -- a canonical digest
+  of a :class:`Pattern` that is invariant under node/edge enumeration order
+  *and* under renaming of the query nodes: two isomorphic patterns (same
+  labeled shape, different node identifiers) produce the same digest, so the
+  "same" query sent twice (re-parsed from a client request, or written by a
+  different client with its own variable names) hits the cache.  The form
+  also carries the canonical node order, which lets the session translate a
+  cached relation onto the hitting pattern's node names.  Labels go through
   the session's interning table, which keeps the serialized form compact and
   insulates the key from expensive label ``repr``\\ s.
 * :class:`LruResultCache` -- a small LRU keyed by
@@ -16,13 +21,27 @@ Two pieces:
 replace`), and the rest are evicted one at a time (:meth:`LruResultCache.\
 pop`); an ``on_evict`` hook lets the session drop its per-entry metadata
   whenever the LRU ages something out.
+
+  The cache is **thread-safe**: every operation holds an internal re-entrant
+  lock (``on_evict`` fires while it is held, which is what the session's
+  bookkeeping wants -- the metadata drop is atomic with the eviction), and
+  :meth:`LruResultCache.get_or_compute` gives concurrent readers an atomic
+  get-or-compute: when several threads miss on the same key at once, exactly
+  one runs the expensive compute while the rest wait for its result instead
+  of duplicating the protocol run.
+* :class:`LabelInterner` -- dense integer ids for the label alphabet; interns
+  under a lock so concurrent queries mentioning a brand-new label can never
+  allocate the same id for two different labels.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from math import factorial
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.graph.pattern import Pattern
@@ -34,10 +53,13 @@ class LabelInterner:
 
     Built once per session from the fragmentation's alphabet; unseen labels
     (a query may mention labels absent from the data) are interned on demand.
+    Interning is atomic: a lock serializes id allocation, so two threads
+    interning two new labels concurrently always receive distinct ids.
     """
 
     def __init__(self) -> None:
         self._ids: Dict[Hashable, int] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._ids)
@@ -46,8 +68,11 @@ class LabelInterner:
         """Return the dense id of ``label``, allocating one if new."""
         ident = self._ids.get(label)
         if ident is None:
-            ident = len(self._ids)
-            self._ids[label] = ident
+            with self._lock:
+                ident = self._ids.get(label)
+                if ident is None:
+                    ident = len(self._ids)
+                    self._ids[label] = ident
         return ident
 
     def intern_all(self, labels) -> None:
@@ -56,21 +81,142 @@ class LabelInterner:
             self.intern(label)
 
 
+# ----------------------------------------------------------------------
+# canonical query form
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CanonicalQuery:
+    """The canonical form of a pattern: a digest plus the node order behind it.
+
+    ``order[i]`` is the query node occupying canonical position ``i``; two
+    patterns with equal ``digest`` are isomorphic via
+    ``a.order[i] <-> b.order[i]`` (labels and edges agree position-wise by
+    construction), which is exactly the translation the session's cache
+    needs to serve a hit across renamed query variables.
+
+    ``exact`` is False when the pattern was too symmetric to canonicalize
+    within the permutation budget; the digest is then still deterministic
+    (stable for byte-identical re-submissions) but not rename-invariant.
+    """
+
+    digest: str
+    order: Tuple
+    exact: bool
+
+
+def canonical_form(
+    query: Pattern,
+    interner: Optional[LabelInterner] = None,
+    max_candidates: int = 5040,
+) -> CanonicalQuery:
+    """Canonicalize ``query`` up to isomorphism (for the sizes patterns have).
+
+    Color refinement (1-WL over label + in/out color multisets) splits the
+    query nodes into ordered equivalence classes; within the surviving
+    classes every permutation is tried and the lexicographically smallest
+    edge encoding wins.  Pattern queries are tiny (the paper's experiments
+    top out around |Vq| = 7), so the residual search is a handful of
+    candidates; pathologically symmetric inputs whose candidate count
+    exceeds ``max_candidates`` fall back to a deterministic name-based
+    order inside each class (``exact=False``) -- the digest then loses
+    rename-invariance but never correctness, because equal digests still
+    imply equal position-wise structure.
+    """
+    if interner is None:
+        def label_key(u):
+            return repr(query.label(u))
+    else:
+        def label_key(u):
+            return interner.intern(query.label(u))
+
+    nodes = list(query.nodes())
+    succ = {u: list(query.children(u)) for u in nodes}
+    pred = {u: list(query.parents(u)) for u in nodes}
+
+    # 1-WL refinement: colors start as label ranks and are re-ranked each
+    # round by (color, sorted successor colors, sorted predecessor colors).
+    initial = sorted({label_key(u) for u in nodes})
+    rank_of = {key: i for i, key in enumerate(initial)}
+    color = {u: rank_of[label_key(u)] for u in nodes}
+    for _ in range(len(nodes)):
+        sig = {
+            u: (
+                color[u],
+                tuple(sorted(color[v] for v in succ[u])),
+                tuple(sorted(color[v] for v in pred[u])),
+            )
+            for u in nodes
+        }
+        ranks = {s: i for i, s in enumerate(sorted(set(sig.values())))}
+        new_color = {u: ranks[sig[u]] for u in nodes}
+        if new_color == color:
+            break
+        color = new_color
+
+    classes: Dict[int, List] = {}
+    for u in nodes:
+        classes.setdefault(color[u], []).append(u)
+    ordered_classes = [classes[c] for c in sorted(classes)]
+
+    edges = list(query.edges())
+
+    def edge_encoding(order: Tuple) -> Tuple[Tuple[int, int], ...]:
+        index = {u: i for i, u in enumerate(order)}
+        return tuple(sorted((index[a], index[b]) for a, b in edges))
+
+    n_candidates = 1
+    for cls in ordered_classes:
+        n_candidates *= factorial(len(cls))
+        if n_candidates > max_candidates:
+            break
+    if n_candidates > max_candidates:
+        exact = False
+        order = tuple(
+            u
+            for cls in ordered_classes
+            for u in sorted(cls, key=repr)
+        )
+        best_edges = edge_encoding(order)
+    else:
+        exact = True
+        order = None
+        best_edges = None
+        for perm in itertools.product(
+            *(itertools.permutations(cls) for cls in ordered_classes)
+        ):
+            candidate = tuple(itertools.chain.from_iterable(perm))
+            enc = edge_encoding(candidate)
+            if best_edges is None or enc < best_edges:
+                best_edges, order = enc, candidate
+
+    # Labels are constant across candidates (classes refine labels), so the
+    # encoding is (per-position labels, minimized edge list).
+    labels_part = tuple(label_key(u) for u in order)
+    blob = repr((len(nodes), labels_part, best_edges)).encode("utf-8")
+    return CanonicalQuery(
+        digest=hashlib.sha256(blob).hexdigest(), order=order, exact=exact
+    )
+
+
 def canonical_query_key(query: Pattern, interner: Optional[LabelInterner] = None) -> str:
-    """A digest of ``query`` stable under node/edge enumeration order."""
-    def label_of(u):
-        lab = query.label(u)
-        return repr(lab) if interner is None else interner.intern(lab)
+    """A digest of ``query`` stable under enumeration order and -- for every
+    pattern the permutation budget canonicalizes exactly -- under renaming of
+    the query nodes (isomorphic patterns collide on purpose)."""
+    return canonical_form(query, interner).digest
 
-    nodes = sorted((repr(u), label_of(u)) for u in query.nodes())
-    edges = sorted((repr(a), repr(b)) for a, b in query.edges())
-    blob = repr((nodes, edges)).encode("utf-8")
-    return hashlib.sha256(blob).hexdigest()
 
+# ----------------------------------------------------------------------
+# the LRU
+# ----------------------------------------------------------------------
 
 @dataclass
 class CacheStats:
-    """Counters the cache maintains (mirrored into ``SessionStats``)."""
+    """Counters the cache maintains (mirrored into ``SessionStats``).
+
+    Mutated only while the cache's lock is held, so concurrent serving never
+    loses an increment.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -83,7 +229,12 @@ class LruResultCache:
     ``on_evict`` (optional) is called with the key of every entry that
     leaves the cache through LRU overflow or :meth:`pop` -- not through
     :meth:`clear`, which callers use when they are resetting their own
-    bookkeeping anyway.
+    bookkeeping anyway.  The callback runs while the cache's (re-entrant)
+    lock is held, making the caller's metadata drop atomic with the
+    eviction.
+
+    All operations are thread-safe; :meth:`get_or_compute` additionally
+    coalesces concurrent misses on one key into a single compute.
     """
 
     def __init__(
@@ -97,40 +248,98 @@ class LruResultCache:
         self._entries: "OrderedDict[Tuple, RunResult]" = OrderedDict()
         self.stats = CacheStats()
         self._on_evict = on_evict
+        self._lock = threading.RLock()
+        #: key -> Event for in-flight computes (get_or_compute coalescing)
+        self._inflight: Dict[Tuple, threading.Event] = {}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def keys(self) -> List[Tuple]:
         """Snapshot of the cached keys, LRU-first."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def get(self, key: Tuple) -> Optional[RunResult]:
-        result = self._entries.get(key)
-        if result is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return result
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return result
+
+    def get_or_compute(
+        self, key: Tuple, compute: Callable[[], RunResult]
+    ) -> Tuple[RunResult, bool]:
+        """Atomic get-or-compute; returns ``(result, was_hit)``.
+
+        A hit (present entry, or the result of another thread's in-flight
+        compute for the same key) returns ``was_hit=True`` without running
+        ``compute``.  On a miss the calling thread computes *outside* the
+        lock (other keys keep serving), stores the result, and wakes any
+        coalesced waiters.  If the compute raises, waiters retry -- one of
+        them becomes the next computer -- so an error never wedges a key.
+
+        With caching disabled (``max_entries == 0``) there is nothing for a
+        waiter to read afterwards, so no in-flight gate is registered:
+        concurrent identical queries simply compute in parallel, exactly as
+        they would have without this cache.
+        """
+        if self.max_entries == 0:
+            with self._lock:
+                self.stats.misses += 1
+            return compute(), False
+        while True:
+            with self._lock:
+                result = self._entries.get(key)
+                if result is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return result, True
+                gate = self._inflight.get(key)
+                if gate is None:
+                    gate = self._inflight[key] = threading.Event()
+                    self.stats.misses += 1
+                    break
+            # Another thread is computing this key: wait for it, then go
+            # back through the fast path (the entry appears on success; on
+            # failure, or with caching disabled, one waiter re-registers and
+            # computes itself).
+            gate.wait()
+        try:
+            result = compute()
+            self.put(key, result)
+        finally:
+            # Store before waking waiters, so they find the entry; pop our
+            # own gate only (a failed compute lets the next waiter take over).
+            with self._lock:
+                self._inflight.pop(key, None)
+            gate.set()
+        return result, False
 
     def peek(self, key: Tuple) -> Optional[RunResult]:
         """Read an entry without touching recency or hit/miss counters."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def put(self, key: Tuple, result: RunResult) -> None:
         if self.max_entries == 0:
             return
-        self._entries[key] = result
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            evicted, _ = self._entries.popitem(last=False)
-            self.stats.evictions += 1
-            if self._on_evict is not None:
-                self._on_evict(evicted)
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                evicted, _ = self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                if self._on_evict is not None:
+                    self._on_evict(evicted)
 
     def replace(self, key: Tuple, result: RunResult) -> None:
         """Swap the stored result of an existing entry, preserving recency.
@@ -138,14 +347,17 @@ class LruResultCache:
         Used by maintenance: a repaired answer replaces a stale one without
         counting as a hit or promoting the entry.
         """
-        if key in self._entries:
-            self._entries[key] = result
+        with self._lock:
+            if key in self._entries:
+                self._entries[key] = result
 
     def pop(self, key: Tuple) -> None:
         """Drop one entry (no-op if absent); fires ``on_evict``."""
-        if self._entries.pop(key, None) is not None:
-            if self._on_evict is not None:
-                self._on_evict(key)
+        with self._lock:
+            if self._entries.pop(key, None) is not None:
+                if self._on_evict is not None:
+                    self._on_evict(key)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,697 @@
+"""Concurrent serving of one resident :class:`SimulationSession`.
+
+The paper's possibility results assume a resident fragmentation answering
+*many independent* queries (Sections 4-5); each query is a pure read and the
+engine is single-threaded per query, so serving them in parallel changes
+throughput, never answers.  :class:`ConcurrentSessionServer` is that serving
+tier: a thread/process front-end over exactly one session, with a
+reader-writer protocol that keeps the paper's correctness guarantees intact
+while the graph mutates underneath the traffic.
+
+The snapshot/stamp contract
+---------------------------
+
+* **Readers run concurrently.**  Any number of in-flight :meth:`run` /
+  :meth:`submit` calls proceed at once under a shared read lock.
+* **Writers run at quiescent points.**  ``delete_edge`` / ``insert_edge`` /
+  ``add_node`` / ``apply`` are serialized, coalesced into batches, and
+  applied only while *no* query is in flight (a writer-priority write lock:
+  arriving writers stop new readers from starting, in-flight readers drain,
+  the whole pending batch applies, readers resume).  A batch submitted
+  through one :meth:`apply` call is atomic: readers can never observe a
+  graph between two updates of the same batch.
+* **Every result is stamped.**  The server counts applied mutations; the
+  *mutation stamp* of a query result is that counter at the moment the query
+  ran.  Because writers only run at quiescent points, a result stamped ``s``
+  is exactly the relation a from-scratch simulation would produce on the
+  graph after the first ``s`` mutations -- snapshot semantics, checked
+  end-to-end by ``tests/session/test_concurrent_stress.py``.  Mutation calls
+  block until their update is applied and return the per-update
+  :class:`StampedOutcome` (outcome plus the stamp the graph reached).
+
+Two execution backends behind one API
+-------------------------------------
+
+* ``backend="thread"`` -- queries run on a thread pool against the shared
+  session.  Latency and fairness: a slow query never blocks an unrelated
+  one, concurrent identical queries coalesce into a single protocol run
+  (:meth:`LruResultCache.get_or_compute`), and every thread shares one
+  result cache.  Pure-Python compute stays GIL-bound, so this backend is
+  about overlap, not speedup.
+* ``backend="process"`` -- queries are dispatched to a pool of
+  :func:`~repro.runtime.mp._resident_session_worker` OS processes, each
+  holding a full replica session built once from the shipped fragmentation
+  *and* the parent's pre-built dependency graphs (the deps-amortization of
+  :mod:`repro.runtime.mp`).  CPU-bound streams gain true parallel speedup
+  (``benchmarks/bench_concurrent.py`` gates >= 2x at 4 workers on a
+  16-fragment mixed stream).  Sticky least-loaded routing pins each distinct
+  query (by canonical digest) to one worker, so repeats hit that worker's
+  cache instead of recomputing everywhere.  Mutation batches broadcast to
+  every replica inside the same write-lock hold that patches the parent
+  session, keeping all replicas in lockstep with the stamp counter.
+
+>>> server = ConcurrentSessionServer(fragmentation, backend="thread")
+>>> futures = [server.submit(q) for q in queries]     # concurrent reads
+>>> outcome = server.delete_edge(u, v)                # quiescent-point write
+>>> outcome.stamp                                     # graph version reached
+1
+>>> server.run(queries[0]).stamp                      # observed by this read
+1
+>>> server.close()
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import DgpmConfig
+from repro.errors import MutationBatchError, ProtocolError, ReproError
+from repro.graph.digraph import Label, Node
+from repro.graph.pattern import Pattern
+from repro.partition.fragmentation import Fragmentation
+from repro.runtime.metrics import RunMetrics
+from repro.session.session import MutationOutcome, SimulationSession
+from repro.simulation.matchrel import MatchRelation
+
+
+@dataclass(frozen=True)
+class StampedResult:
+    """One served query: the answer plus the mutation stamp it observed.
+
+    ``relation`` equals a from-scratch simulation of the query on the graph
+    after the first ``stamp`` server-applied mutations.
+    """
+
+    relation: MatchRelation
+    metrics: RunMetrics
+    stamp: int
+
+    @property
+    def is_match(self) -> bool:
+        """Boolean-query view of the answer."""
+        return self.relation.is_match
+
+
+@dataclass(frozen=True)
+class StampedOutcome:
+    """One applied mutation: the session's outcome plus the stamp it set.
+
+    After this mutation the graph is at version ``stamp``; any query result
+    carrying the same stamp observed exactly this graph.
+    """
+
+    outcome: MutationOutcome
+    stamp: int
+
+
+class _ReadWriteLock:
+    """A writer-priority readers-writer lock.
+
+    Arriving writers bar *new* readers, wait for in-flight readers to drain
+    (the quiescent point), run exclusively, then release everyone.  Writer
+    priority keeps a steady query stream from starving mutations; writers
+    cannot starve readers because the server drains its whole pending batch
+    in one exclusive section and then lets readers back in.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_locked(self):
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+
+class _WriteTicket:
+    """One caller's mutation batch, waiting to be applied by some drainer."""
+
+    __slots__ = ("ops", "results", "error", "done")
+
+    def __init__(self, ops: List[Tuple]) -> None:
+        self.ops = ops
+        self.results: Optional[List[StampedOutcome]] = None
+        self.error: Optional[BaseException] = None
+        self.done = False
+
+
+class _WorkerHandle:
+    """One process-backend worker: pipe, dispatch lock, routing load."""
+
+    __slots__ = ("process", "conn", "lock", "assigned", "dead")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+        self.assigned = 0  # distinct canonical digests routed here
+        self.dead = False  # set on pipe failure; routing skips dead workers
+
+    def _pipe_error(self, command: str, exc: BaseException) -> ProtocolError:
+        """The uniform dead-worker error for every pipe operation.
+
+        The parent closed its copy of the child pipe end at spawn time, so a
+        worker that died (OOM-kill, segfault) surfaces as ``EOFError`` /
+        ``OSError`` here instead of blocking forever.
+        """
+        return ProtocolError(
+            f"worker process (pid {self.process.pid}) died mid-"
+            f"{command}: {exc!r}"
+        )
+
+    @staticmethod
+    def _unwrap(status: str, reply):
+        if status == "err":
+            raise reply if isinstance(reply, BaseException) else ProtocolError(str(reply))
+        return reply
+
+    def request(self, command: str, payload):
+        """One command/reply round-trip (serialized per worker)."""
+        try:
+            with self.lock:
+                self.conn.send((command, payload))
+                status, reply = self.conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise self._pipe_error(command, exc) from exc
+        return self._unwrap(status, reply)
+
+    def post(self, command: str, payload) -> None:
+        """Send without waiting for the reply (pair with :meth:`collect`).
+
+        Only valid under write exclusion, when nothing else can interleave
+        on this pipe -- the broadcast path uses it to overlap all replicas'
+        work instead of round-tripping one worker at a time.
+        """
+        try:
+            with self.lock:
+                self.conn.send((command, payload))
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise self._pipe_error(command, exc) from exc
+
+    def collect(self, command: str):
+        """Receive the reply to an earlier :meth:`post`."""
+        try:
+            with self.lock:
+                status, reply = self.conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise self._pipe_error(command, exc) from exc
+        return self._unwrap(status, reply)
+
+
+class ConcurrentSessionServer:
+    """Thread/process front-end serving one resident session concurrently.
+
+    Parameters
+    ----------
+    source:
+        A :class:`Fragmentation` (a fresh session is built over it, honoring
+        ``config`` and ``session_kwargs``) or an existing
+        :class:`SimulationSession` to front.
+    backend:
+        ``"thread"`` (shared session, overlap + shared cache) or
+        ``"process"`` (replica sessions in OS workers, parallel speedup);
+        see the module docstring.
+    n_workers:
+        Thread-pool width; for the process backend also the number of
+        replica worker processes.
+    config:
+        Default config for a session built from a fragmentation (rejected
+        together with an existing session -- that session already has one).
+    session_kwargs:
+        Extra :class:`SimulationSession` keyword arguments for a session
+        built from a fragmentation (``cache_size``, ``maintenance``, ...);
+        the process backend forwards them to every replica.
+    """
+
+    def __init__(
+        self,
+        source,
+        backend: str = "thread",
+        n_workers: int = 4,
+        config: Optional[DgpmConfig] = None,
+        **session_kwargs,
+    ) -> None:
+        if backend not in ("thread", "process"):
+            raise ReproError(
+                f"unknown backend {backend!r} (known: thread, process)"
+            )
+        if n_workers < 1:
+            raise ReproError("n_workers must be >= 1")
+        if isinstance(source, SimulationSession):
+            if config is not None or session_kwargs:
+                raise ReproError(
+                    "config/session kwargs belong to the session; pass a "
+                    "Fragmentation to have the server build one"
+                )
+            self._session = source
+            self._replica_kwargs = {
+                "cache_size": source._cache.max_entries,
+                "maintenance": source.maintenance,
+                "max_warm_states": source.max_warm_states,
+                "warm_after_hits": source.warm_after_hits,
+                "config": source.config,
+            }
+        elif isinstance(source, Fragmentation):
+            self._session = SimulationSession(source, config=config, **session_kwargs)
+            # Replicas receive deps through the worker spawn args (shipped
+            # once); a caller-supplied deps= kwarg must not ride along too.
+            self._replica_kwargs = {
+                k: v for k, v in session_kwargs.items() if k != "deps"
+            }
+            self._replica_kwargs["config"] = self._session.config
+        else:
+            raise ReproError(
+                f"cannot serve a {type(source).__name__}; pass a "
+                "Fragmentation or a SimulationSession"
+            )
+        self.backend = backend
+        self.n_workers = n_workers
+        self._rw = _ReadWriteLock()
+        self._stamp = 0
+        self._closed = False
+        self._desynced = False
+        self._write_cond = threading.Condition()
+        self._write_queue: List[_WriteTicket] = []
+        self._applying = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=n_workers, thread_name_prefix="repro-serve"
+        )
+        self._workers: Optional[List[_WorkerHandle]] = None
+        self._route_lock = threading.Lock()
+        #: digest -> pinned worker, LRU-bounded: a long-running server seeing
+        #: an unbounded stream of distinct queries must not grow this (or the
+        #: per-worker load counters) forever -- old routes expire with the
+        #: replica cache entries they mirrored
+        self._affinity: "OrderedDict[str, _WorkerHandle]" = OrderedDict()
+        self._max_routes = 4096
+        if backend == "process":
+            self._workers = self._spawn_workers()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_workers(self) -> List[_WorkerHandle]:
+        import multiprocessing as mp
+
+        from repro.runtime.mp import _resident_session_worker
+
+        self._session.warm()  # deps built once here, shipped to every worker
+        ctx = mp.get_context()
+        handles: List[_WorkerHandle] = []
+        for _ in range(self.n_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_resident_session_worker,
+                args=(
+                    self._session.fragmentation,
+                    self._session.deps,
+                    self._replica_kwargs,
+                    child_conn,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            # Close the parent's copy of the child end: if the worker dies,
+            # the pipe hits EOF and request() raises instead of blocking
+            # forever on a connection nobody will ever write to.
+            child_conn.close()
+            handles.append(_WorkerHandle(proc, parent_conn))
+        return handles
+
+    def close(self) -> None:
+        """Drain in-flight work and shut both pools down (idempotent).
+
+        New work is refused the moment the flag flips; queries already in
+        the executor and mutation tickets already enqueued are drained
+        first, so a mutation that applied to the parent session is never
+        answered with a dead-worker error because its replica broadcast
+        raced the worker shutdown.
+        """
+        with self._write_cond:
+            if self._closed:
+                return
+            self._closed = True
+        self._executor.shutdown(wait=True)
+        # Let in-flight mutation batches finish their replica broadcasts
+        # before the workers are told to stop (bounded: a wedged drainer
+        # must not make close() hang forever).
+        deadline = time.monotonic() + 30.0
+        with self._write_cond:
+            while (self._applying or self._write_queue) and (
+                time.monotonic() < deadline
+            ):
+                self._write_cond.wait(timeout=1.0)
+        if self._workers is not None:
+            for handle in self._workers:
+                try:
+                    with handle.lock:
+                        handle.conn.send(("stop", None))
+                except (BrokenPipeError, OSError):
+                    pass
+            for handle in self._workers:
+                handle.process.join(timeout=10)
+                if handle.process.is_alive():  # pragma: no cover - defensive
+                    handle.process.terminate()
+                handle.conn.close()  # else the parent-side FDs live until GC
+
+    def __enter__(self) -> "ConcurrentSessionServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    @property
+    def stamp(self) -> int:
+        """Mutations applied so far (the current graph version)."""
+        return self._stamp
+
+    @property
+    def session(self) -> SimulationSession:
+        """The fronted session (mutate it only through this server)."""
+        return self._session
+
+    @property
+    def stats(self):
+        """The fronted session's serving counters.
+
+        With the process backend these cover mutations only (queries run in
+        the replicas); use :meth:`worker_stats` for per-replica counters.
+        """
+        return self._session.stats
+
+    def submit(
+        self,
+        query: Pattern,
+        algorithm: str = "auto",
+        config: Optional[DgpmConfig] = None,
+    ) -> "Future[StampedResult]":
+        """Enqueue one query; the future resolves to a :class:`StampedResult`."""
+        self._check_open()
+        try:
+            return self._executor.submit(self._serve, query, algorithm, config)
+        except RuntimeError as exc:
+            # close() raced us between _check_open and the executor submit;
+            # keep the documented error contract.
+            raise ReproError("the server is closed") from exc
+
+    def run(
+        self,
+        query: Pattern,
+        algorithm: str = "auto",
+        config: Optional[DgpmConfig] = None,
+    ) -> StampedResult:
+        """Serve one query synchronously (still concurrent with other calls)."""
+        return self.submit(query, algorithm=algorithm, config=config).result()
+
+    def run_many(
+        self,
+        queries: Iterable[Pattern],
+        algorithm: str = "auto",
+        config: Optional[DgpmConfig] = None,
+    ) -> List[StampedResult]:
+        """Serve a batch of queries concurrently; results in input order."""
+        futures = [
+            self.submit(query, algorithm=algorithm, config=config)
+            for query in queries
+        ]
+        return [future.result() for future in futures]
+
+    def _serve(
+        self, query: Pattern, algorithm: str, config: Optional[DgpmConfig]
+    ) -> StampedResult:
+        with self._rw.read_locked():
+            stamp = self._stamp
+            if self._workers is None:
+                result = self._session.run(query, algorithm=algorithm, config=config)
+            else:
+                result = self._serve_via_worker(query, algorithm, config)
+        return StampedResult(
+            relation=result.relation, metrics=result.metrics, stamp=stamp
+        )
+
+    def _serve_via_worker(
+        self, query: Pattern, algorithm: str, config: Optional[DgpmConfig]
+    ):
+        if self._desynced:
+            raise ProtocolError(
+                "a replica failed mid-mutation; the worker pool is out of "
+                "sync with the parent session -- rebuild the server"
+            )
+        digest = self._session.canonical_form_of(query).digest
+        with self._route_lock:
+            handle = self._affinity.get(digest)
+            if handle is not None and handle.dead:
+                # The pinned replica died; un-pin and re-route below.
+                del self._affinity[digest]
+                handle = None
+            if handle is None:
+                # Sticky least-loaded routing: pin this distinct query to the
+                # live worker with the fewest pinned queries, so repeats hit
+                # that replica's cache and distinct queries spread evenly.
+                live = [h for h in self._workers if not h.dead]
+                if not live:
+                    raise ProtocolError(
+                        "every worker process has died -- rebuild the server"
+                    )
+                handle = min(live, key=lambda h: h.assigned)
+                handle.assigned += 1
+                self._affinity[digest] = handle
+                while len(self._affinity) > self._max_routes:
+                    _, stale = self._affinity.popitem(last=False)
+                    stale.assigned -= 1
+            else:
+                self._affinity.move_to_end(digest)
+        try:
+            return handle.request("query", (query, algorithm, config))
+        except ProtocolError:
+            # Pipe-level death (request distinguishes it from in-worker
+            # errors by raising ProtocolError with a dead process): take the
+            # worker out of routing so later queries re-route instead of
+            # failing on the corpse forever.
+            if not handle.process.is_alive():
+                handle.dead = True
+            raise
+
+    def worker_stats(self) -> List:
+        """Per-replica :class:`SessionStats` (process backend only, live
+        workers only)."""
+        if self._workers is None:
+            raise ReproError("worker_stats requires the process backend")
+        self._check_open()
+        if self._desynced:
+            # A failed broadcast may have left unread replies on surviving
+            # pipes; a request now would mispair replies with commands.
+            raise ProtocolError(
+                "a replica failed mid-mutation; the worker pool is out of "
+                "sync with the parent session -- rebuild the server"
+            )
+        with self._rw.read_locked():
+            return [
+                handle.request("stats", None)
+                for handle in self._workers
+                if not handle.dead
+            ]
+
+    # ------------------------------------------------------------------
+    # writes (serialized, coalesced, applied at quiescent points)
+    # ------------------------------------------------------------------
+    def delete_edge(self, u: Node, v: Node) -> StampedOutcome:
+        """Delete edge ``(u, v)``; blocks until applied, returns its stamp."""
+        return self._mutate([("delete", u, v)])[0]
+
+    def insert_edge(self, u: Node, v: Node) -> StampedOutcome:
+        """Insert edge ``(u, v)``; blocks until applied, returns its stamp."""
+        return self._mutate([("insert", u, v)])[0]
+
+    def add_node(
+        self, node: Node, label: Label, fid: Optional[int] = None
+    ) -> StampedOutcome:
+        """Add an isolated labeled node; blocks until applied."""
+        op = ("add_node", node, label) if fid is None else ("add_node", node, label, fid)
+        return self._mutate([op])[0]
+
+    def apply(self, updates: Sequence[Tuple]) -> List[StampedOutcome]:
+        """Apply a batch of updates in one quiescent point.
+
+        While the batch applies, no query runs -- a successful batch is
+        atomic to readers: intermediate stamps exist (each update advances
+        the counter) but are never visible to a query.  If an update *fails*
+        (e.g. deleting an edge that is already gone), the updates applied
+        before it stay applied (node additions have no inverse, so there is
+        no rollback) and a :class:`~repro.errors.MutationBatchError` reports
+        the failing update plus the stamped outcomes of the applied prefix;
+        readers then observe the prefix state.  Update syntax matches
+        :meth:`SimulationSession.apply`.
+        """
+        return self._mutate(list(updates))
+
+    def _mutate(self, ops: List[Tuple]) -> List[StampedOutcome]:
+        if not ops:
+            return []
+        ticket = _WriteTicket(ops)
+        with self._write_cond:
+            self._check_open()
+            self._write_queue.append(ticket)
+            # One mutating caller at a time plays "drainer" and applies the
+            # whole pending queue (coalescing everyone else's tickets into
+            # its quiescent point); the rest wait for their ticket.
+            while not ticket.done and self._applying:
+                self._write_cond.wait()
+            become_drainer = not ticket.done
+            if become_drainer:
+                self._applying = True
+        if become_drainer:
+            try:
+                self._drain_writes()
+            except BaseException:
+                # An infrastructure failure (e.g. a replica broadcast) in a
+                # *coalesced* batch must not masquerade as ours: if our own
+                # ticket was decided (results or error recorded), fall through
+                # and report that decision; re-raise only when the failure
+                # struck before our ticket was resolved.
+                with self._write_cond:
+                    if ticket.results is None and ticket.error is None:
+                        raise
+        with self._write_cond:
+            while not ticket.done:
+                self._write_cond.wait()
+        if ticket.error is not None:
+            raise ticket.error
+        return ticket.results
+
+    def _drain_writes(self) -> None:
+        while True:
+            with self._write_cond:
+                batch = list(self._write_queue)
+                self._write_queue.clear()
+                if not batch:
+                    self._applying = False
+                    self._write_cond.notify_all()
+                    return
+            try:
+                self._apply_batch(batch)
+            except BaseException as exc:
+                with self._write_cond:
+                    for ticket in batch:
+                        if ticket.error is None and ticket.results is None:
+                            ticket.error = exc
+                        ticket.done = True
+                    self._applying = False
+                    self._write_cond.notify_all()
+                raise
+            with self._write_cond:
+                for ticket in batch:
+                    ticket.done = True
+                self._write_cond.notify_all()
+
+    def _apply_batch(self, batch: List[_WriteTicket]) -> None:
+        """Apply every ticket inside one write-lock hold (the quiescent point).
+
+        Per-ticket failures (e.g. deleting an edge that is already gone) are
+        recorded on that ticket and do not disturb the others; the replica
+        broadcast ships exactly the updates the parent session accepted.
+        """
+        with self._rw.write_locked():
+            applied: List[Tuple] = []
+            for ticket in batch:
+                results: List[StampedOutcome] = []
+                failed_op = None
+                try:
+                    for op in ticket.ops:
+                        failed_op = op
+                        outcome = self._session.apply([op])[0]
+                        applied.append(op)
+                        self._stamp += 1
+                        results.append(
+                            StampedOutcome(outcome=outcome, stamp=self._stamp)
+                        )
+                    ticket.results = results
+                except Exception as exc:
+                    # Only ordinary Exceptions become per-ticket failures
+                    # (KeyboardInterrupt and friends abort the whole drain
+                    # through _drain_writes' BaseException path instead).
+                    # Updates of this ticket applied before the failure stay
+                    # applied (stamps already advanced; additions have no
+                    # inverse, so no rollback) -- the caller gets the applied
+                    # prefix and the failing op; other tickets proceed.  A
+                    # ticket that failed on its very first update raises the
+                    # underlying error directly (nothing was applied).
+                    if not results and len(ticket.ops) == 1:
+                        ticket.error = exc
+                    else:
+                        error = MutationBatchError(
+                            f"update {failed_op!r} failed after "
+                            f"{len(results)} of {len(ticket.ops)} updates: {exc}",
+                            applied=results,
+                            failed_op=failed_op,
+                        )
+                        error.__cause__ = exc
+                        ticket.error = error
+            if self._workers is not None and applied and not self._desynced:
+                # (Once desynced, pipes may hold unread replies -- no
+                # further traffic; the parent session stays authoritative.)
+                try:
+                    # Pipelined broadcast: every replica starts applying at
+                    # once, so the reader-blocking quiescent window is the
+                    # slowest replica, not the sum over workers.  Workers
+                    # already marked dead are skipped (they serve nothing).
+                    live = [h for h in self._workers if not h.dead]
+                    for handle in live:
+                        handle.post("mutate", applied)
+                    for handle in live:
+                        handle.collect("mutate")
+                except BaseException:
+                    # A replica diverged from the parent; refuse to serve
+                    # possibly-stale answers from the pool afterwards.
+                    self._desynced = True
+                    raise
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ReproError("the server is closed")
+
+    def __repr__(self) -> str:
+        backend = "process" if self._workers is not None else "thread"
+        return (
+            f"ConcurrentSessionServer(backend={backend!r}, "
+            f"n_workers={self.n_workers}, stamp={self._stamp})"
+        )

@@ -69,7 +69,9 @@ stale boundary tables.
 
 from __future__ import annotations
 
+import threading
 import time
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -86,8 +88,9 @@ from repro.graph.digraph import Label, Node
 from repro.graph.pattern import Pattern
 from repro.partition.fragmentation import Fragmentation, MutationDelta
 from repro.runtime.metrics import RunResult
-from repro.session.cache import LabelInterner, LruResultCache, canonical_query_key
+from repro.session.cache import LabelInterner, LruResultCache, canonical_form
 from repro.session.drivers import DRIVERS, AlgorithmDriver
+from repro.simulation.matchrel import MatchRelation
 
 #: algorithm-name aliases accepted by :meth:`SimulationSession.run`
 #: (``dgpmnopt`` is handled separately: it is the dgpm driver plus
@@ -97,9 +100,37 @@ _ALIASES = {
 }
 
 
+def _translate(
+    relation: MatchRelation, stored_order: Tuple, hit_order: Tuple
+) -> MatchRelation:
+    """Rename a cached relation onto an isomorphic pattern's node names.
+
+    Equal canonical digests guarantee that position ``i`` of both orders
+    carries the same label and the same incident edges, so
+    ``stored_order[i] -> hit_order[i]`` is an isomorphism; per-node candidate
+    sets transfer verbatim (simulation only inspects labels and shape).
+    """
+    if stored_order == hit_order:
+        return relation
+    return MatchRelation(
+        hit_order,
+        {
+            hit_u: relation.raw_matches_of(stored_u)
+            for stored_u, hit_u in zip(stored_order, hit_order)
+        },
+    )
+
+
 @dataclass
 class SessionStats:
-    """Serving counters of one session (cumulative since construction)."""
+    """Serving counters of one session (cumulative since construction).
+
+    Increments go through :meth:`bump`, which holds an internal lock --
+    concurrent readers (the thread backend of
+    :class:`~repro.session.concurrent.ConcurrentSessionServer`) never lose
+    an update to an interleaved read-modify-write.  Plain attribute reads
+    stay lock-free (single loads are atomic under the GIL).
+    """
 
     #: queries answered (cache hits included)
     queries_served: int = 0
@@ -121,15 +152,45 @@ class SessionStats:
     #: cache entries evicted because a mutation may have changed them
     entries_evicted: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_lock"]  # stats cross process pipes; locks cannot
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def bump(self, counter: str, n: int = 1) -> None:
+        """Atomically add ``n`` to ``counter`` (one of the fields above)."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
+
+    def sync_evictions(self, value: int) -> None:
+        """Mirror the cache's (monotonic) eviction counter without regressing.
+
+        Concurrent misses race to copy the cache's counter; taking the max
+        under the lock keeps a stale snapshot from overwriting a newer one.
+        """
+        with self._lock:
+            if value > self.cache_evictions:
+                self.cache_evictions = value
+
     @property
     def hit_rate(self) -> float:
         """Fraction of served queries answered from cache."""
         return self.cache_hits / self.queries_served if self.queries_served else 0.0
 
 
-@dataclass
+@dataclass(frozen=True)
 class MutationOutcome:
-    """What one session-applied mutation did to the serving state."""
+    """What one session-applied mutation did to the serving state.
+
+    Frozen: outcomes are handed across threads by the concurrent front-end.
+    """
 
     kind: str            # "delete" | "insert" | "add_node"
     wall_seconds: float
@@ -151,6 +212,10 @@ class _CacheEntryMeta:
     query: Pattern
     algorithm: str
     config: DgpmConfig
+    #: the stored pattern's canonical node order -- a hit whose (isomorphic)
+    #: pattern uses different node names translates the cached relation
+    #: through position-wise correspondence of the two orders
+    order: Tuple = ()
     hits: int = 0
 
 
@@ -172,6 +237,10 @@ class SimulationSession:
         mutations as described in the module docstring;
         ``"invalidate"`` drops every derived structure on any mutation
         (the pre-maintenance behavior, kept as the benchmark baseline).
+    deps:
+        Pre-built :class:`DependencyGraphs` for ``fragmentation`` (e.g.
+        shipped to a worker process once and reused across its whole
+        lifetime); built lazily here when omitted.
     max_warm_states:
         Cap on warm per-query incremental states (each keeps every site's
         evaluation state alive for one hot query).
@@ -188,6 +257,7 @@ class SimulationSession:
         maintenance: str = "incremental",
         max_warm_states: int = 8,
         warm_after_hits: int = 1,
+        deps: Optional[DependencyGraphs] = None,
     ) -> None:
         if maintenance not in ("incremental", "invalidate"):
             raise ReproError(
@@ -205,7 +275,19 @@ class SimulationSession:
         self._cache = LruResultCache(cache_size, on_evict=self._on_cache_evict)
         self._meta: Dict[Tuple, _CacheEntryMeta] = {}
         self._warm: "OrderedDict[Tuple, IncrementalMatchState]" = OrderedDict()
-        self._deps: Optional[DependencyGraphs] = None
+        self._deps = deps
+        #: guards the lazy deps build (never held while computing a query)
+        self._deps_lock = threading.Lock()
+        #: guards ``_meta``/``_warm`` against concurrent readers; acquired
+        #: *after* the cache's lock when both are needed (the cache's
+        #: ``on_evict`` fires under its lock), never the other way around
+        self._state_lock = threading.RLock()
+        #: canonical forms memoized per live Pattern object (weak keys: the
+        #: memo never pins a pattern) -- repeat submissions of the same
+        #: object skip the WL-refinement/permutation work on the hit path
+        self._form_memo: "weakref.WeakKeyDictionary[Pattern, object]" = (
+            weakref.WeakKeyDictionary()
+        )
         self._version = fragmentation.version
         self.labels.intern_all(
             sorted(fragmentation.graph.label_alphabet(), key=repr)
@@ -216,10 +298,29 @@ class SimulationSession:
     # ------------------------------------------------------------------
     @property
     def deps(self) -> DependencyGraphs:
-        """The boundary/watcher tables, built once and shared by all drivers."""
+        """The boundary/watcher tables, built once and shared by all drivers.
+
+        The lazy build is double-checked under a lock so concurrent first
+        queries build the tables exactly once.
+        """
         if self._deps is None:
-            self._deps = DependencyGraphs(self.fragmentation)
+            with self._deps_lock:
+                if self._deps is None:
+                    self._deps = DependencyGraphs(self.fragmentation)
         return self._deps
+
+    def canonical_form_of(self, query: Pattern):
+        """The query's canonical form, memoized per live ``Pattern`` object.
+
+        Serving layers call this on every dispatch (cache key, worker
+        routing); the WL-refinement/permutation work runs once per pattern
+        object instead of once per call.
+        """
+        form = self._form_memo.get(query)
+        if form is None:
+            form = canonical_form(query, self.labels)
+            self._form_memo[query] = form
+        return form
 
     def warm(self) -> "SimulationSession":
         """Eagerly build every amortizable structure (optional; they are lazy).
@@ -242,10 +343,11 @@ class SimulationSession:
         """Drop every derived structure; the next query rebuilds them."""
         self._deps = None
         self._cache.clear()
-        self._meta.clear()
-        self._warm.clear()
+        with self._state_lock:
+            self._meta.clear()
+            self._warm.clear()
         self._version = self.fragmentation.version
-        self.stats.invalidations += 1
+        self.stats.bump("invalidations")
 
     def _refresh_if_stale(self) -> None:
         if self.fragmentation.version != self._version:
@@ -256,8 +358,11 @@ class SimulationSession:
             self.invalidate()
 
     def _on_cache_evict(self, key: Tuple) -> None:
-        self._meta.pop(key, None)
-        self._warm.pop(key, None)
+        # Fires under the cache's lock; take the state lock inside it (the
+        # one sanctioned ordering) so metadata drops atomically with the entry.
+        with self._state_lock:
+            self._meta.pop(key, None)
+            self._warm.pop(key, None)
 
     # ------------------------------------------------------------------
     # serving
@@ -274,10 +379,19 @@ class SimulationSession:
         Cache hits return a result whose ``metrics.extras`` carries
         ``cache_hit: 1.0``; the relation object is shared (safe:
         :class:`~repro.simulation.matchrel.MatchRelation` is frozen) and the
-        metrics are copied, so callers can never poison the cache.  An entry
-        repaired across mutations additionally carries ``maintained: <n>``
-        (updates absorbed since it was computed) -- its metrics describe the
-        original run, its relation the current graph.
+        metrics are copied, so callers can never poison the cache.  A hit
+        whose pattern is an isomorphic *renaming* of the stored one gets the
+        relation translated onto its own node names (the canonical orders of
+        the two patterns give the bijection).  An entry repaired across
+        mutations additionally carries ``maintained: <n>`` (updates absorbed
+        since it was computed) -- its metrics describe the original run, its
+        relation the current graph.
+
+        Safe to call from many threads at once **between** mutations:
+        concurrent identical queries coalesce into one protocol run
+        (:meth:`LruResultCache.get_or_compute`); mutations require the write
+        exclusion that :class:`~repro.session.concurrent.\
+ConcurrentSessionServer` provides.
         """
         self._refresh_if_stale()
         config = config or self.config
@@ -285,37 +399,70 @@ class SimulationSession:
             config = config.without_optimizations()
             algorithm = "dgpm"
         driver = self._resolve_for_query(algorithm, query)
-        key = (driver.name, repr(config), canonical_query_key(query, self.labels))
-        self.stats.queries_served += 1
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.stats.cache_hits += 1
+        form = self.canonical_form_of(query)
+        key = (driver.name, repr(config), form.digest)
+        self.stats.bump("queries_served")
+
+        computed: List[RunResult] = []
+
+        def compute() -> RunResult:
+            result = driver.run(self, query, config)
+            computed.append(result)
+            # Record the entry's pattern/order *before* the result becomes
+            # visible to coalesced waiters, so a renamed hit can always
+            # translate; store a defensive snapshot -- the caller owns the
+            # returned metrics object, and mutating its extras must not leak
+            # into later hits.
+            if self._cache.max_entries:
+                with self._state_lock:
+                    self._meta[key] = _CacheEntryMeta(
+                        query=query, algorithm=driver.name, config=config,
+                        order=form.order,
+                    )
+            return RunResult(
+                relation=result.relation,
+                metrics=replace(result.metrics, extras=dict(result.metrics.extras)),
+            )
+
+        stored, _ = self._cache.get_or_compute(key, compute)
+        if computed:
+            # This thread ran the protocol; hand back the original result.
+            self.stats.bump("cache_misses")
+            self.stats.sync_evictions(self._cache.stats.evictions)
+            return computed[0]
+
+        self.stats.bump("cache_hits")
+        promote = None
+        with self._state_lock:
             meta = self._meta.get(key)
             if meta is not None:
                 meta.hits += 1
                 if key in self._warm:
                     self._warm.move_to_end(key)  # recency for slot rotation
-                else:
-                    self._maybe_promote(key, meta)
-            metrics = replace(
-                cached.metrics, extras={**cached.metrics.extras, "cache_hit": 1.0}
-            )
-            return RunResult(relation=cached.relation, metrics=metrics)
-        self.stats.cache_misses += 1
-        result = driver.run(self, query, config)
-        # Store a defensive snapshot: the caller owns the returned metrics
-        # object; mutating its extras must not leak into later hits.
-        stored = RunResult(
-            relation=result.relation,
-            metrics=replace(result.metrics, extras=dict(result.metrics.extras)),
+                elif (
+                    self.maintenance == "incremental"
+                    and meta.hits >= self.warm_after_hits
+                    and not meta.config.boolean_only
+                ):
+                    promote = meta
+            stored_order = meta.order if meta is not None else None
+        if promote is not None:
+            self._promote(key, promote)
+        if stored_order is None:
+            # The entry raced an eviction between our hit and the metadata
+            # read; without the stored order a renamed pattern cannot be
+            # translated -- fall back to evaluating (rare, always correct).
+            # This query ran the protocol after all: correct the counters.
+            self.stats.bump("cache_hits", -1)
+            self.stats.bump("cache_misses")
+            return driver.run(self, query, config)
+        metrics = replace(
+            stored.metrics, extras={**stored.metrics.extras, "cache_hit": 1.0}
         )
-        self._cache.put(key, stored)
-        if key in self._cache:
-            self._meta[key] = _CacheEntryMeta(
-                query=query, algorithm=driver.name, config=config
-            )
-        self.stats.cache_evictions = self._cache.stats.evictions
-        return result
+        return RunResult(
+            relation=_translate(stored.relation, stored_order, form.order),
+            metrics=metrics,
+        )
 
     def run_many(
         self,
@@ -386,8 +533,14 @@ class SimulationSession:
     # maintenance internals
     # ------------------------------------------------------------------
     def _absorb(self, delta: MutationDelta, start: float) -> MutationOutcome:
-        """Propagate one fragmentation delta into every derived structure."""
-        self.stats.mutations += 1
+        """Propagate one fragmentation delta into every derived structure.
+
+        Mutations are *not* safe against concurrent ``run`` calls on their
+        own -- the concurrent front-end applies them at quiescent points
+        behind its writer lock; direct multi-threaded use must provide the
+        same exclusion.
+        """
+        self.stats.bump("mutations")
         if self.maintenance == "invalidate":
             evicted = len(self._cache)
             self.invalidate()
@@ -418,9 +571,9 @@ class SimulationSession:
             else:
                 kept += 1
         self._version = self.fragmentation.version
-        self.stats.entries_kept += kept
-        self.stats.entries_repaired += repaired
-        self.stats.entries_evicted += evicted
+        self.stats.bump("entries_kept", kept)
+        self.stats.bump("entries_repaired", repaired)
+        self.stats.bump("entries_evicted", evicted)
         return MutationOutcome(
             kind=delta.kind,
             wall_seconds=time.perf_counter() - start,
@@ -471,27 +624,28 @@ class SimulationSession:
         )
         return True
 
-    def _maybe_promote(self, key: Tuple, meta: _CacheEntryMeta) -> None:
+    def _promote(self, key: Tuple, meta: _CacheEntryMeta) -> None:
         """Give a hot cached query a warm incremental state.
 
         When every slot is taken, the least-recently-hit warm state is
         retired to make room -- the warm set tracks the *currently* hottest
-        queries, not the first ones that ever got hot.
+        queries, not the first ones that ever got hot.  The state is built
+        (one fixpoint) outside the state lock so other hits keep flowing;
+        concurrent promotions of the same key keep the first one in.
         """
-        if (
-            self.maintenance != "incremental"
-            or meta.hits < self.warm_after_hits
-            or meta.config.boolean_only
-        ):
-            return
-        if len(self._warm) >= self.max_warm_states:
-            self._warm.popitem(last=False)
-        self._warm[key] = IncrementalMatchState(
+        warm = IncrementalMatchState(
             meta.query,
             self.fragmentation,
             self.deps,
             DgpmConfig(incremental=True, enable_push=False, cost=meta.config.cost),
         )
+        with self._state_lock:
+            if key in self._warm:
+                self._warm.move_to_end(key)
+                return
+            while len(self._warm) >= self.max_warm_states:
+                self._warm.popitem(last=False)
+            self._warm[key] = warm
 
     # ------------------------------------------------------------------
     def _resolve_for_query(self, algorithm: str, query: Pattern) -> AlgorithmDriver:

@@ -3,11 +3,37 @@
 from __future__ import annotations
 
 import random
+import zlib
 
 import pytest
 
 from repro.graph.digraph import DiGraph
 from repro.graph.pattern import Pattern
+
+
+@pytest.fixture
+def rng_seed(request) -> int:
+    """Deterministic per-test seed derived from the test's node id.
+
+    Every parametrized case gets its own seed (the node id includes the
+    parameters), the derivation is stable across processes (unlike ``hash``
+    of a string, which is salted), and the seed is printed so a failure can
+    be replayed exactly: ``random.Random(<printed seed>)``.
+    """
+    seed = zlib.crc32(request.node.nodeid.encode("utf-8"))
+    print(f"[rng] {request.node.nodeid} seed={seed}")
+    return seed
+
+
+@pytest.fixture
+def rng(rng_seed) -> random.Random:
+    """A :class:`random.Random` seeded per test via ``rng_seed``.
+
+    Use this instead of bare ``random.Random(0)`` in randomized/metamorphic
+    suites: failures replay from the printed seed, and distinct tests stop
+    sharing (and silently depending on) one hard-coded stream.
+    """
+    return random.Random(rng_seed)
 
 
 @pytest.fixture

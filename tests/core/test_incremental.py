@@ -194,10 +194,10 @@ class TestInsertion:
 
 
 class TestMixedWorkload:
-    def test_interleaved_updates(self):
-        rng = random.Random(9)
-        graph = random_labeled_graph(24, 90, n_labels=2, seed=9)
-        frag = random_partition(graph, 3, seed=9)
+    def test_interleaved_updates(self, rng, rng_seed):
+        seed = rng_seed % 1000
+        graph = random_labeled_graph(24, 90, n_labels=2, seed=seed)
+        frag = random_partition(graph, 3, seed=seed)
         q = Pattern({"a": "L0", "b": "L1"}, [("a", "b"), ("b", "a")])
         session = IncrementalDgpmSession(q, frag)
         for step in range(10):

@@ -202,17 +202,14 @@ class TestInPlaceMutation:
         with pytest.raises(FragmentationError):
             small_frag.add_node(404, "A", fid=9)  # fragment out of range
 
-    def test_random_mutation_sequences_stay_valid(self):
+    def test_random_mutation_sequences_stay_valid(self, rng):
         """validate() holds and patched watcher tables match rebuilt ones
         after long random delete/insert/add_node sequences."""
-        import random
-
         from repro.core.depgraph import DependencyGraphs
 
         g = random_labeled_graph(40, 160, n_labels=4, seed=8)
         frag = fragment_graph(g, {v: v % 4 for v in g.nodes()})
         deps = DependencyGraphs(frag)
-        rng = random.Random(8)
         for step in range(150):
             r = rng.random()
             if r < 0.5 and g.n_edges:

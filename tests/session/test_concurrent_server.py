@@ -1,0 +1,311 @@
+"""Functional tests for :class:`ConcurrentSessionServer` (both backends).
+
+The stress/linearizability suite lives in ``test_concurrent_stress.py``;
+here we pin down the API surface: stamps, batch atomicity, coalescing,
+error propagation (including across the process boundary), routing, and
+lifecycle.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import (
+    ConcurrentSessionServer,
+    SimulationSession,
+    partition,
+    simulation,
+    web_graph,
+)
+from repro.bench.workloads import cyclic_pattern
+from repro.errors import GraphError, MutationBatchError, ReproError
+from repro.graph.pattern import Pattern
+
+
+@pytest.fixture()
+def small_instance():
+    graph = web_graph(150, 600, n_labels=5, seed=17)
+    frag = partition(graph, 3, seed=17)
+    queries = [cyclic_pattern(graph, 3, 4, seed=s) for s in range(3)]
+    return graph, frag, queries
+
+
+class TestThreadBackend:
+    def test_parity_and_zero_stamp(self, small_instance):
+        graph, frag, queries = small_instance
+        with ConcurrentSessionServer(frag, backend="thread", n_workers=4) as server:
+            results = server.run_many(queries, algorithm="dgpm")
+            for q, r in zip(queries, results):
+                assert r.stamp == 0
+                assert r.relation == simulation(q, graph)
+
+    def test_stamps_advance_per_mutation(self, small_instance):
+        graph, frag, queries = small_instance
+        with ConcurrentSessionServer(frag, backend="thread", n_workers=2) as server:
+            edges = list(graph.edges())
+            first = server.delete_edge(*edges[0])
+            second = server.delete_edge(*edges[1])
+            assert (first.stamp, second.stamp) == (1, 2)
+            assert server.stamp == 2
+            r = server.run(queries[0], algorithm="dgpm")
+            assert r.stamp == 2
+            assert r.relation == simulation(queries[0], graph)
+
+    def test_apply_batch_is_atomic_to_readers(self, small_instance):
+        """A batch's intermediate stamps are never observed by any query."""
+        graph, frag, queries = small_instance
+        with ConcurrentSessionServer(frag, backend="thread", n_workers=4) as server:
+            edges = list(graph.edges())
+            batch = [("delete", *edges[0]), ("delete", *edges[1]), ("delete", *edges[2])]
+            stop = threading.Event()
+            seen = []
+            errors = []
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        seen.append(server.run(queries[0], algorithm="dgpm").stamp)
+                    except Exception as exc:  # pragma: no cover - fail loudly
+                        errors.append(exc)
+                        return
+
+            readers = [threading.Thread(target=hammer) for _ in range(3)]
+            for t in readers:
+                t.start()
+            outcomes = server.apply(batch)
+            stop.set()
+            for t in readers:
+                t.join(timeout=30)
+                assert not t.is_alive(), "reader deadlocked"
+            assert not errors
+            assert [o.stamp for o in outcomes] == [1, 2, 3]
+            assert set(seen) <= {0, 3}, f"intermediate stamp observed: {sorted(set(seen))}"
+
+    def test_mutation_error_does_not_wedge_writes(self, small_instance):
+        graph, frag, queries = small_instance
+        with ConcurrentSessionServer(frag, backend="thread") as server:
+            with pytest.raises(GraphError):
+                server.delete_edge("nope", "also-nope")
+            # The writer path must stay serviceable after a failed ticket.
+            edge = next(iter(graph.edges()))
+            assert server.delete_edge(*edge).stamp == 1
+            assert server.run(queries[0], algorithm="dgpm").stamp == 1
+
+    def test_partial_batch_failure_reports_applied_prefix(self, small_instance):
+        """A batch failing midway raises MutationBatchError carrying the
+        stamped prefix; the prefix stays applied and serving continues."""
+        graph, frag, queries = small_instance
+        edges = list(graph.edges())
+        with ConcurrentSessionServer(frag, backend="thread") as server:
+            bad_batch = [
+                ("delete", *edges[0]),
+                ("delete", *edges[0]),  # already gone -> fails here
+                ("delete", *edges[1]),  # never attempted
+            ]
+            with pytest.raises(MutationBatchError) as excinfo:
+                server.apply(bad_batch)
+            error = excinfo.value
+            assert [o.stamp for o in error.applied] == [1]
+            assert error.failed_op == ("delete", *edges[0])
+            assert isinstance(error.__cause__, GraphError)
+            assert server.stamp == 1
+            assert not graph.has_edge(*edges[0])
+            assert graph.has_edge(*edges[1])  # tail op never ran
+            result = server.run(queries[0], algorithm="dgpm")
+            assert result.stamp == 1
+            assert result.relation == simulation(queries[0], graph)
+
+    def test_wrapping_an_existing_session(self, small_instance):
+        _, frag, queries = small_instance
+        session = SimulationSession(frag)
+        session.run(queries[0], algorithm="dgpm")  # pre-warmed entry
+        with ConcurrentSessionServer(session, backend="thread") as server:
+            r = server.run(queries[0], algorithm="dgpm")
+            assert r.metrics.extras.get("cache_hit") == 1.0  # shared cache
+        with pytest.raises(ReproError, match="config"):
+            ConcurrentSessionServer(session, cache_size=4)
+
+    def test_submit_returns_futures(self, small_instance):
+        graph, frag, queries = small_instance
+        with ConcurrentSessionServer(frag, backend="thread", n_workers=4) as server:
+            futures = [server.submit(q, algorithm="dgpm") for q in queries]
+            for q, f in zip(queries, futures):
+                assert f.result(timeout=60).relation == simulation(q, graph)
+
+    def test_closed_server_rejects_work(self, small_instance):
+        _, frag, queries = small_instance
+        server = ConcurrentSessionServer(frag, backend="thread")
+        server.close()
+        server.close()  # idempotent
+        with pytest.raises(ReproError, match="closed"):
+            server.submit(queries[0])
+        with pytest.raises(ReproError, match="closed"):
+            server.delete_edge(0, 1)
+
+    def test_rejects_unknown_backend_and_sources(self, small_instance):
+        _, frag, _ = small_instance
+        with pytest.raises(ReproError, match="backend"):
+            ConcurrentSessionServer(frag, backend="fiber")
+        with pytest.raises(ReproError, match="n_workers"):
+            ConcurrentSessionServer(frag, n_workers=0)
+        with pytest.raises(ReproError, match="cannot serve"):
+            ConcurrentSessionServer("not a fragmentation")
+
+    def test_concurrent_writers_all_apply(self, small_instance):
+        """Mutations racing from many threads serialize; stamps are unique
+        and the final graph reflects every applied update."""
+        graph, frag, _ = small_instance
+        edges = list(graph.edges())[:8]
+        stamps = []
+        with ConcurrentSessionServer(frag, backend="thread", n_workers=4) as server:
+            def delete(edge):
+                stamps.append(server.delete_edge(*edge).stamp)
+
+            threads = [threading.Thread(target=delete, args=(e,)) for e in edges]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+                assert not t.is_alive(), "writer deadlocked"
+            assert sorted(stamps) == list(range(1, len(edges) + 1))
+            assert server.stamp == len(edges)
+            for u, v in edges:
+                assert not graph.has_edge(u, v)
+            frag.validate()
+
+
+class TestProcessBackend:
+    def test_parity_mutation_and_affinity(self, small_instance):
+        graph, frag, queries = small_instance
+        with ConcurrentSessionServer(frag, backend="process", n_workers=2) as server:
+            results = server.run_many(queries, algorithm="dgpm")
+            for q, r in zip(queries, results):
+                assert r.relation == simulation(q, graph)
+            # Repeat: sticky routing sends it back to the same replica's cache.
+            again = server.run(queries[0], algorithm="dgpm")
+            assert again.metrics.extras.get("cache_hit") == 1.0
+            # Mutate: replicas stay in lockstep with the parent session.
+            edge = next(iter(graph.edges()))
+            assert server.delete_edge(*edge).stamp == 1
+            after = server.run(queries[0], algorithm="dgpm")
+            assert after.stamp == 1
+            assert after.relation == simulation(queries[0], graph)
+            stats = server.worker_stats()
+            assert sum(s.queries_served for s in stats) == len(queries) + 2
+            assert all(s.mutations == 1 for s in stats)
+
+    def test_worker_error_propagates(self, small_instance):
+        _, frag, queries = small_instance
+        with ConcurrentSessionServer(frag, backend="process", n_workers=1) as server:
+            with pytest.raises(ReproError, match="unknown algorithm"):
+                server.run(queries[0], algorithm="nonsense")
+            # The worker survives the failed query and keeps serving.
+            ok = server.run(queries[0], algorithm="dgpm")
+            assert ok.relation is not None
+
+    def test_deps_kwarg_reaches_replicas_without_collision(self, small_instance):
+        """A caller-supplied deps= must not crash workers (deps ship via the
+        spawn args; the kwarg is consumed by the parent session only)."""
+        from repro.core.depgraph import DependencyGraphs
+
+        graph, frag, queries = small_instance
+        deps = DependencyGraphs(frag)
+        with ConcurrentSessionServer(
+            frag, backend="process", n_workers=1, deps=deps
+        ) as server:
+            assert server.session.deps is deps
+            r = server.run(queries[0], algorithm="dgpm")
+            assert r.relation == simulation(queries[0], graph)
+
+    def test_close_never_fails_an_applied_mutation(self, small_instance):
+        """close() drains in-flight mutation tickets before stopping workers:
+        a racing writer either succeeds or is refused as 'closed' -- it is
+        never told the worker died under its already-applied mutation."""
+        graph, frag, _ = small_instance
+        edges = list(graph.edges())[:4]
+        server = ConcurrentSessionServer(frag, backend="process", n_workers=1)
+        outcomes, refusals, hard_failures = [], [], []
+
+        def mutate(edge):
+            try:
+                outcomes.append(server.delete_edge(*edge))
+            except ReproError as exc:
+                (refusals if "closed" in str(exc) else hard_failures).append(exc)
+
+        threads = [threading.Thread(target=mutate, args=(e,)) for e in edges]
+        for t in threads:
+            t.start()
+        server.close()
+        for t in threads:
+            t.join(timeout=60)
+            assert not t.is_alive(), "writer deadlocked against close()"
+        assert not hard_failures, f"applied mutation reported dead worker: {hard_failures[0]!r}"
+        assert len(outcomes) + len(refusals) == len(edges)
+        assert server.stamp == len(outcomes)
+
+    def test_dead_worker_raises_instead_of_hanging(self, small_instance):
+        """A killed worker surfaces as ProtocolError on the next dispatch
+        (the parent closed its copy of the child pipe end, so recv hits EOF)."""
+        from repro.errors import ProtocolError
+
+        _, frag, queries = small_instance
+        with ConcurrentSessionServer(frag, backend="process", n_workers=1) as server:
+            server.run(queries[0], algorithm="dgpm")
+            worker = server._workers[0]
+            worker.process.terminate()
+            worker.process.join(timeout=10)
+            with pytest.raises(ProtocolError, match="died"):
+                server.run(queries[1], algorithm="dgpm")
+            # The only worker is dead: routing reports the pool state.
+            with pytest.raises(ProtocolError, match="every worker"):
+                server.run(queries[1], algorithm="dgpm")
+
+    def test_dead_worker_is_routed_around(self, small_instance):
+        """After one replica dies, its pinned queries re-route to survivors
+        (one failing dispatch, then served) and mutations keep flowing."""
+        from repro.errors import ProtocolError
+
+        graph, frag, queries = small_instance
+        with ConcurrentSessionServer(frag, backend="process", n_workers=2) as server:
+            for q in queries:
+                server.run(q, algorithm="dgpm")  # pin every digest
+            victim_digest = next(iter(server._affinity))
+            victim = server._affinity[victim_digest]
+            pinned = [
+                q for q in queries
+                if server._affinity[server.session.canonical_form_of(q).digest]
+                is victim
+            ]
+            victim.process.terminate()
+            victim.process.join(timeout=10)
+            q = pinned[0]
+            with pytest.raises(ProtocolError, match="died"):
+                server.run(q, algorithm="dgpm")
+            retried = server.run(q, algorithm="dgpm")  # re-pinned to survivor
+            assert retried.relation == simulation(q, graph)
+            # Mutations skip the corpse instead of desyncing the pool.
+            out = server.delete_edge(*next(iter(graph.edges())))
+            assert out.stamp == 1
+            after = server.run(q, algorithm="dgpm")
+            assert after.stamp == 1
+            assert after.relation == simulation(q, graph)
+
+    def test_worker_stats_requires_process_backend(self, small_instance):
+        _, frag, _ = small_instance
+        with ConcurrentSessionServer(frag, backend="thread") as server:
+            with pytest.raises(ReproError, match="process backend"):
+                server.worker_stats()
+
+
+class TestStampedResultSurface:
+    def test_is_match_view(self, small_instance):
+        graph, frag, queries = small_instance
+        with ConcurrentSessionServer(frag, backend="thread") as server:
+            r = server.run(queries[0], algorithm="dgpm")
+            assert r.is_match == r.relation.is_match
+            miss = server.run(
+                Pattern({"q": "no-such-label"}), algorithm="dgpm"
+            )
+            assert not miss.is_match

@@ -1,0 +1,308 @@
+"""Concurrency stress suite: snapshot linearizability under real contention.
+
+N reader threads hammer one :class:`ConcurrentSessionServer` while a writer
+thread streams mutations through it.  The server's contract says each
+returned result observed the graph at exactly the mutation stamp it reports;
+the oracle here replays the writer's update list prefix-by-prefix on a
+private copy of the graph and demands
+
+    ``result.relation == simulation(query, graph_after_first_stamp_ops)``
+
+for **every** result every reader ever got -- across all general-graph
+algorithms the session serves, two partitioners, and both backends (the
+process backend with a smaller schedule: replica lockstep is what's under
+test, not throughput).
+
+Every thread is joined with a timeout and asserted dead afterwards, so a
+reader-writer deadlock fails the suite quickly even without the
+``pytest-timeout`` ceiling CI adds on top.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, List, Tuple
+
+from repro import (
+    ConcurrentSessionServer,
+    citation_dag,
+    hash_partition,
+    random_partition,
+    random_tree,
+    simulation,
+    tree_partition,
+    web_graph,
+)
+from repro.bench.workloads import cyclic_pattern, dag_pattern, tree_pattern
+from repro.graph.digraph import DiGraph
+from repro.graph.pattern import Pattern
+
+import pytest
+
+PARTITIONERS = {
+    "random": lambda g, seed: random_partition(g, 3, seed=seed),
+    "hash": lambda g, seed: hash_partition(g, 3, seed=seed),
+}
+
+#: algorithms safe on arbitrary mutating graphs (dGPMd/dGPMt get dedicated
+#: shape-preserving scenarios below)
+GENERAL_ALGORITHMS = ["dgpm", "dgpmnopt", "dmes", "dishhk", "match"]
+
+JOIN_TIMEOUT = 120.0
+
+
+def _mutation_ops(graph: DiGraph, n_ops: int, rng: random.Random) -> List[Tuple]:
+    """A valid-in-sequence update list, generated against a scratch copy."""
+    scratch = graph.copy()
+    labels = sorted(scratch.label_alphabet(), key=repr)
+    deleted: List[Tuple] = []
+    ops: List[Tuple] = []
+    for step in range(n_ops):
+        r = rng.random()
+        if r < 0.5 and scratch.n_edges:
+            edges = list(scratch.edges())
+            u, v = edges[rng.randrange(len(edges))]
+            scratch.remove_edge(u, v)
+            deleted.append((u, v))
+            ops.append(("delete", u, v))
+        elif r < 0.8 and deleted:
+            u, v = deleted.pop(rng.randrange(len(deleted)))
+            scratch.add_edge(u, v)
+            ops.append(("insert", u, v))
+        else:
+            node = ("stress", step)
+            label = rng.choice(labels)
+            scratch.add_node(node, label)
+            ops.append(("add_node", node, label))
+    return ops
+
+
+def _replay(graph: DiGraph, ops: List[Tuple], n: int) -> DiGraph:
+    """The graph after the first ``n`` updates (fresh copy each call)."""
+    replayed = graph.copy()
+    for op in ops[:n]:
+        if op[0] == "delete":
+            replayed.remove_edge(op[1], op[2])
+        elif op[0] == "insert":
+            replayed.add_edge(op[1], op[2])
+        else:
+            replayed.add_node(op[1], op[2])
+    return replayed
+
+
+def _stress(
+    server: ConcurrentSessionServer,
+    queries: List[Pattern],
+    ops: List[Tuple],
+    algorithm: str,
+    seed: int,
+    n_readers: int = 3,
+    reads_per_reader: int = 8,
+    batch: int = 1,
+) -> List[Tuple[int, object]]:
+    """Run readers against a writer; return [(query index, StampedResult)]."""
+    results: List[Tuple[int, object]] = []
+    failures: List[BaseException] = []
+    barrier = threading.Barrier(n_readers + 1)
+
+    def reader(idx: int) -> None:
+        rng = random.Random(seed * 1000 + idx)
+        try:
+            barrier.wait(timeout=JOIN_TIMEOUT)
+            for _ in range(reads_per_reader):
+                qi = rng.randrange(len(queries))
+                result = server.run(queries[qi], algorithm=algorithm)
+                results.append((qi, result))  # list.append is atomic
+        except BaseException as exc:
+            failures.append(exc)
+
+    def writer() -> None:
+        try:
+            barrier.wait(timeout=JOIN_TIMEOUT)
+            for start in range(0, len(ops), batch):
+                server.apply(ops[start:start + batch])
+        except BaseException as exc:
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=reader, args=(i,), name=f"reader-{i}")
+        for i in range(n_readers)
+    ] + [threading.Thread(target=writer, name="writer")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=JOIN_TIMEOUT)
+        assert not t.is_alive(), f"{t.name} deadlocked (zero-deadlock gate)"
+    assert not failures, f"thread raised: {failures[0]!r}"
+    assert server.stamp == len(ops)
+    return results
+
+
+def _check_snapshots(
+    graph: DiGraph,
+    queries: List[Pattern],
+    ops: List[Tuple],
+    results: List[Tuple[int, object]],
+) -> None:
+    """Every result must equal the from-scratch oracle at its stamp."""
+    oracle: Dict[Tuple[int, int], object] = {}
+    observed_stamps = sorted({r.stamp for _, r in results})
+    graphs = {s: _replay(graph, ops, s) for s in observed_stamps}
+    for qi, result in results:
+        key = (result.stamp, qi)
+        if key not in oracle:
+            oracle[key] = simulation(queries[qi], graphs[result.stamp])
+        assert result.relation == oracle[key], (
+            f"snapshot violation: query {qi} at stamp {result.stamp}"
+        )
+
+
+@pytest.mark.parametrize("partitioner", sorted(PARTITIONERS))
+@pytest.mark.parametrize("algorithm", GENERAL_ALGORITHMS)
+def test_readers_vs_writer_thread_backend(partitioner, algorithm, rng, rng_seed):
+    seed = rng_seed % 1000
+    graph = web_graph(40, 170, n_labels=4, seed=seed)
+    initial = graph.copy()  # the oracle replays from here
+    frag = PARTITIONERS[partitioner](graph, seed)
+    queries = [
+        cyclic_pattern(graph, 3, 4, seed=seed),
+        Pattern({"a": "dom0", "b": "dom1"}, [("a", "b")]),
+        Pattern({"p": "dom2"}),
+    ]
+    ops = _mutation_ops(graph, 8, rng)
+    with ConcurrentSessionServer(frag, backend="thread", n_workers=4) as server:
+        results = _stress(server, queries, ops, algorithm, seed)
+    _check_snapshots(initial, queries, ops, results)
+
+
+def test_readers_vs_batching_writer(rng, rng_seed):
+    """Batched writes (apply of 3 ops at a time) keep snapshot semantics;
+    readers only ever observe batch-boundary stamps."""
+    seed = rng_seed % 1000
+    graph = web_graph(40, 170, n_labels=4, seed=seed)
+    initial = graph.copy()
+    frag = random_partition(graph, 3, seed=seed)
+    queries = [cyclic_pattern(graph, 3, 4, seed=seed)]
+    ops = _mutation_ops(graph, 9, rng)
+    with ConcurrentSessionServer(frag, backend="thread", n_workers=4) as server:
+        results = _stress(server, queries, ops, "dgpm", seed, batch=3)
+    boundary = {0, 3, 6, 9}
+    assert {r.stamp for _, r in results} <= boundary
+    _check_snapshots(initial, queries, ops, results)
+
+
+def test_readers_vs_writer_process_backend(rng, rng_seed):
+    """Replica lockstep: worker answers carry the right stamp snapshots."""
+    seed = rng_seed % 1000
+    graph = web_graph(35, 140, n_labels=4, seed=seed)
+    initial = graph.copy()
+    frag = random_partition(graph, 3, seed=seed)
+    queries = [
+        cyclic_pattern(graph, 3, 4, seed=seed),
+        Pattern({"a": "dom0", "b": "dom1"}, [("a", "b")]),
+    ]
+    ops = _mutation_ops(graph, 5, rng)
+    with ConcurrentSessionServer(frag, backend="process", n_workers=2) as server:
+        results = _stress(
+            server, queries, ops, "dgpm", seed, n_readers=2, reads_per_reader=5
+        )
+    _check_snapshots(initial, queries, ops, results)
+
+
+def test_dgpmd_readers_vs_dag_safe_writer(rng, rng_seed):
+    """dGPMd under deletions/re-insertions (cannot create a cycle)."""
+    seed = rng_seed % 1000
+    graph = citation_dag(80, 300, seed=seed)
+    initial = graph.copy()
+    frag = random_partition(graph, 3, seed=seed)
+    queries = [dag_pattern(graph, diameter=2, n_nodes=4, n_edges=4, seed=s) for s in (0, 1)]
+    scratch = graph.copy()
+    deleted: List[Tuple] = []
+    ops: List[Tuple] = []
+    for step in range(8):
+        if step % 3 != 2 or not deleted:
+            edges = list(scratch.edges())
+            u, v = edges[rng.randrange(len(edges))]
+            scratch.remove_edge(u, v)
+            deleted.append((u, v))
+            ops.append(("delete", u, v))
+        else:
+            u, v = deleted.pop()
+            scratch.add_edge(u, v)
+            ops.append(("insert", u, v))
+    with ConcurrentSessionServer(frag, backend="thread", n_workers=3) as server:
+        results = _stress(server, queries, ops, "dgpmd", seed, n_readers=2)
+    _check_snapshots(initial, queries, ops, results)
+
+
+def test_dgpmt_readers_vs_leaf_growing_writer(rng, rng_seed):
+    """dGPMt while the tree grows leaves; each (add_node, insert) pair is one
+    atomic batch, so no reader ever sees the disconnected intermediate."""
+    seed = rng_seed % 1000
+    tree = random_tree(50, seed=seed)
+    initial = tree.copy()
+    frag = tree_partition(tree, 3, seed=seed)
+    queries = [tree_pattern(tree, n_nodes=3, seed=s) for s in (0, 1)]
+    labels = sorted(tree.label_alphabet(), key=repr)
+    parents = [rng.choice(list(tree.nodes())) for _ in range(4)]
+    batches = [
+        [
+            ("add_node", ("leaf", i), rng.choice(labels), frag.owner(parent)),
+            ("insert", parent, ("leaf", i)),
+        ]
+        for i, parent in enumerate(parents)
+    ]
+    ops = [op for b in batches for op in b]
+    results: List[Tuple[int, object]] = []
+    failures: List[BaseException] = []
+    barrier = threading.Barrier(3)
+
+    def reader(idx: int) -> None:
+        r = random.Random(seed + idx)
+        try:
+            barrier.wait(timeout=JOIN_TIMEOUT)
+            for _ in range(6):
+                qi = r.randrange(len(queries))
+                results.append((qi, server.run(queries[qi], algorithm="dgpmt")))
+        except BaseException as exc:
+            failures.append(exc)
+
+    def writer() -> None:
+        try:
+            barrier.wait(timeout=JOIN_TIMEOUT)
+            for b in batches:
+                server.apply(b)
+        except BaseException as exc:
+            failures.append(exc)
+
+    with ConcurrentSessionServer(frag, backend="thread", n_workers=3) as server:
+        threads = [threading.Thread(target=reader, args=(i,)) for i in range(2)]
+        threads.append(threading.Thread(target=writer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=JOIN_TIMEOUT)
+            assert not t.is_alive(), "deadlock in dgpmt stress"
+        assert not failures, f"thread raised: {failures[0]!r}"
+    # Only even (batch-boundary) stamps are observable.
+    assert all(r.stamp % 2 == 0 for _, r in results)
+    _check_snapshots(initial, queries, ops, results)
+
+
+def test_coalesced_identical_queries_single_flight(rng_seed):
+    """Concurrent identical cold queries coalesce into one protocol run
+    (the cache's atomic get-or-compute), all observing the same stamp."""
+    seed = rng_seed % 1000
+    graph = web_graph(60, 250, n_labels=4, seed=seed)
+    frag = random_partition(graph, 3, seed=seed)
+    query = cyclic_pattern(graph, 3, 4, seed=seed)
+    with ConcurrentSessionServer(frag, backend="thread", n_workers=6) as server:
+        futures = [server.submit(query, algorithm="dgpm") for _ in range(6)]
+        results = [f.result(timeout=JOIN_TIMEOUT) for f in futures]
+    assert len({id(r.relation) for r in results}) <= 2  # one compute + shares
+    session = server.session
+    assert session.stats.cache_misses == 1
+    assert session.stats.cache_hits == 5
+    oracle = simulation(query, graph)
+    assert all(r.relation == oracle for r in results)

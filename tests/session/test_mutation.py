@@ -9,8 +9,6 @@ entries in ``O(|AFF|)``, and evicting only what may actually have changed.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
 from repro import (
@@ -40,9 +38,8 @@ def served_session():
 
 
 class TestMutationApi:
-    def test_delete_edge_keeps_fragmentation_valid(self, served_session):
+    def test_delete_edge_keeps_fragmentation_valid(self, served_session, rng):
         graph, frag, session, queries = served_session
-        rng = random.Random(1)
         for _ in range(20):
             edges = list(graph.edges())
             u, v = edges[rng.randrange(len(edges))]
@@ -52,10 +49,9 @@ class TestMutationApi:
         for q in queries:
             assert session.run(q, algorithm="dgpm").relation == simulation(q, graph)
 
-    def test_deps_patched_not_rebuilt(self, served_session):
+    def test_deps_patched_not_rebuilt(self, served_session, rng):
         graph, frag, session, _ = served_session
         deps_before = session.deps
-        rng = random.Random(2)
         deleted = []
         for _ in range(10):
             edges = list(graph.edges())
@@ -161,7 +157,7 @@ class TestCacheMaintenance:
         assert "cache_hit" not in after.metrics.extras
         assert after.relation == simulation(q, graph)
 
-    def test_warm_entry_repaired_in_place(self):
+    def test_warm_entry_repaired_in_place(self, rng):
         """A hot query's answer is repaired by the warm incremental state:
         the next serve is still a cache hit, and the relation is fresh."""
         graph = web_graph(300, 1500, n_labels=3, seed=7)
@@ -173,7 +169,6 @@ class TestCacheMaintenance:
         assert len(session._warm) == 1
 
         # Delete label-relevant edges until the answer actually changes.
-        rng = random.Random(7)
         changed = 0
         for _ in range(200):
             candidates = [

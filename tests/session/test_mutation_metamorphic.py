@@ -7,12 +7,13 @@ centralized ``simulation(query, G')`` on the current graph -- across three
 partitioners and every algorithm the session serves (shape-restricted
 algorithms get shape-preserving streams: deletions/re-insertions for dGPMd
 on DAGs, leaf growth for dGPMt on trees).
+
+Randomness comes from the ``rng``/``rng_seed`` fixtures (seed derived from
+the test node id and printed on every run), so a failing stream replays
+exactly from the report.
 """
 
 from __future__ import annotations
-
-import random
-import zlib
 
 import pytest
 
@@ -70,10 +71,8 @@ def _mutate_once(rng, session, graph, deleted):
 
 @pytest.mark.parametrize("partitioner", sorted(PARTITIONERS))
 @pytest.mark.parametrize("algorithm", GENERAL_ALGORITHMS)
-def test_interleaved_stream_matches_oracle(partitioner, algorithm):
-    # Deterministic per-case seed (str hash is salted per process).
-    seed = zlib.crc32(f"{partitioner}/{algorithm}".encode()) % 1000
-    rng = random.Random(seed)
+def test_interleaved_stream_matches_oracle(partitioner, algorithm, rng, rng_seed):
+    seed = rng_seed % 1000  # per-case, from the printed fixture seed
     graph = web_graph(60, 260, n_labels=4, seed=seed)
     frag = PARTITIONERS[partitioner](graph, seed)
     session = SimulationSession(frag)
@@ -101,11 +100,11 @@ def test_interleaved_stream_matches_oracle(partitioner, algorithm):
     assert session.stats.invalidations == 0  # maintained, never dropped
 
 
-def test_dgpmd_stream_on_dag():
+def test_dgpmd_stream_on_dag(rng, rng_seed):
     """dGPMd serves a DAG under deletions and re-insertions (DAG-safe)."""
-    rng = random.Random(3)
-    graph = citation_dag(120, 420, seed=3)
-    frag = random_partition(graph, 3, seed=3)
+    seed = rng_seed % 1000
+    graph = citation_dag(120, 420, seed=seed)
+    frag = random_partition(graph, 3, seed=seed)
     session = SimulationSession(frag)
     queries = [dag_pattern(graph, diameter=2, n_nodes=4, n_edges=4, seed=s) for s in (0, 1)]
     for q in queries:
@@ -125,12 +124,12 @@ def test_dgpmd_stream_on_dag():
         assert session.run(q, algorithm="dgpmd").relation == simulation(q, graph), step
 
 
-def test_dgpmt_stream_on_growing_tree():
+def test_dgpmt_stream_on_growing_tree(rng, rng_seed):
     """dGPMt serves a tree that grows leaves (tree + connectivity preserved:
     each new node joins its parent's fragment)."""
-    rng = random.Random(5)
-    tree = random_tree(60, seed=5)
-    frag = tree_partition(tree, 3, seed=5)
+    seed = rng_seed % 1000
+    tree = random_tree(60, seed=seed)
+    frag = tree_partition(tree, 3, seed=seed)
     session = SimulationSession(frag)
     queries = [tree_pattern(tree, n_nodes=3, seed=s) for s in (0, 1)]
     for q in queries:
@@ -147,13 +146,13 @@ def test_dgpmt_stream_on_growing_tree():
         assert session.run(q, algorithm="dgpmt").relation == simulation(q, tree), step
 
 
-def test_auto_dispatch_stream():
+def test_auto_dispatch_stream(rng, rng_seed):
     """The auto-dispatched session stays oracle-exact under mutations."""
-    rng = random.Random(11)
-    graph = web_graph(50, 220, n_labels=4, seed=11)
-    frag = random_partition(graph, 3, seed=11)
+    seed = rng_seed % 1000
+    graph = web_graph(50, 220, n_labels=4, seed=seed)
+    frag = random_partition(graph, 3, seed=seed)
     session = SimulationSession(frag)
-    q = cyclic_pattern(graph, 3, 4, seed=11)
+    q = cyclic_pattern(graph, 3, 4, seed=seed)
     deleted = []
     for step in range(8):
         _mutate_once(rng, session, graph, deleted)
