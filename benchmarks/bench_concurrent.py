@@ -25,6 +25,7 @@ import pytest
 
 from repro.bench.concurrent import concurrent_stream_series, usable_cpus
 from repro.bench.report import record_report
+from repro.bench.smoke import record_smoke
 
 RESULTS = Path(__file__).parent / "results"
 
@@ -117,6 +118,29 @@ def main(argv=None) -> int:
             f"process speedup at |F|={p_wide.n_fragments} is "
             f"{p_wide.process_speedup:.2f}x (< {threshold}x at {cpus} CPUs)"
         )
+    record_smoke(
+        "concurrent",
+        {
+            "smoke": args.smoke,
+            "ok": not failures,
+            "threshold": threshold,
+            "usable_cpus": cpus,
+            "points": [
+                {
+                    "n_fragments": p.n_fragments,
+                    "n_queries": p.n_queries,
+                    "n_workers": p.n_workers,
+                    "serial_qps": p.serial_qps,
+                    "thread_qps": p.thread_qps,
+                    "process_qps": p.process_qps,
+                    "process_speedup": p.process_speedup,
+                    "process_hit_rate": p.process_hit_rate,
+                    "parity": p.parity,
+                }
+                for p in series.points
+            ],
+        },
+    )
     if failures:
         print("FAIL:", "; ".join(failures))
         return 1

@@ -37,7 +37,8 @@ def test_fig6a_pt_decreases_with_fragments(benchmark, series, instance):
     assert min(pts[2:]) < pts[0], "dGPM PT should drop as |F| grows"
     # ordering claims compared on sweep medians (single points can glitch;
     # the paper's margins are 3-50x)
-    med = lambda alg: series.median("pt_seconds", alg)
+    def med(alg):
+        return series.median("pt_seconds", alg)
     assert med("dGPM") < med("Match")
     assert med("dGPM") < med("dMes")
     assert med("dGPM") < med("disHHK")

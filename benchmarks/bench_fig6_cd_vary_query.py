@@ -23,7 +23,8 @@ def series():
 
 
 def test_fig6c_dgpm_wins_at_every_query_size(benchmark, series):
-    med = lambda alg: series.median("pt_seconds", alg)
+    def med(alg):
+        return series.median("pt_seconds", alg)
     assert med("dGPM") < med("disHHK")
     assert med("dGPM") < med("dMes")
     assert med("dGPM") < med("Match")

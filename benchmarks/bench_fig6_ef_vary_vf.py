@@ -26,7 +26,8 @@ def series():
 def test_fig6e_pt_grows_with_vf_but_dgpm_stays_ahead(benchmark, series):
     first, last = series.points[0], series.points[-1]
     assert last.ds_kb["dGPM"] > first.ds_kb["dGPM"]  # partition-bounded: worse cut, more DS
-    med = lambda alg: series.median("pt_seconds", alg)
+    def med(alg):
+        return series.median("pt_seconds", alg)
     assert med("dGPM") < med("disHHK")
     assert med("dGPM") < med("dMes")
     graph = figures.yahoo_graph()

@@ -24,7 +24,8 @@ def series():
 
 
 def test_fig6g_dgpmd_fastest_at_every_d(benchmark, series):
-    med = lambda alg: series.median("pt_seconds", alg)
+    def med(alg):
+        return series.median("pt_seconds", alg)
     assert med("dGPMd") < med("Match")
     assert med("dGPMd") < med("disHHK")
     assert med("dGPMd") < med("dMes")

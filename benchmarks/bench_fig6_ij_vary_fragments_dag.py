@@ -26,7 +26,8 @@ def series():
 def test_fig6i_pt_decreases_with_fragments(benchmark, series):
     pts = [p.pt_seconds["dGPMd"] for p in series.points]
     assert min(pts[2:]) < pts[0]
-    med = lambda alg: series.median("pt_seconds", alg)
+    def med(alg):
+        return series.median("pt_seconds", alg)
     assert med("dGPMd") < med("Match")
     assert med("dGPMd") < med("disHHK")
     assert med("dGPMd") < med("dMes")

@@ -26,7 +26,8 @@ def series():
 def test_fig6m_pt_parallelism(benchmark, series):
     pts = [p.pt_seconds["dGPM"] for p in series.points]
     assert min(pts[1:]) < pts[0]
-    med = lambda alg: series.median("pt_seconds", alg)
+    def med(alg):
+        return series.median("pt_seconds", alg)
     assert med("dGPM") < med("disHHK")
     assert med("dGPM") < med("dMes")
     for p in series.points:

@@ -37,7 +37,8 @@ def series():
 def test_fig6o_baseline_pt_tracks_graph_size(benchmark, series):
     dishhk = [p.pt_seconds["disHHK"] for p in series.points]
     assert dishhk[-1] > dishhk[0]  # ship-and-assemble pays for |G|
-    med = lambda alg: series.median("pt_seconds", alg)
+    def med(alg):
+        return series.median("pt_seconds", alg)
     assert med("dGPM") < med("disHHK")
     assert med("dGPM") < med("dMes")
     query, frag = _representative(8000, 32000)

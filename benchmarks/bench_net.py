@@ -1,0 +1,124 @@
+"""Network ingress: localhost-TCP serving vs in-process (perf gate).
+
+The ROADMAP's "async/socket ingress" landed; this gate keeps it honest.
+The same mixed stream is served by the thread backend directly and through
+the asyncio TCP front door (4 blocking client connections, round-robin),
+each on its own freshly-built server, so the measured delta is pure ingress
+overhead -- framing, pickling, syscalls, event loop.
+
+Gate: localhost TCP must sustain **>= 0.5x** the in-process throughput on
+the |F|=16 mixed stream, parity-checked query-by-query against a serial
+session.  (The ingress adds per-request work but also overlaps requests
+across connections; 0.5x is far below what a healthy build delivers and
+catches "the event loop serialized everything" class regressions.)
+
+Runs two ways:
+
+* ``pytest benchmarks/ -o python_files='bench_*.py'`` -- full sweep, recorded
+  next to the Fig.-6 series;
+* ``python benchmarks/bench_net.py [--smoke]`` -- standalone, used by CI
+  (``--smoke`` shrinks sizes so a regression fails loudly in seconds).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.net import net_stream_series
+from repro.bench.report import record_report
+from repro.bench.smoke import record_smoke
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def series():
+    s = net_stream_series(fragment_counts=(16,))
+    record_report("net_stream", s.render(), RESULTS)
+    return s
+
+
+def test_net_parity(series):
+    for p in series.points:
+        assert p.parity, f"TCP answers diverged at |F|={p.n_fragments}"
+
+
+def test_tcp_throughput_gate(series):
+    p = max(series.points, key=lambda p: p.n_fragments)
+    assert p.tcp_ratio >= 0.5, (
+        f"TCP ingress overhead too high: {p.tcp_ratio:.2f}x < 0.5x "
+        f"({p.inproc_qps:.1f} q/s in-process vs {p.tcp_qps:.1f} q/s over TCP)"
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes for CI")
+    parser.add_argument("--fragments", type=int, nargs="+", default=[16])
+    parser.add_argument("--nodes", type=int, default=3000)
+    parser.add_argument("--edges", type=int, default=15000)
+    parser.add_argument("--distinct", type=int, default=12)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    # CI smoke runs on noisy shared runners, and the smaller per-query
+    # compute makes wire overhead proportionally larger: a lenient 0.4x
+    # still catches "the ingress serialized/broke"; full size keeps 0.5x.
+    threshold = 0.5
+    if args.smoke:
+        args.nodes, args.edges = 1200, 6000
+        args.distinct, args.repeat = 8, 3
+        threshold = 0.4
+
+    series = net_stream_series(
+        fragment_counts=tuple(args.fragments),
+        n_nodes=args.nodes,
+        n_edges=args.edges,
+        n_distinct=args.distinct,
+        repeat=args.repeat,
+        n_clients=args.clients,
+        n_workers=args.workers,
+    )
+    print(series.render())
+    failures = []
+    if not all(p.parity for p in series.points):
+        failures.append("answer parity violated")
+    p_wide = max(series.points, key=lambda p: p.n_fragments)
+    if p_wide.tcp_ratio < threshold:
+        failures.append(
+            f"TCP/in-process ratio at |F|={p_wide.n_fragments} is "
+            f"{p_wide.tcp_ratio:.2f}x (< {threshold}x)"
+        )
+    record_smoke(
+        "net",
+        {
+            "smoke": args.smoke,
+            "ok": not failures,
+            "threshold": threshold,
+            "points": [
+                {
+                    "n_fragments": p.n_fragments,
+                    "n_queries": p.n_queries,
+                    "n_clients": p.n_clients,
+                    "inproc_qps": p.inproc_qps,
+                    "tcp_qps": p.tcp_qps,
+                    "tcp_ratio": p.tcp_ratio,
+                    "parity": p.parity,
+                }
+                for p in series.points
+            ],
+        },
+    )
+    if failures:
+        print("FAIL:", "; ".join(failures))
+        return 1
+    print(f"ok: TCP ingress parity holds, throughput >= {threshold}x in-process")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

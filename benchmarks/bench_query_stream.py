@@ -19,6 +19,7 @@ import pytest
 
 from repro.bench.report import record_report
 from repro.bench.stream import query_stream_series
+from repro.bench.smoke import record_smoke
 
 RESULTS = Path(__file__).parent / "results"
 
@@ -87,6 +88,26 @@ def main(argv=None) -> int:
             f"speedup at |F|={p_wide.n_fragments} is {p_wide.speedup:.2f}x "
             f"(< {threshold}x)"
         )
+    record_smoke(
+        "query_stream",
+        {
+            "smoke": args.smoke,
+            "ok": not failures,
+            "threshold": threshold,
+            "points": [
+                {
+                    "n_fragments": p.n_fragments,
+                    "n_queries": p.n_queries,
+                    "oneshot_qps": p.oneshot_qps,
+                    "session_qps": p.session_qps,
+                    "speedup": p.speedup,
+                    "cache_hit_rate": p.cache_hit_rate,
+                    "parity": p.parity,
+                }
+                for p in series.points
+            ],
+        },
+    )
     if failures:
         print("FAIL:", "; ".join(failures))
         return 1

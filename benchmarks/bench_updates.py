@@ -29,6 +29,7 @@ import pytest
 
 from repro.bench.report import record_report
 from repro.bench.stream import update_stream_series
+from repro.bench.smoke import record_smoke
 
 RESULTS = Path(__file__).parent / "results"
 
@@ -98,6 +99,26 @@ def main(argv=None) -> int:
             f"speedup at |F|={p_wide.n_fragments} is {p_wide.speedup:.2f}x "
             f"(< {threshold}x)"
         )
+    record_smoke(
+        "updates",
+        {
+            "smoke": args.smoke,
+            "ok": not failures,
+            "threshold": threshold,
+            "points": [
+                {
+                    "n_fragments": p.n_fragments,
+                    "n_ops": p.n_ops,
+                    "maintained_ops_per_sec": p.maintained_ops,
+                    "invalidate_ops_per_sec": p.invalidate_ops,
+                    "speedup": p.speedup,
+                    "parity": p.parity,
+                    "invalidations": p.invalidations,
+                }
+                for p in series.points
+            ],
+        },
+    )
     if failures:
         print("FAIL:", "; ".join(failures))
         return 1

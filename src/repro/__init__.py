@@ -43,6 +43,12 @@ Public surface
   reader-writer protocol -- queries run concurrently, mutations apply in
   coalesced batches at quiescent points, and every result carries the
   mutation stamp it observed (:mod:`repro.session.concurrent`);
+* network serving: :mod:`repro.net` puts the concurrent server behind a
+  TCP socket -- an asyncio ingress (:class:`~repro.net.server.
+  NetworkSessionServer`) plus blocking and pipelining-asyncio clients
+  speaking a length-prefixed, versioned frame protocol; the same protocol
+  backs the TCP worker transport of :mod:`repro.runtime.transport`, so
+  replica/site workers can be remote processes;
 * benchmarks: the experiment definitions of Figure 6 in :mod:`repro.bench`.
 """
 
@@ -54,6 +60,8 @@ from repro.errors import (
     PatternError,
     ProtocolError,
     ReproError,
+    TransportError,
+    WireFormatError,
 )
 from repro.graph import DiGraph, Pattern
 from repro.graph.generators import (
@@ -110,6 +118,7 @@ __all__ = [
     "__version__",
     # errors
     "ReproError", "GraphError", "PatternError", "FragmentationError", "ProtocolError",
+    "TransportError", "WireFormatError",
     # graphs & queries
     "DiGraph", "Pattern",
     "web_graph", "citation_dag", "random_labeled_graph", "random_tree",

@@ -1,0 +1,94 @@
+"""Machine-readable smoke results: one JSON per bench, one artifact per run.
+
+``benchmarks/results/`` holds the human-readable series tables; CI's perf
+trajectory needs numbers a script can diff.  Each benchmark's ``--smoke``
+entry point calls :func:`record_smoke` with its headline figures; when the
+``BENCH_SMOKE_DIR`` environment variable is set (CI sets it), the payload is
+written to ``$BENCH_SMOKE_DIR/<bench>.json``.  After all smokes ran,
+``python -m repro.bench.smoke --dir <dir> --out BENCH_SMOKE.json`` merges
+them into the single per-run artifact CI uploads.
+
+Without ``BENCH_SMOKE_DIR`` the recorder is a no-op, so local benchmark runs
+behave exactly as before.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+ENV_VAR = "BENCH_SMOKE_DIR"
+
+
+def record_smoke(bench: str, payload: dict) -> Optional[Path]:
+    """Persist one benchmark's machine-readable result (no-op unless CI asks).
+
+    ``payload`` must be JSON-serializable; ``bench`` names the output file
+    and the entry in the merged artifact.  Returns the written path, or
+    ``None`` when ``BENCH_SMOKE_DIR`` is unset.
+    """
+    directory = os.environ.get(ENV_VAR)
+    if not directory:
+        return None
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{bench}.json"
+    document = {"bench": bench, "recorded_at": time.time(), **payload}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def collect(directory: Path, out: Path) -> dict:
+    """Merge every ``<bench>.json`` under ``directory`` into ``out``.
+
+    The merged document carries enough environment context (python version,
+    platform, timestamp) that artifacts from different runs are comparable.
+    """
+    benches = {}
+    for path in sorted(Path(directory).glob("*.json")):
+        with open(path) as fh:
+            entry = json.load(fh)
+        benches[entry.get("bench", path.stem)] = entry
+    merged = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "n_benches": len(benches),
+        "benches": benches,
+    }
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    return merged
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--dir",
+        default=os.environ.get(ENV_VAR, "benchmarks/results/smoke"),
+        help="directory holding the per-bench JSON files",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_SMOKE.json",
+        help="merged artifact to write",
+    )
+    args = parser.parse_args(argv)
+    merged = collect(Path(args.dir), Path(args.out))
+    print(
+        f"collected {merged['n_benches']} bench result(s) from {args.dir} "
+        f"into {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,7 +27,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.boolean.expr import BoolExpr, FALSE, Var
+from repro.boolean.expr import BoolExpr, FALSE
 from repro.boolean.system import EquationBlowupError
 from repro.core.config import DgpmConfig
 from repro.core.depgraph import DependencyGraphs

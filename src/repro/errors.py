@@ -31,6 +31,25 @@ class WorkloadError(ReproError):
     """A benchmark workload could not be generated with the requested shape."""
 
 
+class TransportError(ProtocolError):
+    """A network transport failed (peer gone, connection closed mid-exchange).
+
+    Raised by the :mod:`repro.net` clients and the socket worker transport
+    when the byte stream ends or breaks; distinct from
+    :class:`WireFormatError`, which means the peer is alive but speaking
+    garbage.
+    """
+
+
+class WireFormatError(ProtocolError):
+    """Bytes on the wire do not form a valid :mod:`repro.net` frame.
+
+    Covers a bad magic/version/kind header, an oversized or truncated
+    declared length, an undecodable body, and a body whose type does not
+    match its frame kind.
+    """
+
+
 class MutationBatchError(ReproError):
     """A mutation batch failed partway; the applied prefix stays applied.
 

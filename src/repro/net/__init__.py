@@ -1,0 +1,67 @@
+"""repro.net: a network front door for the concurrent serving stack.
+
+The paper's algorithms are message-passing protocols, but until this package
+every run lived inside one OS process.  ``repro.net`` is the system boundary:
+
+* :mod:`repro.net.protocol` -- a length-prefixed, versioned wire protocol
+  with typed request/response frames (queries, mutation batches, stats,
+  errors), shared by the ingress below and by the TCP worker transport of
+  :mod:`repro.runtime.transport`;
+* :mod:`repro.net.server` -- an asyncio ingress
+  (:class:`NetworkSessionServer`) that accepts many client connections and
+  feeds :meth:`ConcurrentSessionServer.submit`, preserving the
+  snapshot/stamp contract end-to-end, with graceful shutdown that drains
+  in-flight work;
+* :mod:`repro.net.client` -- a blocking :class:`SessionClient` and a
+  pipelining :class:`AsyncSessionClient` speaking the same protocol.
+
+``examples/network_query_server.py`` runs the full topology on localhost;
+``benchmarks/bench_net.py`` gates the TCP ingress's throughput against the
+in-process thread backend.
+"""
+
+# Exports resolve lazily (PEP 562): the worker transport imports
+# ``repro.net.protocol`` while ``repro.session`` is still initializing, and
+# an eager ``from repro.net.client import ...`` here would re-enter the
+# half-built ``repro.session.concurrent`` module.
+_EXPORTS = {
+    "AsyncSessionClient": "repro.net.client",
+    "SessionClient": "repro.net.client",
+    "NetworkSessionServer": "repro.net.server",
+    "ThreadedNetworkServer": "repro.net.server",
+    "serve_in_thread": "repro.net.server",
+    "FrameKind": "repro.net.protocol",
+    "encode": "repro.net.protocol",
+    "decode": "repro.net.protocol",
+    "PROTOCOL_VERSION": "repro.net.protocol",
+    "DEFAULT_MAX_FRAME": "repro.net.protocol",
+}
+
+
+def __getattr__(name):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value  # cache: __getattr__ runs once per name
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = [
+    "AsyncSessionClient",
+    "SessionClient",
+    "NetworkSessionServer",
+    "ThreadedNetworkServer",
+    "serve_in_thread",
+    "FrameKind",
+    "encode",
+    "decode",
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME",
+]

@@ -1,0 +1,398 @@
+"""Clients for the network ingress: blocking and asyncio, one protocol.
+
+Both clients return the same objects an in-process caller gets from
+:class:`~repro.session.concurrent.ConcurrentSessionServer`:
+:class:`StampedResult` for queries and :class:`StampedOutcome` lists for
+mutations, so parity checks and stamp reasoning are written once whichever
+side of the socket the caller is on.  Server-side exceptions arrive pickled
+in ``ERROR`` frames and are re-raised as their original type
+(:class:`GraphError`, :class:`MutationBatchError`, ...); if the class fails
+to unpickle the client raises :class:`~repro.errors.TransportError` carrying
+the server's message.
+
+* :class:`SessionClient` -- blocking, one request in flight at a time
+  (thread-safe: calls serialize on an internal lock).  Open several clients
+  for concurrency; each costs one TCP connection.
+* :class:`AsyncSessionClient` -- asyncio, *pipelined*: any number of
+  coroutines can have requests in flight on one connection; a background
+  reader task keys replies to waiters by the frame ``seq``.
+
+>>> with SessionClient(host, port) as client:
+...     result = client.run(query)            # StampedResult
+...     client.delete_edge(u, v)              # StampedOutcome, stamp advanced
+...     client.run(query).stamp
+1
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import socket
+import threading
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import DgpmConfig
+from repro.errors import TransportError, WireFormatError
+from repro.graph.digraph import Label, Node
+from repro.graph.pattern import Pattern
+from repro.net import protocol
+from repro.net.protocol import DEFAULT_MAX_FRAME, FrameKind
+# Import from the concrete module (not the repro.session package): this
+# module loads while the package may still be mid-initialization.
+from repro.session.concurrent import StampedOutcome, StampedResult
+
+
+def _unwrap(kind: FrameKind, payload, expected: FrameKind):
+    """Turn a reply frame into a return value or a raised server error."""
+    if kind == FrameKind.ERROR:
+        raise payload.to_exception()
+    if kind != expected:
+        raise WireFormatError(
+            f"server answered {kind.name} where {expected.name} was expected"
+        )
+    return payload
+
+
+def _stamped(reply: protocol.RunReply) -> StampedResult:
+    return StampedResult(
+        relation=reply.relation, metrics=reply.metrics, stamp=reply.stamp
+    )
+
+
+def _next_seq(counter: "itertools.count") -> int:
+    """The next wire seq: 32 bits, never 0 (0 is the server's error filler).
+
+    The header field is a u32; an unmasked Python int would stop matching
+    replies after 2**32 requests on one long-lived connection.
+    """
+    seq = next(counter) & 0xFFFFFFFF
+    if seq == 0:
+        seq = next(counter) & 0xFFFFFFFF
+    return seq
+
+
+class SessionClient:
+    """A blocking client for one :class:`NetworkSessionServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = None,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise TransportError(
+                f"cannot reach server at {host}:{port}: {exc}"
+            ) from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._max_frame = max_frame
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _broken(self, message: str) -> TransportError:
+        """Mark the connection unusable and build the error to raise.
+
+        A timeout or mid-exchange disconnect leaves the byte stream
+        desynchronized (the late reply may still arrive and would pair with
+        the *next* request), so the client refuses further use instead of
+        producing confusing seq-mismatch failures later.
+        """
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - best-effort teardown
+            pass
+        return TransportError(message)
+
+    def _request(self, kind: FrameKind, frame, expected: FrameKind):
+        with self._lock:
+            if self._closed:
+                raise TransportError("the client is closed")
+            seq = _next_seq(self._seq)
+            try:
+                protocol.write_frame(
+                    self._sock, kind, frame, seq=seq, max_frame=self._max_frame
+                )
+                reply_kind, reply_seq, payload = protocol.read_frame(
+                    self._sock, self._max_frame
+                )
+            except EOFError as exc:
+                raise self._broken("server closed the connection") from exc
+            except (ConnectionError, socket.timeout) as exc:
+                raise self._broken(f"connection to server lost: {exc}") from exc
+            except (TransportError, WireFormatError) as exc:
+                # Mid-frame disconnects and framing garbage also leave the
+                # stream unusable; keep the original error, refuse reuse.
+                self._broken(str(exc))
+                raise
+            if reply_seq != seq:
+                raise self._broken(
+                    f"reply seq {reply_seq} does not match request seq {seq}; "
+                    "the stream is desynchronized"
+                )
+        return _unwrap(reply_kind, payload, expected)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        query: Pattern,
+        algorithm: str = "auto",
+        config: Optional[DgpmConfig] = None,
+    ) -> StampedResult:
+        """Evaluate one query; returns the stamped answer."""
+        reply = self._request(
+            FrameKind.RUN,
+            protocol.RunRequest(query=query, algorithm=algorithm, config=config),
+            FrameKind.RESULT,
+        )
+        return _stamped(reply)
+
+    def run_many(
+        self,
+        queries: Iterable[Pattern],
+        algorithm: str = "auto",
+        config: Optional[DgpmConfig] = None,
+    ) -> List[StampedResult]:
+        """Evaluate queries one after another (one connection, in order)."""
+        return [self.run(q, algorithm=algorithm, config=config) for q in queries]
+
+    def stats(self) -> protocol.StatsReply:
+        """The server's serving counters, stamp, and identity facts."""
+        return self._request(
+            FrameKind.STATS, protocol.StatsRequest(), FrameKind.STATS_REPLY
+        )
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def apply(self, updates: Sequence[Tuple]) -> List[StampedOutcome]:
+        """Apply a mutation batch (atomic to readers); see
+        :meth:`ConcurrentSessionServer.apply`."""
+        reply = self._request(
+            FrameKind.MUTATE,
+            protocol.MutateRequest(ops=tuple(tuple(op) for op in updates)),
+            FrameKind.OUTCOMES,
+        )
+        return list(reply.outcomes)
+
+    def delete_edge(self, u: Node, v: Node) -> StampedOutcome:
+        """Delete edge ``(u, v)``; blocks until applied, returns its stamp."""
+        return self.apply([("delete", u, v)])[0]
+
+    def insert_edge(self, u: Node, v: Node) -> StampedOutcome:
+        """Insert edge ``(u, v)``; blocks until applied, returns its stamp."""
+        return self.apply([("insert", u, v)])[0]
+
+    def add_node(
+        self, node: Node, label: Label, fid: Optional[int] = None
+    ) -> StampedOutcome:
+        """Add an isolated labeled node; blocks until applied."""
+        if fid is None:
+            op = ("add_node", node, label)
+        else:
+            op = ("add_node", node, label, fid)
+        return self.apply([op])[0]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Say goodbye and drop the connection (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                protocol.write_frame(
+                    self._sock, FrameKind.BYE, protocol.Bye(), seq=_next_seq(self._seq)
+                )
+            except OSError:
+                pass
+            self._sock.close()
+
+    def __enter__(self) -> "SessionClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncSessionClient:
+    """A pipelining asyncio client: many requests in flight on one socket.
+
+    Build with :meth:`connect`; every request coroutine writes its frame and
+    awaits a future keyed by the frame ``seq``, which the background reader
+    resolves as replies arrive (in whatever order the server finishes
+    them).  ``asyncio.gather(*[client.run(q) for q in queries])`` therefore
+    overlaps all the queries on a single connection.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame = max_frame
+        self._seq = itertools.count(1)
+        self._pending: dict = {}
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._broken: Optional[BaseException] = None
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> "AsyncSessionClient":
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as exc:
+            raise TransportError(
+                f"cannot reach server at {host}:{port}: {exc}"
+            ) from exc
+        return cls(reader, writer, max_frame=max_frame)
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                kind, seq, payload = await protocol.read_frame_async(
+                    self._reader, self._max_frame
+                )
+                waiter = self._pending.pop(seq, None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result((kind, payload))
+        except BaseException as exc:  # EOF, cancellation, wire garbage
+            if isinstance(exc, EOFError):
+                exc = TransportError("server closed the connection")
+            self._broken = exc
+            for waiter in self._pending.values():
+                if not waiter.done():
+                    waiter.set_exception(
+                        TransportError(f"connection to server lost: {exc}")
+                    )
+            self._pending.clear()
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+
+    async def _request(self, kind: FrameKind, frame, expected: FrameKind):
+        if self._closed:
+            raise TransportError("the client is closed")
+        if self._broken is not None:
+            raise TransportError(f"connection to server lost: {self._broken}")
+        seq = _next_seq(self._seq)
+        waiter = asyncio.get_running_loop().create_future()
+        self._pending[seq] = waiter
+        data = protocol.encode_payload(kind, frame, seq=seq, max_frame=self._max_frame)
+        try:
+            async with self._write_lock:
+                self._writer.write(data)
+                await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(seq, None)
+            raise TransportError(f"connection to server lost: {exc}") from exc
+        reply_kind, payload = await waiter
+        return _unwrap(reply_kind, payload, expected)
+
+    # ------------------------------------------------------------------
+    async def run(
+        self,
+        query: Pattern,
+        algorithm: str = "auto",
+        config: Optional[DgpmConfig] = None,
+    ) -> StampedResult:
+        """Evaluate one query; concurrent calls pipeline on the connection."""
+        reply = await self._request(
+            FrameKind.RUN,
+            protocol.RunRequest(query=query, algorithm=algorithm, config=config),
+            FrameKind.RESULT,
+        )
+        return _stamped(reply)
+
+    async def run_many(
+        self,
+        queries: Iterable[Pattern],
+        algorithm: str = "auto",
+        config: Optional[DgpmConfig] = None,
+    ) -> List[StampedResult]:
+        """Evaluate queries concurrently (pipelined); results in input order."""
+        return list(
+            await asyncio.gather(
+                *[self.run(q, algorithm=algorithm, config=config) for q in queries]
+            )
+        )
+
+    async def stats(self) -> protocol.StatsReply:
+        """The server's serving counters, stamp, and identity facts."""
+        return await self._request(
+            FrameKind.STATS, protocol.StatsRequest(), FrameKind.STATS_REPLY
+        )
+
+    async def apply(self, updates: Sequence[Tuple]) -> List[StampedOutcome]:
+        """Apply a mutation batch (atomic to readers)."""
+        reply = await self._request(
+            FrameKind.MUTATE,
+            protocol.MutateRequest(ops=tuple(tuple(op) for op in updates)),
+            FrameKind.OUTCOMES,
+        )
+        return list(reply.outcomes)
+
+    async def delete_edge(self, u: Node, v: Node) -> StampedOutcome:
+        """Delete edge ``(u, v)``; resolves once applied, with its stamp."""
+        return (await self.apply([("delete", u, v)]))[0]
+
+    async def insert_edge(self, u: Node, v: Node) -> StampedOutcome:
+        """Insert edge ``(u, v)``; resolves once applied, with its stamp."""
+        return (await self.apply([("insert", u, v)]))[0]
+
+    async def add_node(
+        self, node: Node, label: Label, fid: Optional[int] = None
+    ) -> StampedOutcome:
+        """Add an isolated labeled node; resolves once applied."""
+        if fid is None:
+            op = ("add_node", node, label)
+        else:
+            op = ("add_node", node, label, fid)
+        return (await self.apply([op]))[0]
+
+    # ------------------------------------------------------------------
+    async def aclose(self) -> None:
+        """Say goodbye, stop the reader, drop the connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            async with self._write_lock:
+                self._writer.write(
+                    protocol.encode_payload(
+                        FrameKind.BYE, protocol.Bye(), seq=_next_seq(self._seq)
+                    )
+                )
+                await self._writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        self._reader_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._reader_task
+        self._writer.close()
+        with contextlib.suppress(Exception):
+            await self._writer.wait_closed()
+
+    async def __aenter__(self) -> "AsyncSessionClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()

@@ -1,0 +1,350 @@
+"""The wire protocol: length-prefixed, versioned, typed frames.
+
+Every message on a repro socket -- client/server traffic through the asyncio
+ingress *and* parent/worker traffic through the TCP transport of
+:mod:`repro.runtime.transport` -- is one *frame*:
+
+.. code-block:: text
+
+    +-------+---------+------+----------+-----+--------+  +------------+
+    | magic | version | kind | reserved | seq | length |  |    body    |
+    |  4B   |   1B    |  1B  |    2B    | 4B  |   4B   |  | length  B  |
+    +-------+---------+------+----------+-----+--------+  +------------+
+
+``magic`` guards against a stray peer, ``version`` against a protocol skew,
+``kind`` names one of the :class:`FrameKind` values, ``reserved`` must be
+zero (room for future flags), ``seq`` correlates a reply with its request
+(the asyncio ingress answers out of order; pipelining clients key pending
+futures by it), and ``length`` bounds the pickled body.  A frame whose
+header fails any of these checks -- or whose body is truncated, oversized,
+undecodable, or of the wrong type for its kind -- is rejected with
+:class:`~repro.errors.WireFormatError` before any payload object is touched.
+
+Bodies are pickled Python objects: the request/response dataclasses below
+carry :class:`~repro.graph.pattern.Pattern`,
+:class:`~repro.simulation.matchrel.MatchRelation`, mutation outcomes, and
+session stats verbatim, so a client sees exactly the objects an in-process
+caller would.  Pickle implies the usual trust boundary: this protocol is for
+localhost and trusted-cluster links, the paper's coordinator/site setting --
+not for the open internet.
+
+The encode -> decode round-trip is the identity for every frame type
+(property-tested in ``tests/net/test_protocol.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+import pickle
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.core.config import DgpmConfig
+from repro.errors import TransportError, WireFormatError
+from repro.graph.pattern import Pattern
+from repro.runtime.metrics import RunMetrics
+from repro.simulation.matchrel import MatchRelation
+
+MAGIC = b"RGSP"
+PROTOCOL_VERSION = 1
+
+#: 64 MiB -- generous for any relation this library produces, small enough
+#: that a garbled length field cannot make a peer allocate the moon
+DEFAULT_MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">4sBBHII")
+HEADER_SIZE = _HEADER.size
+
+
+class FrameKind(enum.IntEnum):
+    """Discriminant of every frame on the wire."""
+
+    HELLO = 1  # either side announces itself (role + optional token)
+    RUN = 2  # client -> server: evaluate one query
+    MUTATE = 3  # client -> server: apply one mutation batch
+    STATS = 4  # client -> server: serving counters snapshot
+    BYE = 5  # client -> server: clean goodbye
+    RESULT = 6  # server -> client: the stamped answer to a RUN
+    OUTCOMES = 7  # server -> client: stamped outcomes of a MUTATE
+    STATS_REPLY = 8  # server -> client: the counters
+    ERROR = 9  # server -> client: the request raised
+    OBJ = 10  # raw payload (the worker transport's command tuples)
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Connection opener: who is speaking, and (for workers) their token."""
+
+    role: str
+    token: bytes = b""
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """Evaluate ``query`` with ``algorithm`` under ``config`` (None = server
+    default)."""
+
+    query: Pattern
+    algorithm: str = "auto"
+    config: Optional[DgpmConfig] = None
+
+
+@dataclass(frozen=True)
+class MutateRequest:
+    """Apply ``ops`` as one atomic batch (syntax of
+    :meth:`SimulationSession.apply`)."""
+
+    ops: Tuple[Tuple, ...]
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Ask for the serving counters."""
+
+
+@dataclass(frozen=True)
+class Bye:
+    """Clean goodbye; the server finishes in-flight replies, then hangs up."""
+
+
+@dataclass(frozen=True)
+class RunReply:
+    """The answer to a :class:`RunRequest`, with the stamp it observed."""
+
+    relation: MatchRelation
+    metrics: RunMetrics
+    stamp: int
+
+
+@dataclass(frozen=True)
+class MutateReply:
+    """Per-update stamped outcomes of an applied :class:`MutateRequest`."""
+
+    outcomes: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    """Serving counters plus the server's identity facts."""
+
+    stats: Any
+    stamp: int
+    backend: str
+    n_workers: int
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """A request failed; carries the exception for faithful re-raising.
+
+    ``payload`` is the pickled exception (empty when it would not pickle);
+    ``kind`` its class name and ``message`` its text, so a client can always
+    report *something* even when the class is not importable on its side.
+    """
+
+    message: str
+    kind: str = "ReproError"
+    payload: bytes = field(default=b"", repr=False)
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "ErrorReply":
+        try:
+            payload = pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            payload = b""
+        return cls(message=str(exc), kind=type(exc).__name__, payload=payload)
+
+    def to_exception(self) -> BaseException:
+        """The carried exception, or a :class:`TransportError` stand-in."""
+        if self.payload:
+            try:
+                exc = pickle.loads(self.payload)
+                if isinstance(exc, BaseException):
+                    return exc
+            except Exception:
+                pass
+        return TransportError(f"server error ({self.kind}): {self.message}")
+
+
+FRAME_CLASSES = {
+    FrameKind.HELLO: Hello,
+    FrameKind.RUN: RunRequest,
+    FrameKind.MUTATE: MutateRequest,
+    FrameKind.STATS: StatsRequest,
+    FrameKind.BYE: Bye,
+    FrameKind.RESULT: RunReply,
+    FrameKind.OUTCOMES: MutateReply,
+    FrameKind.STATS_REPLY: StatsReply,
+    FrameKind.ERROR: ErrorReply,
+}
+_KIND_OF = {cls: kind for kind, cls in FRAME_CLASSES.items()}
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def encode_payload(
+    kind: FrameKind,
+    payload: Any,
+    seq: int = 0,
+    max_frame: int = DEFAULT_MAX_FRAME,
+) -> bytes:
+    """One wire-ready frame around an arbitrary payload object."""
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > max_frame:
+        raise WireFormatError(
+            f"refusing to send a {len(body)}-byte {FrameKind(kind).name} "
+            f"frame (max {max_frame})"
+        )
+    header = _HEADER.pack(
+        MAGIC, PROTOCOL_VERSION, int(kind), 0, seq & 0xFFFFFFFF, len(body)
+    )
+    return header + body
+
+
+def encode(frame: Any, seq: int = 0, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Encode one typed frame (kind inferred from the dataclass type)."""
+    kind = _KIND_OF.get(type(frame))
+    if kind is None:
+        raise WireFormatError(f"{type(frame).__name__} is not a protocol frame type")
+    return encode_payload(kind, frame, seq=seq, max_frame=max_frame)
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+def decode_header(
+    header: bytes, max_frame: int = DEFAULT_MAX_FRAME
+) -> Tuple[FrameKind, int, int]:
+    """Validate a 16-byte header; returns ``(kind, seq, body_length)``."""
+    if len(header) != HEADER_SIZE:
+        raise WireFormatError(
+            f"truncated header: {len(header)} bytes (need {HEADER_SIZE})"
+        )
+    magic, version, kind, reserved, seq, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireFormatError(f"bad magic {magic!r} (not a repro peer?)")
+    if version != PROTOCOL_VERSION:
+        raise WireFormatError(
+            f"protocol version {version} (this side speaks {PROTOCOL_VERSION})"
+        )
+    try:
+        kind = FrameKind(kind)
+    except ValueError:
+        raise WireFormatError(f"unknown frame kind {kind}") from None
+    if reserved != 0:
+        raise WireFormatError(f"reserved header bits set ({reserved:#x})")
+    if length > max_frame:
+        raise WireFormatError(
+            f"oversized frame: {length} bytes declared (max {max_frame})"
+        )
+    return kind, seq, length
+
+
+def decode_body(kind: FrameKind, body: bytes) -> Any:
+    """Unpickle a frame body and check its type against ``kind``."""
+    try:
+        payload = pickle.loads(body)
+    except Exception as exc:
+        raise WireFormatError(f"undecodable {kind.name} body: {exc!r}") from exc
+    expected = FRAME_CLASSES.get(kind)
+    if expected is not None and not isinstance(payload, expected):
+        raise WireFormatError(
+            f"{kind.name} frame carried a {type(payload).__name__} "
+            f"(expected {expected.__name__})"
+        )
+    return payload
+
+
+def decode(data: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> Tuple[Any, int]:
+    """Decode exactly one whole frame from ``data``; returns ``(frame, seq)``.
+
+    Trailing bytes beyond the declared length are rejected (stream framing
+    never produces them; their presence means the framing is lost).
+    """
+    kind, seq, length = decode_header(data[:HEADER_SIZE], max_frame)
+    body = data[HEADER_SIZE:]
+    if len(body) < length:
+        raise WireFormatError(
+            f"truncated frame: {len(body)} of {length} body bytes present"
+        )
+    if len(body) > length:
+        raise WireFormatError(
+            f"{len(body) - length} stray bytes after a {kind.name} frame"
+        )
+    return decode_body(kind, body), seq
+
+
+# ----------------------------------------------------------------------
+# stream adapters (blocking socket / asyncio)
+# ----------------------------------------------------------------------
+def _recv_exactly(sock, n: int) -> bytes:
+    """Read exactly ``n`` bytes from a blocking socket.
+
+    A clean close before any byte raises :class:`EOFError` (matching
+    ``multiprocessing.Connection``, so dead-peer handling is shared with the
+    pipe transport); a close mid-frame raises :class:`TransportError`.
+    """
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            if got == 0:
+                raise EOFError("peer closed the connection")
+            raise TransportError(f"peer closed mid-frame ({got} of {n} bytes read)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock, max_frame: int = DEFAULT_MAX_FRAME) -> Tuple[FrameKind, int, Any]:
+    """Read one frame from a blocking socket: ``(kind, seq, payload)``."""
+    kind, seq, length = decode_header(_recv_exactly(sock, HEADER_SIZE), max_frame)
+    body = _recv_exactly(sock, length) if length else b""
+    return kind, seq, decode_body(kind, body)
+
+
+def write_frame(
+    sock,
+    kind: FrameKind,
+    payload: Any,
+    seq: int = 0,
+    max_frame: int = DEFAULT_MAX_FRAME,
+) -> None:
+    """Send one frame on a blocking socket."""
+    sock.sendall(encode_payload(kind, payload, seq=seq, max_frame=max_frame))
+
+
+async def read_frame_async(
+    reader, max_frame: int = DEFAULT_MAX_FRAME
+) -> Tuple[FrameKind, int, Any]:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Raises :class:`EOFError` on a clean close between frames and
+    :class:`TransportError` on a close mid-frame, like :func:`read_frame`.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError("peer closed the connection") from None
+        raise TransportError(
+            f"peer closed mid-header ({len(exc.partial)} of {HEADER_SIZE} "
+            "bytes read)"
+        ) from exc
+    kind, seq, length = decode_header(header, max_frame)
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise TransportError(
+                f"peer closed mid-frame ({len(exc.partial)} of {length} "
+                "body bytes read)"
+            ) from exc
+    else:
+        body = b""
+    return kind, seq, decode_body(kind, body)

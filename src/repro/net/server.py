@@ -1,0 +1,354 @@
+"""The asyncio front door: many client connections, one serving stack.
+
+:class:`NetworkSessionServer` listens on a TCP socket, speaks the frame
+protocol of :mod:`repro.net.protocol`, and feeds every query into
+:meth:`ConcurrentSessionServer.submit` -- the asyncio loop never computes a
+relation itself.  Queries therefore keep the whole PR-3 contract: they run
+concurrently under the read lock, mutation batches apply at quiescent
+points, and every reply carries the mutation stamp its answer observed, so
+a network client gets exactly the snapshot semantics an in-process caller
+gets.
+
+Concurrency model
+-----------------
+
+* Each connection has one reader coroutine; each request becomes its own
+  task, so a connection can pipeline (the asyncio client keys replies by
+  the frame ``seq``) and a slow query never blocks a cheap one -- on the
+  same connection or across connections.
+* Query futures from ``submit()`` are awaited with
+  :func:`asyncio.wrap_future`; mutation batches and stats snapshots (which
+  block on the writer protocol) run through the loop's default thread-pool
+  executor.  The event loop only ever parses frames and pickles replies.
+* Per-request failures travel back as ``ERROR`` frames carrying the pickled
+  exception; the connection stays usable.  Only a framing violation (bad
+  magic, oversized length...) hangs up, because byte-stream framing cannot
+  be resynchronized.
+
+Graceful shutdown: :meth:`aclose` stops accepting, lets every in-flight
+request finish and flush its reply (bounded by ``drain_timeout``), then
+closes connections -- a client that got its request in gets its answer.
+
+For sync callers (tests, benchmarks, examples) :func:`serve_in_thread` runs
+the whole ingress on a private event-loop thread and hands back address +
+``close()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from typing import Optional, Set, Tuple
+
+from repro.errors import ReproError, TransportError, WireFormatError
+from repro.net import protocol
+from repro.net.protocol import DEFAULT_MAX_FRAME, FrameKind
+from repro.session.concurrent import ConcurrentSessionServer
+
+
+class NetworkSessionServer:
+    """Serve one :class:`ConcurrentSessionServer` over TCP.
+
+    Parameters
+    ----------
+    source:
+        An existing :class:`ConcurrentSessionServer` to front (not owned:
+        closing the ingress leaves it running), or anything its constructor
+        accepts -- a :class:`Fragmentation` or :class:`SimulationSession` --
+        in which case the ingress builds and owns the serving stack,
+        forwarding ``server_kwargs`` (``backend=``, ``n_workers=``, ...).
+    host, port:
+        Bind address; port 0 picks an ephemeral port (read
+        :attr:`address` after :meth:`start`).
+    max_frame:
+        Per-frame byte ceiling, both directions.
+    drain_timeout:
+        Upper bound on how long :meth:`aclose` waits for in-flight
+        requests to finish before tearing connections down.
+    """
+
+    def __init__(
+        self,
+        source,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        drain_timeout: float = 30.0,
+        **server_kwargs,
+    ) -> None:
+        if isinstance(source, ConcurrentSessionServer):
+            if server_kwargs:
+                raise ReproError(
+                    "backend/worker kwargs belong to the ConcurrentSessionServer; "
+                    "pass a Fragmentation to have the ingress build one"
+                )
+            self._server = source
+            self._own_server = False
+        else:
+            self._server = ConcurrentSessionServer(source, **server_kwargs)
+            self._own_server = True
+        self._host = host
+        self._port = port
+        self._max_frame = max_frame
+        self._drain_timeout = drain_timeout
+        self._aio_server: Optional[asyncio.AbstractServer] = None
+        self._requests: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def server(self) -> ConcurrentSessionServer:
+        """The fronted serving stack."""
+        return self._server
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._aio_server is None:
+            raise ReproError("the ingress is not started")
+        return self._aio_server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound address."""
+        if self._aio_server is not None:
+            raise ReproError("the ingress is already started")
+        self._aio_server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Block serving until cancelled (:meth:`start` first)."""
+        if self._aio_server is None:
+            await self.start()
+        await self._aio_server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight work, hang up."""
+        if self._closing:
+            return
+        self._closing = True
+        if self._aio_server is not None:
+            self._aio_server.close()
+            await self._aio_server.wait_closed()
+        pending = {t for t in self._requests if not t.done()}
+        if pending:
+            # Every request that made it past the reader gets drain_timeout
+            # to produce and flush its reply.
+            await asyncio.wait(pending, timeout=self._drain_timeout)
+        for writer in list(self._writers):
+            writer.close()
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        self._writers.clear()
+        if self._own_server:
+            await asyncio.get_running_loop().run_in_executor(None, self._server.close)
+
+    async def __aenter__(self) -> "NetworkSessionServer":
+        try:
+            await self.start()
+        except BaseException:
+            # __aexit__ never runs when __aenter__ raises: an owned serving
+            # stack (built in __init__, workers already spawned) must not
+            # leak on e.g. a bind failure.
+            await self.aclose()
+            raise
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # the per-connection protocol
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()  # replies from parallel tasks interleave
+        inflight: Set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    kind, seq, frame = await protocol.read_frame_async(
+                        reader, self._max_frame
+                    )
+                except (EOFError, ConnectionError):
+                    break
+                except (WireFormatError, TransportError) as exc:
+                    # Framing is lost; report once (seq 0) and hang up.
+                    with contextlib.suppress(Exception):
+                        await self._reply(
+                            writer,
+                            write_lock,
+                            0,
+                            FrameKind.ERROR,
+                            protocol.ErrorReply.from_exception(exc),
+                        )
+                    break
+                if kind == FrameKind.BYE:
+                    break
+                task = asyncio.create_task(
+                    self._dispatch(kind, seq, frame, writer, write_lock)
+                )
+                inflight.add(task)
+                self._requests.add(task)
+                task.add_done_callback(inflight.discard)
+                task.add_done_callback(self._requests.discard)
+            if inflight:
+                # A goodbye (or EOF) after pipelined requests: finish them
+                # and flush their replies before hanging up.
+                await asyncio.wait(inflight)
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _reply(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        seq: int,
+        kind: FrameKind,
+        frame,
+    ) -> None:
+        data = protocol.encode_payload(kind, frame, seq=seq, max_frame=self._max_frame)
+        async with write_lock:
+            writer.write(data)
+            await writer.drain()
+
+    async def _dispatch(
+        self, kind: FrameKind, seq: int, frame, writer, write_lock
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            if kind == FrameKind.RUN:
+                result = await asyncio.wrap_future(
+                    self._server.submit(
+                        frame.query, algorithm=frame.algorithm, config=frame.config
+                    )
+                )
+                reply_kind = FrameKind.RESULT
+                reply = protocol.RunReply(
+                    relation=result.relation,
+                    metrics=result.metrics,
+                    stamp=result.stamp,
+                )
+            elif kind == FrameKind.MUTATE:
+                outcomes = await loop.run_in_executor(
+                    None, self._server.apply, list(frame.ops)
+                )
+                reply_kind = FrameKind.OUTCOMES
+                reply = protocol.MutateReply(outcomes=tuple(outcomes))
+            elif kind == FrameKind.STATS:
+                reply_kind = FrameKind.STATS_REPLY
+                reply = protocol.StatsReply(
+                    stats=self._server.stats,
+                    stamp=self._server.stamp,
+                    backend=self._server.backend,
+                    n_workers=self._server.n_workers,
+                )
+            elif kind == FrameKind.HELLO:
+                reply_kind = FrameKind.HELLO
+                reply = protocol.Hello(role="server")
+            else:
+                raise WireFormatError(f"clients may not send {kind.name} frames")
+        except Exception as exc:
+            reply_kind = FrameKind.ERROR
+            reply = protocol.ErrorReply.from_exception(exc)
+        try:
+            await self._reply(writer, write_lock, seq, reply_kind, reply)
+        except WireFormatError as exc:
+            # The reply itself would not frame (e.g. oversized relation):
+            # tell the client *why* instead of leaving its future pending.
+            with contextlib.suppress(Exception):
+                await self._reply(
+                    writer,
+                    write_lock,
+                    seq,
+                    FrameKind.ERROR,
+                    protocol.ErrorReply.from_exception(exc),
+                )
+        except (ConnectionError, OSError):
+            pass  # client left before its answer; nothing to tell it
+
+
+class ThreadedNetworkServer:
+    """A :class:`NetworkSessionServer` on a private event-loop thread.
+
+    For synchronous callers: construction binds the socket, serves in the
+    background, and :meth:`close` performs the same graceful drain as
+    :meth:`NetworkSessionServer.aclose`.  Use as a context manager::
+
+        with serve_in_thread(fragmentation, backend="thread") as srv:
+            client = SessionClient(*srv.address)
+    """
+
+    def __init__(self, source, **kwargs) -> None:
+        self._startup_error: Optional[BaseException] = None
+        self._started = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self.ingress: Optional[NetworkSessionServer] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self._thread = threading.Thread(
+            target=self._run,
+            args=(source, kwargs),
+            daemon=True,
+            name="repro-net-server",
+        )
+        self._thread.start()
+        self._started.wait(timeout=60.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.address is None:
+            raise TransportError("network server failed to start within 60s")
+
+    def _run(self, source, kwargs) -> None:
+        asyncio.run(self._main(source, kwargs))
+
+    async def _main(self, source, kwargs) -> None:
+        try:
+            self.ingress = NetworkSessionServer(source, **kwargs)
+            await self.ingress.start()
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self.address = self.ingress.address
+        except BaseException as exc:
+            self._startup_error = exc
+            if self.ingress is not None:
+                # An owned serving stack was already built (workers spawned);
+                # a failed bind must not leak it.
+                with contextlib.suppress(Exception):
+                    await self.ingress.aclose()
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop.wait()
+        await self.ingress.aclose()
+
+    def close(self) -> None:
+        """Gracefully stop the ingress and join its thread (idempotent)."""
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60.0)
+        if self._thread.is_alive():  # pragma: no cover - defensive
+            raise TransportError("network server thread failed to stop")
+
+    def __enter__(self) -> "ThreadedNetworkServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve_in_thread(source, **kwargs) -> ThreadedNetworkServer:
+    """Start a background-thread ingress over ``source``; see
+    :class:`ThreadedNetworkServer`."""
+    return ThreadedNetworkServer(source, **kwargs)

@@ -22,7 +22,7 @@ maintenance layer must treat them as immutable snapshots.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
 from repro.graph.digraph import DiGraph, Node
 

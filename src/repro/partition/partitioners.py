@@ -275,7 +275,6 @@ def tree_partition(tree: DiGraph, n_fragments: int, seed: int = 0) -> Fragmentat
             cur = tree.predecessors(cur)[0]
         return cur
 
-    rng = random.Random(seed)
     while len(detached_roots) < n_fragments:
         ideal = tree.n_nodes / n_fragments
         # Candidates: non-detached nodes; prefer subtree size near ideal.

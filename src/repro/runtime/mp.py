@@ -2,9 +2,9 @@
 
 The synchronous simulator (:mod:`repro.runtime.engine`) is the metered
 substrate for all benchmarks; this module runs the *same* algorithms with
-sites as genuine OS processes connected by pipes, so tests can confirm that
-the simulator's answers (and message/byte accounting) are not artifacts of
-in-process execution.
+sites as genuine OS processes, so tests can confirm that the simulator's
+answers (and message/byte accounting) are not artifacts of in-process
+execution.
 
 Design: a worker process per fragment executes the identical
 ``SiteProgram`` code; the parent process plays network + coordinator,
@@ -12,54 +12,93 @@ relaying each round's messages.  Rounds stay synchronous -- the goal is
 fidelity of the protocol, not peak throughput (the paper's asynchronous
 runs converge to the same fixpoint; see Section 4.1's correctness argument).
 
+Workers talk to the parent through a pluggable
+:class:`~repro.runtime.transport.Transport`: ``transport="pipe"`` keeps the
+classic same-host ``multiprocessing.Pipe`` channel, ``transport="tcp"``
+has each worker dial the parent's socket listener and receive its whole
+initial state (fragment assignment, query, config, and the pre-built
+dependency graphs -- shipped once, exactly like the pipe path) over the
+wire, so workers can in principle run on other machines.  Both transports
+share dead-peer semantics: a vanished worker surfaces as
+:class:`~repro.errors.ProtocolError` instead of a hang.
+
 :func:`_resident_session_worker` is the second kind of worker: instead of
 one fragment of one query, it holds a full replica
 :class:`~repro.session.SimulationSession` (fragmentation plus the pre-built
-dependency graphs, shipped once at startup -- the deps-amortization this
-module already uses for ``run_dgpm_multiprocess``) and serves whole queries.
-The concurrent front-end (:mod:`repro.session.concurrent`) uses a pool of
-these for true parallel speedup on CPU-bound query streams.
+dependency graphs, shipped once at startup) and serves whole queries.  The
+concurrent front-end (:mod:`repro.session.concurrent`) uses a pool of
+these -- spawned through :func:`spawn_resident_workers`, over either
+transport -- for true parallel speedup on CPU-bound query streams.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import DgpmConfig
 from repro.core.depgraph import DependencyGraphs
 from repro.core.dgpm import DgpmSiteProgram, assemble_result
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ReproError, TransportError
 from repro.graph.pattern import Pattern
 from repro.partition.fragmentation import Fragmentation
 from repro.runtime.messages import COORDINATOR, Message
 from repro.runtime.metrics import RunMetrics, RunResult
 from repro.runtime.network import Network
+from repro.runtime.transport import (
+    TRANSPORTS,
+    PipeTransport,
+    SocketListener,
+    Transport,
+    open_worker_transport,
+)
 
 
-def _site_worker(fid, fragmentation, query, config, deps, conn) -> None:
-    """Worker-process loop: run one DgpmSiteProgram against a pipe."""
+def _worker_init(transport: Transport, init):
+    """The worker's startup payload: from spawn args, or over the wire.
+
+    Pipe workers get their state through the spawn arguments (free under
+    ``fork``); TCP workers are spawned with ``init=None`` and receive an
+    ``("init", payload)`` message as the first object on their socket --
+    the same state, shipped once, but over a channel that could cross
+    machines.
+    """
+    if init is not None:
+        return init
+    command, payload = transport.recv()
+    if command != "init":
+        raise ProtocolError(f"worker expected init, got {command!r}")
+    return payload
+
+
+def _site_worker(channel, init=None) -> None:
+    """Worker-process loop: run one DgpmSiteProgram against its transport."""
+    transport = open_worker_transport(channel)
+    fid, fragmentation, query, config, deps = _worker_init(transport, init)
     program = DgpmSiteProgram(fid, fragmentation, query, deps, config)
     result = program.on_start()
-    conn.send(("msgs", result.messages))
+    transport.send(("msgs", result.messages))
     while True:
-        command, payload = conn.recv()
+        try:
+            command, payload = transport.recv()
+        except EOFError:  # pragma: no cover - parent died
+            return
         if command == "tick":
             round_no, inbox = payload
             result = program.on_tick(round_no, inbox)
-            conn.send(("msgs", result.messages))
+            transport.send(("msgs", result.messages))
         elif command == "collect":
-            conn.send(("result", program.collect()))
+            transport.send(("result", program.collect()))
         elif command == "stop":
-            conn.close()
+            transport.close()
             return
 
 
-def _resident_session_worker(fragmentation, deps, session_kwargs, conn) -> None:
+def _resident_session_worker(channel, init=None) -> None:
     """Worker-process loop: a full replica session answering whole queries.
 
-    Commands (``(command, payload)`` over the pipe):
+    Commands (``(command, payload)`` over the transport):
 
     * ``("query", (query, algorithm, config))`` -> ``("ok", RunResult)`` or
       ``("err", exception)``;
@@ -73,10 +112,12 @@ def _resident_session_worker(fragmentation, deps, session_kwargs, conn) -> None:
     """
     from repro.session.session import SimulationSession  # import cycle guard
 
+    transport = open_worker_transport(channel)
+    fragmentation, deps, session_kwargs = _worker_init(transport, init)
     session = SimulationSession(fragmentation, deps=deps, **session_kwargs)
     while True:
         try:
-            command, payload = conn.recv()
+            command, payload = transport.recv()
         except EOFError:  # pragma: no cover - parent died
             return
         if command == "query":
@@ -93,14 +134,111 @@ def _resident_session_worker(fragmentation, deps, session_kwargs, conn) -> None:
         elif command == "stats":
             reply = ("ok", session.stats)
         elif command == "stop":
-            conn.close()
+            transport.close()
             return
         else:
             reply = ("err", ProtocolError(f"unknown worker command {command!r}"))
         try:
-            conn.send(reply)
+            transport.send(reply)
         except Exception as exc:  # pragma: no cover - unpicklable payload
-            conn.send(("err", ProtocolError(f"worker reply failed to pickle: {exc}")))
+            transport.send(("err", ProtocolError(f"worker reply failed to pickle: {exc}")))
+
+
+def _check_transport(transport: str) -> None:
+    if transport not in TRANSPORTS:
+        raise ReproError(
+            f"unknown transport {transport!r} (known: {', '.join(TRANSPORTS)})"
+        )
+
+
+def _spawn_over_transport(
+    target,
+    inits: List[tuple],
+    transport: str,
+    ctx=None,
+) -> List[Tuple[mp.Process, Transport]]:
+    """Spawn one ``target`` worker per init payload; returns their links,
+    in init order.
+
+    Pipe workers receive their init through spawn args; TCP workers dial a
+    short-lived listener (token-authenticated, so slots cannot be confused
+    or hijacked) and receive ``("init", init)`` over the socket.  On any
+    spawn/handshake failure every already-started worker is terminated
+    (and its link closed) before the error propagates -- no orphan
+    processes blocked on ``recv()`` forever.
+    """
+    ctx = ctx or mp.get_context()
+    pairs: List[Tuple[mp.Process, Transport]] = []
+    procs: List[mp.Process] = []
+    links: Dict[int, Transport] = {}
+    try:
+        if transport == "pipe":
+            for init in inits:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=target, args=(("pipe", child_conn), init), daemon=True
+                )
+                proc.start()
+                procs.append(proc)
+                link = PipeTransport(parent_conn)
+                links[len(links)] = link
+                # Close the parent's copy of the child end: if the worker
+                # dies, the pipe hits EOF and recv raises instead of
+                # blocking forever.
+                child_conn.close()
+                pairs.append((proc, link))
+            return pairs
+
+        with SocketListener() as listener:
+            host, port = listener.address
+            tokens: List[Tuple[bytes, int]] = []
+            for i, _ in enumerate(inits):
+                token = SocketListener.fresh_token()
+                proc = ctx.Process(
+                    target=target, args=(("tcp", (host, port, token)), None), daemon=True
+                )
+                proc.start()
+                procs.append(proc)
+                tokens.append((token, i))
+            links = listener.accept_workers(tokens)
+        for i, init in enumerate(inits):
+            links[i].send(("init", init))
+            pairs.append((procs[i], links[i]))
+        return pairs
+    except BaseException:
+        # Any spawn/handshake/init failure (a failed Pipe()/fork mid-batch,
+        # accept timeout, a dead dial, an init payload that will not
+        # frame...) tears down everything already started, then re-raises.
+        for link in links.values():
+            try:
+                link.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        raise
+
+
+def spawn_resident_workers(
+    fragmentation: Fragmentation,
+    deps: DependencyGraphs,
+    session_kwargs: dict,
+    n_workers: int,
+    transport: str = "pipe",
+) -> List[Tuple[mp.Process, Transport]]:
+    """Spawn ``n_workers`` replica-session workers over the chosen transport.
+
+    Each worker builds one :class:`SimulationSession` from the shipped
+    fragmentation and pre-built dependency graphs (shipped once per worker
+    lifetime, whichever the channel).  Returns ``[(process, link), ...]``;
+    the caller owns shutdown (send ``("stop", None)``, join, close).
+    """
+    _check_transport(transport)
+    init = (fragmentation, deps, session_kwargs)
+    return _spawn_over_transport(
+        _resident_session_worker, [init] * n_workers, transport
+    )
 
 
 def run_dgpm_multiprocess(
@@ -109,6 +247,7 @@ def run_dgpm_multiprocess(
     config: Optional[DgpmConfig] = None,
     max_rounds: int = 100_000,
     deps: Optional[DependencyGraphs] = None,
+    transport: str = "pipe",
 ) -> RunResult:
     """Evaluate dGPM with each site in its own OS process.
 
@@ -119,8 +258,12 @@ def run_dgpm_multiprocess(
     ``deps`` may be a session's cached :class:`DependencyGraphs`; it is built
     once here otherwise and shipped to every worker, so workers never re-derive
     the per-graph structures (``SimulationSession.run(..., algorithm="dgpm-mp")``
-    reuses the resident copy).
+    reuses the resident copy).  ``transport`` picks the parent<->site channel:
+    ``"pipe"`` (same host) or ``"tcp"`` (workers dial back over a socket and
+    are initialized over the wire; answers and message accounting are
+    identical by construction -- the relay only swaps channels).
     """
+    _check_transport(transport)
     config = config or DgpmConfig()
     cost = config.cost
     start = time.perf_counter()
@@ -128,24 +271,29 @@ def run_dgpm_multiprocess(
     if deps is None:
         deps = DependencyGraphs(fragmentation)
 
-    ctx = mp.get_context()
-    pipes: Dict[int, mp.connection.Connection] = {}
-    workers: List[mp.Process] = []
-    for frag in fragmentation:
-        parent_conn, child_conn = ctx.Pipe()
-        proc = ctx.Process(
-            target=_site_worker,
-            args=(frag.fid, fragmentation, query, config, deps, child_conn),
-            daemon=True,
-        )
-        proc.start()
-        pipes[frag.fid] = parent_conn
-        workers.append(proc)
+    fids = [frag.fid for frag in fragmentation]
+    pairs = _spawn_over_transport(
+        _site_worker,
+        [(fid, fragmentation, query, config, deps) for fid in fids],
+        transport,
+    )
+    links: Dict[int, Transport] = {
+        fid: link for fid, (_, link) in zip(fids, pairs)
+    }
+    workers = [proc for proc, _ in pairs]
+
+    def relay_recv(fid: int):
+        try:
+            return links[fid].recv()
+        except EOFError as exc:
+            raise ProtocolError(
+                f"site worker for fragment {fid} died mid-run"
+            ) from exc
 
     try:
         pending: List[Message] = []
-        for fid, conn in pipes.items():
-            kind, messages = conn.recv()
+        for fid in links:
+            kind, messages = relay_recv(fid)
             pending.extend(messages)
         rounds = 1
         while True:
@@ -162,30 +310,32 @@ def run_dgpm_multiprocess(
                 inboxes.setdefault(message.dst, []).append(message)
             pending = []
             for fid, inbox in inboxes.items():
-                pipes[fid].send(("tick", (rounds, inbox)))
+                links[fid].send(("tick", (rounds, inbox)))
             for fid in inboxes:
-                kind, messages = pipes[fid].recv()
+                kind, messages = relay_recv(fid)
                 pending.extend(messages)
             rounds += 1
 
         results: List[Message] = []
-        for fid, conn in pipes.items():
-            conn.send(("collect", None))
-            kind, message = conn.recv()
+        for fid, link in links.items():
+            link.send(("collect", None))
+            kind, message = relay_recv(fid)
             network.send(message)
             results.append(message)
         network.deliver()
         relation = assemble_result(query, results)
     finally:
-        for fid, conn in pipes.items():
+        for fid, link in links.items():
             try:
-                conn.send(("stop", None))
-            except (BrokenPipeError, OSError):
+                link.send(("stop", None))
+            except (BrokenPipeError, OSError, TransportError):
                 pass
         for proc in workers:
             proc.join(timeout=10)
             if proc.is_alive():  # pragma: no cover - defensive
                 proc.terminate()
+        for link in links.values():
+            link.close()
 
     wall = time.perf_counter() - start
     metrics = RunMetrics(

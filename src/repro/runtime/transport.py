@@ -1,0 +1,240 @@
+"""Pluggable worker transports: pipes (one host) and TCP sockets (any host).
+
+:mod:`repro.runtime.mp` originally hard-wired its workers to
+``multiprocessing.Pipe``.  This module abstracts that channel behind
+:class:`Transport` -- ``send(obj)`` / ``recv()`` / ``close()`` with pipe
+semantics -- and adds a socket implementation framed by the shared wire
+protocol (:mod:`repro.net.protocol`), so site workers and replica-session
+workers can be remote processes.  The demo/test topology spawns them locally
+and has them dial back over localhost TCP, but nothing in the protocol
+assumes a shared host: a worker started anywhere with the listener's
+``(host, port)`` and its token joins the run.
+
+Failure semantics are deliberately identical across implementations, so the
+executors' dead-peer handling is written once:
+
+* ``recv()`` on a peer that went away raises :class:`EOFError` (what
+  ``multiprocessing.Connection`` raises on a closed pipe);
+* ``send()`` to a dead peer raises :class:`BrokenPipeError` / ``OSError``;
+* garbage on a socket (a non-repro peer) raises
+  :class:`~repro.errors.WireFormatError`, a :class:`ProtocolError`.
+
+Worker bootstrap
+----------------
+
+A worker process is spawned with a picklable *channel spec* and calls
+:func:`open_worker_transport` to realize it:
+
+* ``("pipe", connection)`` -- the classic same-host channel;
+* ``("tcp", (host, port, token))`` -- dial the parent's
+  :class:`SocketListener` and authenticate with the per-worker token (sent
+  as the first object on the wire); the parent's
+  :meth:`SocketListener.accept_worker` matches tokens to worker slots, so
+  arrival order never matters.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Dict, Iterable, Tuple
+
+from repro.errors import TransportError, WireFormatError
+from repro.net.protocol import DEFAULT_MAX_FRAME, FrameKind, read_frame, write_frame
+
+#: the worker channels this module can realize (shared by every spawner)
+TRANSPORTS = ("pipe", "tcp")
+
+#: handshake preamble a TCP worker sends right after connecting
+_HELLO = "repro-worker"
+
+
+class Transport:
+    """One end of a parent<->worker channel with pipe send/recv semantics."""
+
+    def send(self, obj) -> None:
+        raise NotImplementedError
+
+    def recv(self):
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PipeTransport(Transport):
+    """A :class:`multiprocessing.connection.Connection` behind the interface."""
+
+    def __init__(self, conn) -> None:
+        self.conn = conn
+
+    def send(self, obj) -> None:
+        self.conn.send(obj)
+
+    def recv(self):
+        return self.conn.recv()
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __repr__(self) -> str:
+        return f"PipeTransport({self.conn!r})"
+
+
+class SocketTransport(Transport):
+    """A TCP stream speaking OBJ frames of the shared wire protocol."""
+
+    def __init__(self, sock: socket.socket, max_frame: int = DEFAULT_MAX_FRAME):
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(None)  # blocking, like a pipe
+        self._sock = sock
+        self._max_frame = max_frame
+
+    def send(self, obj) -> None:
+        write_frame(self._sock, FrameKind.OBJ, obj, max_frame=self._max_frame)
+
+    def recv(self):
+        kind, _seq, payload = read_frame(self._sock, self._max_frame)
+        if kind != FrameKind.OBJ:
+            raise WireFormatError(
+                f"worker transport received a {kind.name} frame (OBJ only)"
+            )
+        return payload
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    @property
+    def peer(self) -> Tuple[str, int]:
+        return self._sock.getpeername()
+
+    def __repr__(self) -> str:
+        try:
+            peer = self._sock.getpeername()
+        except OSError:
+            peer = "closed"
+        return f"SocketTransport(peer={peer})"
+
+
+class SocketListener:
+    """The parent's accept side of the TCP transport.
+
+    Binds ``host:port`` (port 0 = ephemeral), hands out one
+    :class:`SocketTransport` per authenticated worker, and closes.  Tokens --
+    one fresh random secret per expected worker -- are the spawn-time secret
+    shared with each worker; an unknown or replayed token is refused and the
+    connection dropped, so a stray client cannot slip into a worker slot.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, backlog: int = 16):
+        self._sock = socket.create_server((host, port), backlog=backlog)
+        self.address: Tuple[str, int] = self._sock.getsockname()[:2]
+
+    @staticmethod
+    def fresh_token() -> bytes:
+        return os.urandom(16)
+
+    def accept_worker(
+        self,
+        expected: Dict[bytes, object],
+        timeout: float = 30.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> Tuple[object, SocketTransport]:
+        """Accept one worker whose token is a key of ``expected``.
+
+        Returns ``(expected.pop(token), transport)``; the caller's mapping
+        shrinks as slots fill, so ``expected`` doubles as the waiting set.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportError(
+                    f"no worker connected within {timeout}s "
+                    f"({len(expected)} slot(s) still waiting)"
+                )
+            self._sock.settimeout(remaining)
+            try:
+                conn, _addr = self._sock.accept()
+            except socket.timeout:
+                continue
+            transport = SocketTransport(conn, max_frame=max_frame)
+            try:
+                hello = transport.recv()
+            except (EOFError, OSError, TransportError, WireFormatError):
+                transport.close()
+                continue
+            if (
+                isinstance(hello, tuple)
+                and len(hello) == 2
+                and hello[0] == _HELLO
+                and hello[1] in expected
+            ):
+                return expected.pop(hello[1]), transport
+            transport.close()  # wrong secret / not a worker: refuse the slot
+
+    def accept_workers(
+        self,
+        tokens: Iterable[Tuple[bytes, object]],
+        timeout: float = 30.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> Dict[object, SocketTransport]:
+        """Accept every ``(token, slot)`` worker; returns ``slot -> transport``."""
+        expected = dict(tokens)
+        accepted: Dict[object, SocketTransport] = {}
+        deadline = time.monotonic() + timeout
+        while expected:
+            slot, transport = self.accept_worker(
+                expected,
+                timeout=max(0.001, deadline - time.monotonic()),
+                max_frame=max_frame,
+            )
+            accepted[slot] = transport
+        return accepted
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "SocketListener":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def connect_worker(
+    address: Tuple[str, int],
+    token: bytes,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    timeout: float = 30.0,
+) -> SocketTransport:
+    """Worker side: dial the parent's listener and authenticate."""
+    try:
+        sock = socket.create_connection(address, timeout=timeout)
+    except OSError as exc:
+        raise TransportError(f"cannot reach parent at {address}: {exc}") from exc
+    transport = SocketTransport(sock, max_frame=max_frame)
+    transport.send((_HELLO, token))
+    return transport
+
+
+def open_worker_transport(channel) -> Transport:
+    """Realize a spawn-time channel spec inside the worker process."""
+    kind = channel[0]
+    if kind == "pipe":
+        return PipeTransport(channel[1])
+    if kind == "tcp":
+        host, port, token = channel[1]
+        return connect_worker((host, port), token)
+    raise TransportError(f"unknown worker channel kind {kind!r}")

@@ -71,11 +71,17 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import DgpmConfig
-from repro.errors import MutationBatchError, ProtocolError, ReproError
+from repro.errors import (
+    MutationBatchError,
+    ProtocolError,
+    ReproError,
+    TransportError,
+)
 from repro.graph.digraph import Label, Node
 from repro.graph.pattern import Pattern
 from repro.partition.fragmentation import Fragmentation
 from repro.runtime.metrics import RunMetrics
+from repro.runtime.transport import TRANSPORTS
 from repro.session.session import MutationOutcome, SimulationSession
 from repro.simulation.matchrel import MatchRelation
 
@@ -171,23 +177,24 @@ class _WriteTicket:
 
 
 class _WorkerHandle:
-    """One process-backend worker: pipe, dispatch lock, routing load."""
+    """One process-backend worker: its transport, dispatch lock, routing load."""
 
-    __slots__ = ("process", "conn", "lock", "assigned", "dead")
+    __slots__ = ("process", "link", "lock", "assigned", "dead")
 
-    def __init__(self, process, conn) -> None:
+    def __init__(self, process, link) -> None:
         self.process = process
-        self.conn = conn
+        self.link = link  # a repro.runtime.transport.Transport
         self.lock = threading.Lock()
         self.assigned = 0  # distinct canonical digests routed here
-        self.dead = False  # set on pipe failure; routing skips dead workers
+        self.dead = False  # set on link failure; routing skips dead workers
 
-    def _pipe_error(self, command: str, exc: BaseException) -> ProtocolError:
-        """The uniform dead-worker error for every pipe operation.
+    def _link_error(self, command: str, exc: BaseException) -> ProtocolError:
+        """The uniform dead-worker error for every transport operation.
 
-        The parent closed its copy of the child pipe end at spawn time, so a
-        worker that died (OOM-kill, segfault) surfaces as ``EOFError`` /
-        ``OSError`` here instead of blocking forever.
+        Both transports surface a worker that died (OOM-kill, segfault,
+        remote host gone) as ``EOFError`` / ``OSError`` / ``TransportError``
+        here instead of blocking forever: the pipe's child end is closed in
+        the parent at spawn time, and the socket hits EOF.
         """
         return ProtocolError(
             f"worker process (pid {self.process.pid}) died mid-"
@@ -204,32 +211,32 @@ class _WorkerHandle:
         """One command/reply round-trip (serialized per worker)."""
         try:
             with self.lock:
-                self.conn.send((command, payload))
-                status, reply = self.conn.recv()
-        except (EOFError, BrokenPipeError, OSError) as exc:
-            raise self._pipe_error(command, exc) from exc
+                self.link.send((command, payload))
+                status, reply = self.link.recv()
+        except (EOFError, BrokenPipeError, TransportError, OSError) as exc:
+            raise self._link_error(command, exc) from exc
         return self._unwrap(status, reply)
 
     def post(self, command: str, payload) -> None:
         """Send without waiting for the reply (pair with :meth:`collect`).
 
         Only valid under write exclusion, when nothing else can interleave
-        on this pipe -- the broadcast path uses it to overlap all replicas'
+        on this link -- the broadcast path uses it to overlap all replicas'
         work instead of round-tripping one worker at a time.
         """
         try:
             with self.lock:
-                self.conn.send((command, payload))
-        except (EOFError, BrokenPipeError, OSError) as exc:
-            raise self._pipe_error(command, exc) from exc
+                self.link.send((command, payload))
+        except (EOFError, BrokenPipeError, TransportError, OSError) as exc:
+            raise self._link_error(command, exc) from exc
 
     def collect(self, command: str):
         """Receive the reply to an earlier :meth:`post`."""
         try:
             with self.lock:
-                status, reply = self.conn.recv()
-        except (EOFError, BrokenPipeError, OSError) as exc:
-            raise self._pipe_error(command, exc) from exc
+                status, reply = self.link.recv()
+        except (EOFError, BrokenPipeError, TransportError, OSError) as exc:
+            raise self._link_error(command, exc) from exc
         return self._unwrap(status, reply)
 
 
@@ -252,6 +259,13 @@ class ConcurrentSessionServer:
     config:
         Default config for a session built from a fragmentation (rejected
         together with an existing session -- that session already has one).
+    transport:
+        Channel between this front-end and its replica workers (process
+        backend only): ``"pipe"`` (same-host ``multiprocessing.Pipe``, the
+        default) or ``"tcp"`` (workers dial back over a token-authenticated
+        localhost socket and are initialized over the wire -- the topology
+        that generalizes to remote workers).  Both speak the same command
+        protocol and share dead-peer semantics.
     session_kwargs:
         Extra :class:`SimulationSession` keyword arguments for a session
         built from a fragmentation (``cache_size``, ``maintenance``, ...);
@@ -264,11 +278,22 @@ class ConcurrentSessionServer:
         backend: str = "thread",
         n_workers: int = 4,
         config: Optional[DgpmConfig] = None,
+        transport: str = "pipe",
         **session_kwargs,
     ) -> None:
         if backend not in ("thread", "process"):
             raise ReproError(
                 f"unknown backend {backend!r} (known: thread, process)"
+            )
+        if transport not in TRANSPORTS:
+            raise ReproError(
+                f"unknown transport {transport!r} "
+                f"(known: {', '.join(TRANSPORTS)})"
+            )
+        if transport != "pipe" and backend != "process":
+            raise ReproError(
+                "transport= selects the worker channel; it requires "
+                "backend='process'"
             )
         if n_workers < 1:
             raise ReproError("n_workers must be >= 1")
@@ -300,6 +325,7 @@ class ConcurrentSessionServer:
                 "Fragmentation or a SimulationSession"
             )
         self.backend = backend
+        self.transport = transport
         self.n_workers = n_workers
         self._rw = _ReadWriteLock()
         self._stamp = 0
@@ -326,32 +352,19 @@ class ConcurrentSessionServer:
     # lifecycle
     # ------------------------------------------------------------------
     def _spawn_workers(self) -> List[_WorkerHandle]:
-        import multiprocessing as mp
-
-        from repro.runtime.mp import _resident_session_worker
+        from repro.runtime.mp import spawn_resident_workers
 
         self._session.warm()  # deps built once here, shipped to every worker
-        ctx = mp.get_context()
-        handles: List[_WorkerHandle] = []
-        for _ in range(self.n_workers):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_resident_session_worker,
-                args=(
-                    self._session.fragmentation,
-                    self._session.deps,
-                    self._replica_kwargs,
-                    child_conn,
-                ),
-                daemon=True,
+        return [
+            _WorkerHandle(proc, link)
+            for proc, link in spawn_resident_workers(
+                self._session.fragmentation,
+                self._session.deps,
+                self._replica_kwargs,
+                self.n_workers,
+                transport=self.transport,
             )
-            proc.start()
-            # Close the parent's copy of the child end: if the worker dies,
-            # the pipe hits EOF and request() raises instead of blocking
-            # forever on a connection nobody will ever write to.
-            child_conn.close()
-            handles.append(_WorkerHandle(proc, parent_conn))
-        return handles
+        ]
 
     def close(self) -> None:
         """Drain in-flight work and shut both pools down (idempotent).
@@ -380,14 +393,14 @@ class ConcurrentSessionServer:
             for handle in self._workers:
                 try:
                     with handle.lock:
-                        handle.conn.send(("stop", None))
-                except (BrokenPipeError, OSError):
+                        handle.link.send(("stop", None))
+                except (BrokenPipeError, TransportError, OSError):
                     pass
             for handle in self._workers:
                 handle.process.join(timeout=10)
                 if handle.process.is_alive():  # pragma: no cover - defensive
                     handle.process.terminate()
-                handle.conn.close()  # else the parent-side FDs live until GC
+                handle.link.close()  # else the parent-side FDs live until GC
 
     def __enter__(self) -> "ConcurrentSessionServer":
         return self
@@ -691,7 +704,8 @@ class ConcurrentSessionServer:
 
     def __repr__(self) -> str:
         backend = "process" if self._workers is not None else "thread"
+        via = f", transport={self.transport!r}" if backend == "process" else ""
         return (
-            f"ConcurrentSessionServer(backend={backend!r}, "
+            f"ConcurrentSessionServer(backend={backend!r}{via}, "
             f"n_workers={self.n_workers}, stamp={self._stamp})"
         )

@@ -1,0 +1,49 @@
+"""The machine-readable smoke recorder behind CI's BENCH_SMOKE.json."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import smoke
+
+
+def test_record_is_noop_without_env(tmp_path, monkeypatch):
+    monkeypatch.delenv(smoke.ENV_VAR, raising=False)
+    assert smoke.record_smoke("query_stream", {"ok": True}) is None
+
+
+def test_record_and_collect_round_trip(tmp_path, monkeypatch):
+    monkeypatch.setenv(smoke.ENV_VAR, str(tmp_path / "smoke"))
+    a = smoke.record_smoke("query_stream", {"ok": True, "speedup": 2.4})
+    b = smoke.record_smoke("net", {"ok": False, "tcp_ratio": 0.3})
+    assert a is not None and a.exists()
+    assert json.loads(a.read_text())["speedup"] == 2.4
+
+    out = tmp_path / "BENCH_SMOKE.json"
+    merged = smoke.collect(tmp_path / "smoke", out)
+    assert merged["n_benches"] == 2
+    assert set(merged["benches"]) == {"query_stream", "net"}
+    assert merged["benches"]["net"]["tcp_ratio"] == 0.3
+    assert b is not None
+
+    document = json.loads(out.read_text())
+    assert document["benches"]["query_stream"]["ok"] is True
+    assert document["python"]
+
+
+def test_rerecording_overwrites_same_bench(tmp_path, monkeypatch):
+    monkeypatch.setenv(smoke.ENV_VAR, str(tmp_path))
+    smoke.record_smoke("net", {"ok": False})
+    smoke.record_smoke("net", {"ok": True})
+    merged = smoke.collect(tmp_path, tmp_path / "out.json")
+    assert merged["n_benches"] == 1
+    assert merged["benches"]["net"]["ok"] is True
+
+
+def test_collect_cli(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv(smoke.ENV_VAR, str(tmp_path))
+    smoke.record_smoke("updates", {"ok": True})
+    out = tmp_path / "merged.json"
+    assert smoke.main(["--dir", str(tmp_path), "--out", str(out)]) == 0
+    assert "collected 1 bench result(s)" in capsys.readouterr().out
+    assert json.loads(out.read_text())["n_benches"] == 1

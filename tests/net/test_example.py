@@ -1,0 +1,36 @@
+"""The shipped network example must actually run (server + 2 clients).
+
+``examples/network_query_server.py`` asserts the per-stamp snapshot
+contract internally (every client-observed answer equals a from-scratch
+simulation on a replay at its stamp); this test runs it as a real
+subprocess, the way a user would.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_network_example_runs_clean():
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "examples" / "network_query_server.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert proc.returncode == 0, (
+        f"example failed\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert "audited all" in proc.stdout
+    assert "server closed cleanly" in proc.stdout

@@ -1,0 +1,364 @@
+"""End-to-end tests for the asyncio ingress and both clients.
+
+The load-bearing assertion mirrors the acceptance contract of the network
+layer: one server, at least two clients (one blocking, one asyncio), and
+*every* client-observed result equals a from-scratch centralized simulation
+on a replay of the graph after exactly ``result.stamp`` updates -- the
+socket changes the wire, never the snapshot semantics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+from typing import List, Tuple
+
+import pytest
+
+from repro import (
+    ConcurrentSessionServer,
+    partition,
+    simulation,
+    web_graph,
+)
+from repro.bench.workloads import cyclic_pattern
+from repro.errors import GraphError, ReproError, TransportError
+from repro.graph.digraph import DiGraph
+from repro.net import AsyncSessionClient, SessionClient, serve_in_thread
+from repro.net.server import NetworkSessionServer
+
+JOIN_TIMEOUT = 60.0
+
+
+@pytest.fixture()
+def instance():
+    graph = web_graph(150, 600, n_labels=5, seed=17)
+    frag = partition(graph, 3, seed=17)
+    queries = [cyclic_pattern(graph, 3, 4, seed=s) for s in range(3)]
+    return graph, frag, queries
+
+
+def _replay(graph: DiGraph, ops: List[Tuple], n: int) -> DiGraph:
+    """The graph after the first ``n`` updates (fresh copy each call)."""
+    replayed = graph.copy()
+    for op in ops[:n]:
+        if op[0] == "delete":
+            replayed.remove_edge(op[1], op[2])
+        elif op[0] == "insert":
+            replayed.add_edge(op[1], op[2])
+        else:
+            replayed.add_node(op[1], op[2])
+    return replayed
+
+
+class TestSyncClient:
+    def test_parity_and_zero_stamp(self, instance):
+        graph, frag, queries = instance
+        with serve_in_thread(frag, backend="thread", n_workers=4) as srv:
+            with SessionClient(*srv.address, timeout=60.0) as client:
+                for q in queries:
+                    result = client.run(q, algorithm="dgpm")
+                    assert result.stamp == 0
+                    assert result.relation == simulation(q, graph)
+
+    def test_run_many_in_order(self, instance):
+        graph, frag, queries = instance
+        with serve_in_thread(frag, backend="thread", n_workers=4) as srv:
+            with SessionClient(*srv.address, timeout=60.0) as client:
+                results = client.run_many(queries, algorithm="dgpm")
+                for q, r in zip(queries, results):
+                    assert r.relation == simulation(q, graph)
+
+    def test_mutations_advance_stamps_and_answers(self, instance):
+        graph, frag, queries = instance
+        ops: List[Tuple] = []
+        with serve_in_thread(frag, backend="thread", n_workers=4) as srv:
+            with SessionClient(*srv.address, timeout=60.0) as client:
+                edges = list(graph.edges())
+                for i, (u, v) in enumerate(edges[:3]):
+                    outcome = client.delete_edge(u, v)
+                    ops.append(("delete", u, v))
+                    assert outcome.stamp == i + 1
+                    result = client.run(queries[0], algorithm="dgpm")
+                    assert result.stamp == i + 1
+                    assert result.relation == simulation(queries[0], graph)
+                back = ops[-1]
+                outcome = client.insert_edge(back[1], back[2])
+                assert outcome.stamp == 4
+                assert outcome.outcome.kind == "insert"
+
+    def test_batch_apply_over_the_wire(self, instance):
+        graph, frag, queries = instance
+        with serve_in_thread(frag, backend="thread", n_workers=2) as srv:
+            with SessionClient(*srv.address, timeout=60.0) as client:
+                edges = list(graph.edges())
+                outcomes = client.apply(
+                    [("delete", *edges[0]), ("delete", *edges[1])]
+                )
+                assert [o.stamp for o in outcomes] == [1, 2]
+                result = client.run(queries[0], algorithm="dgpm")
+                assert result.stamp == 2
+                assert result.relation == simulation(queries[0], graph)
+
+    def test_stats_frame(self, instance):
+        graph, frag, queries = instance
+        with serve_in_thread(frag, backend="thread", n_workers=2) as srv:
+            with SessionClient(*srv.address, timeout=60.0) as client:
+                client.run(queries[0], algorithm="dgpm")
+                client.delete_edge(*list(graph.edges())[0])
+                reply = client.stats()
+                assert reply.backend == "thread"
+                assert reply.stamp == 1
+                assert reply.stats.queries_served >= 1
+                assert reply.stats.mutations == 1
+
+    def test_server_errors_reraise_original_type(self, instance):
+        graph, frag, queries = instance
+        with serve_in_thread(frag, backend="thread", n_workers=2) as srv:
+            with SessionClient(*srv.address, timeout=60.0) as client:
+                with pytest.raises(GraphError):
+                    client.delete_edge("no-such", "edge")
+                with pytest.raises(ReproError):
+                    client.run(queries[0], algorithm="not-an-algorithm")
+                # the connection survives per-request failures
+                assert client.run(queries[0], algorithm="dgpm").stamp == 0
+
+    def test_unreachable_server(self):
+        with pytest.raises(TransportError, match="cannot reach"):
+            SessionClient("127.0.0.1", 1, timeout=0.5)
+
+    def test_timeout_marks_client_broken(self, instance):
+        """After a recv timeout the stream is desynchronized; the client
+        must refuse further use instead of mispairing late replies."""
+        graph, frag, queries = instance
+        silent = socket.create_server(("127.0.0.1", 0))
+        try:
+            client = SessionClient(*silent.getsockname()[:2], timeout=0.2)
+            with pytest.raises(TransportError, match="connection to server lost"):
+                client.run(queries[0])
+            with pytest.raises(TransportError, match="closed"):
+                client.run(queries[0])
+        finally:
+            silent.close()
+
+    def test_client_close_is_idempotent_and_final(self, instance):
+        graph, frag, queries = instance
+        with serve_in_thread(frag, backend="thread", n_workers=2) as srv:
+            client = SessionClient(*srv.address, timeout=60.0)
+            client.close()
+            client.close()
+            with pytest.raises(TransportError, match="closed"):
+                client.run(queries[0])
+
+
+class TestAsyncClient:
+    def test_pipelined_parity(self, instance):
+        graph, frag, queries = instance
+        with serve_in_thread(frag, backend="thread", n_workers=4) as srv:
+            host, port = srv.address
+
+            async def scenario():
+                async with await AsyncSessionClient.connect(host, port) as client:
+                    results = await client.run_many(queries, algorithm="dgpm")
+                    reply = await client.stats()
+                    return results, reply
+
+            results, reply = asyncio.run(scenario())
+            for q, r in zip(queries, results):
+                assert r.stamp == 0
+                assert r.relation == simulation(q, graph)
+            assert reply.stats.queries_served >= len(queries)
+
+    def test_async_mutations_and_errors(self, instance):
+        graph, frag, queries = instance
+        with serve_in_thread(frag, backend="thread", n_workers=4) as srv:
+            host, port = srv.address
+            edges = list(graph.edges())
+
+            async def scenario():
+                async with await AsyncSessionClient.connect(host, port) as client:
+                    outcome = await client.delete_edge(*edges[0])
+                    assert outcome.stamp == 1
+                    with pytest.raises(GraphError):
+                        await client.delete_edge(*edges[0])  # already gone
+                    result = await client.run(queries[0], algorithm="dgpm")
+                    assert result.stamp == 1
+                    return result
+
+            result = asyncio.run(scenario())
+            assert result.relation == simulation(queries[0], graph)
+
+    def test_connection_lost_fails_pending(self, instance):
+        graph, frag, queries = instance
+        srv = serve_in_thread(frag, backend="thread", n_workers=2)
+        host, port = srv.address
+
+        async def scenario():
+            client = await AsyncSessionClient.connect(host, port)
+            result = await client.run(queries[0], algorithm="dgpm")
+            srv.close()  # server goes away under the client
+            with pytest.raises(TransportError):
+                for _ in range(20):
+                    await client.run(queries[0], algorithm="dgpm")
+            await client.aclose()
+            return result
+
+        try:
+            result = asyncio.run(scenario())
+            assert result.relation == simulation(queries[0], graph)
+        finally:
+            srv.close()
+
+
+class TestSnapshotContractOverTheWire:
+    def test_two_clients_and_a_feed_replay_exactly(self, instance):
+        """The acceptance scenario: sync + asyncio clients under mutation.
+
+        Every result any client observed must equal a from-scratch
+        simulation at its stamp -- replayed update-prefix by update-prefix.
+        """
+        graph, frag, queries = instance
+        initial = graph.copy()
+        audited: List[Tuple[int, object]] = []
+        ops: List[Tuple] = []
+        failures: List[BaseException] = []
+
+        with serve_in_thread(frag, backend="thread", n_workers=4) as srv:
+            host, port = srv.address
+
+            def sync_reader() -> None:
+                try:
+                    with SessionClient(host, port, timeout=60.0) as client:
+                        for i in range(8):
+                            qi = i % len(queries)
+                            audited.append(
+                                (qi, client.run(queries[qi], algorithm="dgpm"))
+                            )
+                except BaseException as exc:
+                    failures.append(exc)
+
+            def feed() -> None:
+                try:
+                    with SessionClient(host, port, timeout=60.0) as client:
+                        edges = list(initial.edges())
+                        for u, v in edges[:4]:
+                            client.delete_edge(u, v)
+                            ops.append(("delete", u, v))
+                except BaseException as exc:
+                    failures.append(exc)
+
+            def async_reader() -> None:
+                async def scenario():
+                    async with await AsyncSessionClient.connect(host, port) as c:
+                        for _ in range(3):
+                            results = await asyncio.gather(
+                                *[c.run(q, algorithm="dgpm") for q in queries]
+                            )
+                            audited.extend(enumerate(results))
+
+                try:
+                    asyncio.run(scenario())
+                except BaseException as exc:
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(target=sync_reader),
+                threading.Thread(target=feed),
+                threading.Thread(target=async_reader),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=JOIN_TIMEOUT)
+                assert not t.is_alive(), "a network client deadlocked"
+
+        assert not failures, f"client failed: {failures[0]!r}"
+        assert audited and ops
+        oracles = {}
+        for qi, result in audited:
+            key = (qi, result.stamp)
+            if key not in oracles:
+                oracles[key] = simulation(
+                    queries[qi], _replay(initial, ops, result.stamp)
+                )
+            assert result.relation == oracles[key], (
+                f"query {qi} at stamp {result.stamp} diverged from the "
+                f"from-scratch oracle"
+            )
+
+
+class TestIngressLifecycle:
+    def test_fronting_an_existing_server_does_not_own_it(self, instance):
+        graph, frag, queries = instance
+        with ConcurrentSessionServer(frag, backend="thread", n_workers=2) as server:
+            with serve_in_thread(server) as srv:
+                with SessionClient(*srv.address, timeout=60.0) as client:
+                    assert client.run(queries[0], algorithm="dgpm").stamp == 0
+            # ingress gone; the serving stack must still be alive
+            assert server.run(queries[0], algorithm="dgpm").stamp == 0
+
+    def test_closed_ingress_refuses_new_connections(self, instance):
+        graph, frag, queries = instance
+        srv = serve_in_thread(frag, backend="thread", n_workers=2)
+        address = srv.address
+        srv.close()
+        with pytest.raises(TransportError):
+            SessionClient(*address, timeout=1.0).run(queries[0])
+
+    def test_close_drains_inflight_requests(self, instance):
+        """Requests accepted before shutdown still get their answers."""
+        graph, frag, queries = instance
+        srv = serve_in_thread(frag, backend="thread", n_workers=4)
+        host, port = srv.address
+        results: List[object] = []
+        failures: List[BaseException] = []
+
+        def reader() -> None:
+            try:
+                with SessionClient(host, port, timeout=60.0) as client:
+                    for q in queries * 2:
+                        results.append(client.run(q, algorithm="dgpm"))
+            except TransportError:
+                pass  # the goodbye raced shutdown; fine after >= 1 answer
+            except BaseException as exc:
+                failures.append(exc)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        while not results and t.is_alive():
+            time.sleep(0.001)  # wait until at least one request was served
+        srv.close()
+        t.join(timeout=JOIN_TIMEOUT)
+        assert not t.is_alive(), "reader deadlocked across ingress shutdown"
+        assert not failures, f"reader failed: {failures[0]!r}"
+        assert results
+        for r in results:
+            assert r.relation is not None
+
+    def test_rejects_kwargs_with_existing_server(self, instance):
+        graph, frag, queries = instance
+        with ConcurrentSessionServer(frag, backend="thread", n_workers=2) as server:
+            with pytest.raises(ReproError, match="belong to"):
+                NetworkSessionServer(server, n_workers=8)
+
+
+class TestFullStackOverTcpWorkers:
+    def test_network_ingress_over_tcp_process_backend(self, instance):
+        """The whole story at once: TCP clients -> asyncio ingress ->
+        process backend whose replica workers are themselves TCP."""
+        graph, frag, queries = instance
+        with serve_in_thread(
+            frag, backend="process", n_workers=2, transport="tcp"
+        ) as srv:
+            with SessionClient(*srv.address, timeout=120.0) as client:
+                for q in queries:
+                    result = client.run(q, algorithm="dgpm")
+                    assert result.stamp == 0
+                    assert result.relation == simulation(q, graph)
+                outcome = client.delete_edge(*list(graph.edges())[0])
+                assert outcome.stamp == 1
+                result = client.run(queries[0], algorithm="dgpm")
+                assert result.stamp == 1
+                assert result.relation == simulation(queries[0], graph)

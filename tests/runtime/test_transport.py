@@ -1,0 +1,249 @@
+"""One test suite, two transports: pipe and TCP workers must be equivalent.
+
+The ``transport`` fixture parametrizes every scenario below over both
+channel implementations -- the site-program executor, the replica-session
+pool behind :class:`ConcurrentSessionServer`, and dead-peer detection all
+run the identical assertions, so the TCP path can never drift from the
+pipe path's semantics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro import ConcurrentSessionServer, partition, simulation, web_graph
+from repro.bench.workloads import cyclic_pattern
+from repro.core import DgpmConfig, run_dgpm
+from repro.errors import ProtocolError, ReproError, TransportError
+from repro.graph.examples import figure1
+from repro.graph.generators import random_labeled_graph
+from repro.graph.pattern import Pattern
+from repro.partition import random_partition
+from repro.runtime.mp import run_dgpm_multiprocess
+from repro.runtime.transport import (
+    PipeTransport,
+    SocketListener,
+    connect_worker,
+    open_worker_transport,
+)
+
+
+@pytest.fixture(params=["pipe", "tcp"])
+def transport(request) -> str:
+    """Every test in this file runs once per worker channel."""
+    return request.param
+
+
+# ----------------------------------------------------------------------
+# the site-program executor
+# ----------------------------------------------------------------------
+class TestSiteExecutor:
+    def test_figure1_matches_simulator(self, transport):
+        q, g, frag = figure1()
+        config = DgpmConfig(enable_push=False)
+        sim_run = run_dgpm(q, frag, config)
+        mp_run = run_dgpm_multiprocess(q, frag, config, transport=transport)
+        assert mp_run.relation == sim_run.relation == simulation(q, g)
+        assert mp_run.metrics.n_messages == sim_run.metrics.n_messages
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_instances(self, transport, seed):
+        graph = random_labeled_graph(40, 160, n_labels=3, seed=seed)
+        frag = random_partition(graph, 3, seed=seed)
+        q = Pattern({"a": "L0", "b": "L1"}, [("a", "b"), ("b", "a")])
+        config = DgpmConfig(enable_push=False)
+        mp_run = run_dgpm_multiprocess(q, frag, config, transport=transport)
+        assert mp_run.relation == simulation(q, graph)
+
+    def test_message_accounting_is_channel_independent(self):
+        """DS/message metering must not depend on the transport at all."""
+        graph = random_labeled_graph(40, 160, n_labels=3, seed=2)
+        frag = random_partition(graph, 3, seed=2)
+        q = Pattern({"a": "L0", "b": "L1"}, [("a", "b"), ("b", "a")])
+        config = DgpmConfig(enable_push=False)
+        by_pipe = run_dgpm_multiprocess(q, frag, config, transport="pipe")
+        by_tcp = run_dgpm_multiprocess(q, frag, config, transport="tcp")
+        assert by_pipe.relation == by_tcp.relation
+        assert by_pipe.metrics.n_messages == by_tcp.metrics.n_messages
+        assert by_pipe.metrics.ds_bytes == by_tcp.metrics.ds_bytes
+        assert by_pipe.metrics.n_rounds == by_tcp.metrics.n_rounds
+
+    def test_unknown_transport_rejected(self):
+        q, _, frag = figure1()
+        with pytest.raises(ReproError, match="unknown transport"):
+            run_dgpm_multiprocess(q, frag, transport="carrier-pigeon")
+
+
+# ----------------------------------------------------------------------
+# the replica-session pool (process backend of the concurrent server)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def small_instance():
+    graph = web_graph(150, 600, n_labels=5, seed=17)
+    frag = partition(graph, 3, seed=17)
+    queries = [cyclic_pattern(graph, 3, 4, seed=s) for s in range(3)]
+    return graph, frag, queries
+
+
+class TestResidentWorkerPool:
+    def test_query_parity_and_mutation_lockstep(self, transport, small_instance):
+        graph, frag, queries = small_instance
+        with ConcurrentSessionServer(
+            frag, backend="process", n_workers=2, transport=transport
+        ) as server:
+            for q, r in zip(queries, server.run_many(queries, algorithm="dgpm")):
+                assert r.stamp == 0
+                assert r.relation == simulation(q, graph)
+            outcome = server.delete_edge(*list(graph.edges())[0])
+            assert outcome.stamp == 1
+            # replicas saw the broadcast: answers match the mutated oracle
+            for q in queries:
+                r = server.run(q, algorithm="dgpm")
+                assert r.stamp == 1
+                assert r.relation == simulation(q, graph)
+
+    def test_worker_stats_reach_replicas(self, transport, small_instance):
+        graph, frag, queries = small_instance
+        with ConcurrentSessionServer(
+            frag, backend="process", n_workers=2, transport=transport
+        ) as server:
+            server.run_many(queries * 2, algorithm="dgpm")
+            stats = server.worker_stats()
+            assert len(stats) == 2
+            assert sum(s.queries_served for s in stats) == len(queries) * 2
+
+    def test_dead_worker_raises_instead_of_hanging(self, transport, small_instance):
+        """A killed worker surfaces as ProtocolError on the next dispatch --
+        identically for pipe EOF and socket EOF."""
+        graph, frag, queries = small_instance
+        with ConcurrentSessionServer(
+            frag, backend="process", n_workers=1, transport=transport
+        ) as server:
+            assert server.run(queries[0], algorithm="dgpm").stamp == 0
+            worker = server._workers[0]
+            worker.process.terminate()
+            worker.process.join(timeout=10)
+            with pytest.raises(ProtocolError):
+                server.run(queries[0], algorithm="dgpm")
+            # The only worker is dead: routing reports the pool state.
+            with pytest.raises(ProtocolError, match="every worker"):
+                server.run(queries[1], algorithm="dgpm")
+
+    def test_dead_worker_is_routed_around(self, transport, small_instance):
+        graph, frag, queries = small_instance
+        with ConcurrentSessionServer(
+            frag, backend="process", n_workers=2, transport=transport
+        ) as server:
+            assert server.run(queries[0], algorithm="dgpm").stamp == 0
+            victim = server._workers[0]
+            victim.process.terminate()
+            victim.process.join(timeout=10)
+            survived = 0
+            for q in queries * 2:
+                try:
+                    r = server.run(q, algorithm="dgpm")
+                except ProtocolError:
+                    continue  # the dispatch that discovered the corpse
+                assert r.relation == simulation(q, graph)
+                survived += 1
+            assert survived > 0, "routing never recovered onto the live worker"
+
+    def test_thread_backend_rejects_transport_choice(self, small_instance):
+        graph, frag, queries = small_instance
+        with pytest.raises(ReproError, match="backend='process'"):
+            ConcurrentSessionServer(frag, backend="thread", transport="tcp")
+
+    def test_unknown_transport_rejected(self, small_instance):
+        graph, frag, queries = small_instance
+        with pytest.raises(ReproError, match="unknown transport"):
+            ConcurrentSessionServer(frag, backend="process", transport="udp")
+
+
+# ----------------------------------------------------------------------
+# the transport primitives themselves
+# ----------------------------------------------------------------------
+def _tcp_pair():
+    listener = SocketListener()
+    token = SocketListener.fresh_token()
+    worker_end = connect_worker(listener.address, token)
+    slot, parent_end = listener.accept_worker({token: "w0"})
+    listener.close()
+    assert slot == "w0"
+    return parent_end, worker_end
+
+
+def _pipe_pair():
+    ctx = multiprocessing.get_context()
+    a, b = ctx.Pipe()
+    return PipeTransport(a), PipeTransport(b)
+
+
+class TestTransportPrimitives:
+    def test_roundtrip_and_eof(self, transport):
+        parent, worker = _tcp_pair() if transport == "tcp" else _pipe_pair()
+        try:
+            parent.send(("init", {"deps": [1, 2, 3]}))
+            assert worker.recv() == ("init", {"deps": [1, 2, 3]})
+            worker.send(("msgs", ["a", "b"]))
+            assert parent.recv() == ("msgs", ["a", "b"])
+            worker.close()
+            with pytest.raises(EOFError):
+                parent.recv()
+        finally:
+            parent.close()
+            worker.close()
+
+    def test_open_worker_transport_pipe_spec(self):
+        ctx = multiprocessing.get_context()
+        a, b = ctx.Pipe()
+        link = open_worker_transport(("pipe", b))
+        PipeTransport(a).send("hi")
+        assert link.recv() == "hi"
+        link.close()
+        a.close()
+
+    def test_open_worker_transport_rejects_unknown(self):
+        with pytest.raises(TransportError, match="unknown worker channel"):
+            open_worker_transport(("smoke-signal", None))
+
+    def test_listener_refuses_wrong_token(self):
+        with SocketListener() as listener:
+            good = SocketListener.fresh_token()
+            bad = SocketListener.fresh_token()
+            results = {}
+
+            import threading
+
+            def dial(token, key):
+                try:
+                    results[key] = connect_worker(listener.address, token)
+                except TransportError as exc:
+                    results[key] = exc
+
+            t1 = threading.Thread(target=dial, args=(bad, "bad"))
+            t2 = threading.Thread(target=dial, args=(good, "good"))
+            t1.start()
+            time.sleep(0.05)  # the impostor dials first
+            t2.start()
+            slot, accepted = listener.accept_worker({good: "w0"}, timeout=10.0)
+            t1.join(timeout=10)
+            t2.join(timeout=10)
+            assert slot == "w0"
+            accepted.send("welcome")
+            assert results["good"].recv() == "welcome"
+            accepted.close()
+            results["good"].close()
+
+    def test_listener_times_out_without_workers(self):
+        with SocketListener() as listener:
+            with pytest.raises(TransportError, match="no worker connected"):
+                listener.accept_worker(
+                    {SocketListener.fresh_token(): "w0"}, timeout=0.2
+                )
+
+    def test_connect_worker_unreachable(self):
+        with pytest.raises(TransportError, match="cannot reach parent"):
+            connect_worker(("127.0.0.1", 1), SocketListener.fresh_token(), timeout=0.5)
