@@ -1,0 +1,131 @@
+"""Array engine vs dict engine: the columnar-evaluation perf gate.
+
+The array engine (``engine="array"``) recompiles each fragment into CSR
+arrays and replaces the dict engine's per-pair Python loops with numpy
+kernels.  Its advantage *grows with scale* (numpy call overhead amortizes
+over wider fragments), so -- unlike the other smokes, which shrink sizes --
+the gate here runs at web-graph scale: at 96k nodes / 480k edges / |F|=16
+the array engine must serve the mixed query stream at >= 5x the dict
+engine's q/s, with every answer identical.
+
+Runs two ways:
+
+* ``pytest benchmarks/ -o python_files='bench_*.py'`` -- records the
+  size-sweep table next to the other series (small-to-large; the pytest
+  assertions check parity everywhere and the gate at the large end);
+* ``python benchmarks/bench_engines.py [--smoke]`` -- standalone, used by
+  CI; ``--smoke`` keeps the gate-scale graph but trims repeats so the step
+  stays in tens of seconds.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.engines import (
+    DEFAULT_SIZES,
+    GATE_EDGES,
+    GATE_NODES,
+    GATE_SPEEDUP,
+    engine_series,
+)
+from repro.bench.report import record_report
+from repro.bench.smoke import record_smoke
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def series():
+    s = engine_series()
+    record_report("engines", s.render(), RESULTS)
+    return s
+
+
+def test_engine_parity(series):
+    for p in series.points:
+        assert p.parity, f"engines disagreed at {p.n_nodes} nodes"
+
+
+def test_array_engine_wins_at_scale(series):
+    p = max(series.points, key=lambda p: p.n_nodes)
+    assert p.speedup >= GATE_SPEEDUP, (
+        f"array engine must clear {GATE_SPEEDUP}x at {p.n_nodes} nodes: "
+        f"measured {p.speedup:.2f}x "
+        f"(dict {p.dict_qps:.2f} q/s vs array {p.array_qps:.2f} q/s)"
+    )
+
+
+def test_compile_cost_amortizes(series):
+    # Compiling all |F| fragments must cost less than a handful of dict
+    # queries -- otherwise the engine could never win on short streams.
+    for p in series.points:
+        assert p.compile_seconds < 5.0 / max(p.dict_qps, 1e-9)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="gate point only, fewer repeats"
+    )
+    parser.add_argument("--repeat", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        # The gate needs scale, so smoke keeps the full-size graph and
+        # saves time on repeats instead.
+        sizes = [(GATE_NODES, GATE_EDGES)]
+        repeat = 2
+    else:
+        sizes = list(DEFAULT_SIZES)
+        repeat = args.repeat
+
+    series = engine_series(sizes=sizes, repeat=repeat)
+    print(series.render())
+
+    failures = []
+    if not all(p.parity for p in series.points):
+        failures.append("engine answers diverged")
+    gate = max(series.points, key=lambda p: p.n_nodes)
+    if gate.n_nodes >= GATE_NODES and gate.speedup < GATE_SPEEDUP:
+        failures.append(
+            f"array speedup at {gate.n_nodes} nodes is {gate.speedup:.2f}x "
+            f"(< {GATE_SPEEDUP}x)"
+        )
+    record_smoke(
+        "engines",
+        {
+            "smoke": args.smoke,
+            "ok": not failures,
+            "threshold": GATE_SPEEDUP,
+            "points": [
+                {
+                    "n_nodes": p.n_nodes,
+                    "n_edges": p.n_edges,
+                    "n_fragments": p.n_fragments,
+                    "n_queries": p.n_queries,
+                    "dict_qps": p.dict_qps,
+                    "array_qps": p.array_qps,
+                    "speedup": p.speedup,
+                    "compile_seconds": p.compile_seconds,
+                    "compilations": p.compilations,
+                    "parity": p.parity,
+                }
+                for p in series.points
+            ],
+        },
+    )
+    if failures:
+        print("FAIL:", "; ".join(failures))
+        return 1
+    print(
+        f"ok: array engine {gate.speedup:.2f}x over dict at "
+        f"{gate.n_nodes} nodes, answers identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

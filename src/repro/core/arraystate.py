@@ -1,0 +1,626 @@
+"""Array-native per-site evaluation state (``engine="array"``).
+
+:class:`ArrayEvalState` is a drop-in replacement for
+:class:`~repro.core.state.LocalEvalState` over a
+:class:`~repro.core.arraycompile.CompiledFragment`: candidate sets ``sim(u)``
+are one bool row per query node over the fragment's dense node ids, and the
+HHK successor counters are a ``|V_local| x |Q|`` int matrix.  Processing a
+falsification batch is vectorized counter decrements plus
+``nonzero(count == 0)`` worklist extraction -- one numpy wave per
+(query-node, removal-batch) pair instead of a Python loop per (node, node)
+pair -- with exactly the dict engine's semantics (same fixpoint, same
+newly-falsified local variables).
+
+The symbolic side (:meth:`ArrayEvalState.in_node_equations`) exploits
+monotonicity instead of brute-force reduction: every expression in play is a
+conj/disj of variables, so evaluating the *pessimistic* fixpoint (all
+virtual variables false -- one extra vectorized propagation) brackets every
+pair between ``sim`` (the optimistic fixpoint) and ``pess``.  Pairs true in
+``pess`` are definitively TRUE; pairs outside ``sim`` are already falsified;
+only the (typically thin) boundary slice in between genuinely depends on
+virtual variables and enters the symbolic reduction.  The reduced equations
+are logically equal to the dict engine's (same greatest fixpoint projected
+onto the same virtual variables), just built from a system that is orders of
+magnitude smaller.
+
+:class:`ArrayRankState` vectorizes dGPMd's per-rank exact evaluation, and
+:class:`ArrayTreeState` vectorizes dGPMt's bottom-up subtree sweep with the
+same optimistic/pessimistic bracketing (symbolic expressions only for pairs
+whose value actually depends on child-fragment roots).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.boolean.expr import BoolExpr, FALSE, TRUE, Var, conj, disj
+from repro.core.arraycompile import (
+    CompiledFragment,
+    gather_csr,
+    require_numpy,
+    segment_any,
+    segment_sum_full,
+)
+from repro.core.state import VarKey
+from repro.graph.digraph import Node
+from repro.graph.pattern import Pattern
+from repro.partition.fragment import Fragment
+
+
+class _QueryView:
+    """The query compiled against a fragment snapshot's dense ids."""
+
+    __slots__ = (
+        "qnodes", "qindex", "qlab", "label_match", "children", "parents", "relevant",
+    )
+
+    def __init__(self, compiled: CompiledFragment, query: Pattern, interner) -> None:
+        np = require_numpy()
+        self.qnodes: Tuple[Node, ...] = tuple(query.nodes())
+        self.qindex: Dict[Node, int] = {u: i for i, u in enumerate(self.qnodes)}
+        self.qlab: List[int] = [
+            interner.intern(query.label(u)) for u in self.qnodes
+        ]
+        #: (Q, N) bool -- label agreement, the optimistic seed of sim
+        #: (rows copied from the snapshot's per-label cache)
+        self.label_match = np.empty((len(self.qnodes), compiled.n_nodes), dtype=bool)
+        for i, lab in enumerate(self.qlab):
+            self.label_match[i] = compiled.label_row(lab)
+        self.children: List[List[int]] = [
+            [self.qindex[w] for w in query.children(u)] for u in self.qnodes
+        ]
+        self.parents: List[List[int]] = [
+            [self.qindex[w] for w in query.parents(u)] for u in self.qnodes
+        ]
+        #: query nodes some edge targets (the only ones counters exist for)
+        self.relevant: List[int] = [i for i, ps in enumerate(self.parents) if ps]
+
+
+class ArrayEvalState:
+    """Counter-based partial evaluation over a compiled fragment.
+
+    Mirrors :class:`~repro.core.state.LocalEvalState`'s public protocol
+    (``run_initial`` / ``falsify_virtual`` / ``drain_newly_false`` /
+    ``local_matches`` / ``virtual_candidates`` / ``is_candidate`` /
+    ``in_node_equations``) so :class:`~repro.core.dgpm.DgpmSiteProgram`
+    runs unchanged on either engine.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledFragment,
+        fragment: Fragment,
+        query: Pattern,
+        interner,
+        known_false_virtual: Iterable[VarKey] = (),
+    ) -> None:
+        np = require_numpy()
+        self.compiled = compiled
+        self.fragment = fragment
+        self.query = query
+        self.view = _QueryView(compiled, query, interner)
+        #: (Q, N) bool -- not-yet-falsified candidates (local and virtual)
+        self.sim = self.view.label_match.copy()
+
+        # Pre-apply falsifications already known (dGPMNOpt from-scratch path).
+        pre_removed = False
+        for u, v in known_false_virtual:
+            qi = self.view.qindex.get(u)
+            vi = compiled.index.get(v)
+            if qi is not None and vi is not None:
+                self.sim[qi, vi] = False
+                pre_removed = True
+
+        # count[v, j] = |succ(v) ∩ sim(q_j)| -- with a pristine sim this is
+        # the snapshot's cached per-label column; pre-removals (dGPMNOpt)
+        # force the per-query segment-sum (removals change the seed).
+        n = compiled.n_nodes
+        self.count = np.zeros((n, len(self.view.qnodes)), dtype=np.int64)
+        for j in self.view.relevant:
+            if pre_removed:
+                self.count[:, j] = segment_sum_full(
+                    self.sim[j, compiled.fwd_indices], compiled.fwd_indptr
+                )
+            else:
+                self.count[:, j] = compiled.count_col(self.view.qlab[j])
+
+        self._newly_false: List[Tuple[int, object]] = []  # (query idx, id array)
+        self._initialized = False
+        #: when True, run_initial/falsify_virtual buffer falsifications
+        #: instead of materializing VarKey tuples; the caller drains via
+        #: drain_for_shipping() (or drain_newly_false() after a rewire).
+        self.defer_drain = False
+
+    # ------------------------------------------------------------------
+    # fixpoint machinery
+    # ------------------------------------------------------------------
+    def run_initial(self) -> List[VarKey]:
+        """Seed with all local violations; propagate to the local fixpoint."""
+        np = require_numpy()
+        if self._initialized:
+            raise RuntimeError("run_initial may only be called once")
+        self._initialized = True
+        c, view = self.compiled, self.view
+        frontier: List[Tuple[int, object]] = []
+        for i, children in enumerate(view.children):
+            if not children:
+                continue
+            bad = self.sim[i] & c.local_mask
+            bad &= (self.count[:, children] == 0).any(axis=1)
+            idx = np.nonzero(bad)[0]
+            if idx.size:
+                self.sim[i, idx] = False
+                self._newly_false.append((i, idx))
+                frontier.append((i, idx))
+        self._propagate(self.sim, self.count, frontier, record=True)
+        if self.defer_drain:
+            return []
+        return self.drain_newly_false()
+
+    def falsify_virtual(self, pairs: Iterable[VarKey]) -> List[VarKey]:
+        """Apply received falsifications; returns newly falsified local vars."""
+        np = require_numpy()
+        c, view = self.compiled, self.view
+        qindex_get, index_get = view.qindex.get, c.index.get
+        per_q: Dict[int, List[int]] = {}
+        for u, v in pairs:
+            qi = qindex_get(u)
+            vi = index_get(v)
+            if qi is None or vi is None:
+                continue
+            per_q.setdefault(qi, []).append(vi)
+        frontier = []
+        for qi, vis in per_q.items():
+            idx = np.unique(np.asarray(vis, dtype=np.int64))
+            row = self.sim[qi]
+            idx = idx[row[idx]]  # drop pairs that are already false
+            if idx.size:
+                row[idx] = False
+                frontier.append((qi, idx))
+        self._propagate(self.sim, self.count, frontier, record=True)
+        if self.defer_drain:
+            return []
+        return self.drain_newly_false()
+
+    def falsify_virtual_gids(self, chunks) -> None:
+        """Apply falsifications shipped as ``(query node, global-id array)``.
+
+        The fully vectorized receive: global ids map to local dense ids
+        through the compiled fragment's table, unknown ids (pairs this site
+        never watched) drop out as ``-1``.  Falsifications land in the
+        deferred-drain buffer; the caller drains shippable pairs.
+        """
+        np = require_numpy()
+        c, view = self.compiled, self.view
+        g2l = c.g2l()
+        per_q: Dict[int, List] = {}
+        for u, gids in chunks:
+            qi = view.qindex.get(u)
+            if qi is not None:
+                per_q.setdefault(qi, []).append(gids)
+        frontier = []
+        for qi, parts in per_q.items():
+            gids = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            gids = gids[gids < g2l.size]
+            idx = g2l[gids]
+            idx = np.unique(idx[idx >= 0])
+            row = self.sim[qi]
+            idx = idx[row[idx]]  # drop pairs that are already false
+            if idx.size:
+                row[idx] = False
+                frontier.append((qi, idx))
+        self._propagate(self.sim, self.count, frontier, record=True)
+
+    def _propagate(self, sim, count, frontier, record: bool) -> None:
+        """Vectorized counter waves: one wave = one query node's pending batch.
+
+        Pending removal batches are coalesced per query node before each
+        wave (decrements are additive, and a pair is removed at most once,
+        so batching order never changes the fixpoint) -- big batches are
+        exactly where one ``bincount`` beats per-pair loops.  Predecessors
+        are always local (fragments never store out-edges of virtual nodes),
+        so every newly-zero counter row is a local node and every removal it
+        causes is a local falsification.
+        """
+        np = require_numpy()
+        c, view = self.compiled, self.view
+        n = c.n_nodes
+        pending: Dict[int, List] = {}
+        for i, removed in frontier:
+            pending.setdefault(i, []).append(removed)
+        while pending:
+            i, chunks = pending.popitem()
+            removed = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            preds, _ = gather_csr(c.rev_indptr, c.rev_indices, removed)
+            if preds.size == 0:
+                continue
+            dec = np.bincount(preds, minlength=n)
+            aff = np.nonzero(dec)[0]
+            col = count[:, i]
+            before = col[aff]
+            after = before - dec[aff]
+            col[aff] = after
+            newly_zero = aff[(before > 0) & (after == 0)]
+            if newly_zero.size == 0:
+                continue
+            for p in view.parents[i]:
+                rm = newly_zero[sim[p, newly_zero]]
+                if rm.size:
+                    sim[p, rm] = False
+                    if record:
+                        self._newly_false.append((p, rm))
+                    pending.setdefault(p, []).append(rm)
+
+    def drain_newly_false(self) -> List[VarKey]:
+        """Take (and clear) the buffer of newly falsified local variables."""
+        qnodes, nodes = self.view.qnodes, self.compiled.nodes
+        out: List[VarKey] = [
+            (qnodes[i], nodes[v])
+            for i, arr in self._newly_false
+            for v in arr.tolist()
+        ]
+        self._newly_false = []
+        return out
+
+    def drain_for_shipping(self) -> Tuple[List[VarKey], int]:
+        """``(shippable falsifications, total newly-false count)``.
+
+        Shippable = in-node pairs whose query node has a parent -- exactly
+        the pairs ``DgpmSiteProgram._messages_for`` would keep; interior
+        falsifications are counted (for the metrics) without ever
+        materializing as Python tuples.  Only valid while no rewire has
+        added extra watchers (the site program falls back to the full drain
+        then).
+        """
+        c, view = self.compiled, self.view
+        total = 0
+        out: List[VarKey] = []
+        for i, arr in self._newly_false:
+            total += int(arr.size)
+            if view.parents[i]:
+                ship = arr[c.in_mask[arr]]
+                if ship.size:
+                    u = view.qnodes[i]
+                    out.extend((u, c.nodes[v]) for v in ship.tolist())
+        self._newly_false = []
+        return out, total
+
+    def drain_shippable_ids(self) -> Tuple[List[Tuple[Node, object]], int]:
+        """Like :meth:`drain_for_shipping` but as ``(query node, id array)``
+        chunks of local dense ids -- no VarKey tuples at all; the site
+        program routes and ships them as global-id arrays.  The buffer's
+        per-wave fragments are coalesced to one chunk per query node.
+        """
+        np = require_numpy()
+        c, view = self.compiled, self.view
+        total = 0
+        per_i: Dict[int, List] = {}
+        for i, arr in self._newly_false:
+            total += int(arr.size)
+            if view.parents[i]:
+                per_i.setdefault(i, []).append(arr)
+        self._newly_false = []
+        out: List[Tuple[Node, object]] = []
+        for i, parts in per_i.items():
+            arr = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            ship = arr[c.in_mask[arr]]
+            if ship.size:
+                out.append((view.qnodes[i], ship))
+        return out, total
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def local_matches(self) -> Dict[Node, Set[Node]]:
+        """Current candidates restricted to local nodes (the site's answer)."""
+        np = require_numpy()
+        c = self.compiled
+        out: Dict[Node, Set[Node]] = {}
+        for i, u in enumerate(self.view.qnodes):
+            idx = np.nonzero(self.sim[i] & c.local_mask)[0]
+            out[u] = set(map(c.nodes.__getitem__, idx.tolist()))
+        return out
+
+    def virtual_candidates(self) -> List[VarKey]:
+        """Virtual variables still assumed true (the paper's ``Fi.O'``)."""
+        np = require_numpy()
+        c = self.compiled
+        out: List[VarKey] = []
+        for i, u in enumerate(self.view.qnodes):
+            idx = np.nonzero(self.sim[i] & c.virtual_mask)[0]
+            out.extend((u, c.nodes[v]) for v in idx.tolist())
+        return out
+
+    def is_candidate(self, u: Node, v: Node) -> bool:
+        """True iff ``X(u, v)`` has not been falsified."""
+        qi = self.view.qindex.get(u)
+        vi = self.compiled.index.get(v)
+        if qi is None or vi is None:
+            return False
+        return bool(self.sim[qi, vi])
+
+    # ------------------------------------------------------------------
+    # symbolic equations (Example 6, push)
+    # ------------------------------------------------------------------
+    def _pessimistic(self):
+        """The fixpoint with every virtual variable false (one extra sweep).
+
+        Monotonicity makes this an exact lower bracket: a pair true here is
+        true under *any* valuation of the virtual variables.
+        """
+        np = require_numpy()
+        c = self.compiled
+        pess = self.sim.copy()
+        pess_count = self.count.copy()
+        frontier = []
+        for i in range(len(self.view.qnodes)):
+            idx = np.nonzero(pess[i] & c.virtual_mask)[0]
+            if idx.size:
+                pess[i, idx] = False
+                frontier.append((i, idx))
+        self._propagate(pess, pess_count, frontier, record=False)
+        return pess
+
+    def in_node_equations(self, max_terms: int = 4096) -> Dict[VarKey, BoolExpr]:
+        """Each unresolved in-node variable, reduced to virtual variables only.
+
+        Same contract as the dict engine's: definitively-true in-node pairs
+        map to TRUE, falsified pairs are absent, the rest reduce to
+        expressions over virtual-variable leaves.  Raises
+        :class:`~repro.boolean.system.EquationBlowupError` past
+        ``max_terms``, exactly like the dict path.
+        """
+        np = require_numpy()
+        from collections import deque
+
+        from repro.boolean.system import EquationSystem
+
+        c, view = self.compiled, self.view
+        pess = self._pessimistic()
+
+        out: Dict[VarKey, BoolExpr] = {}
+        queue: deque = deque()
+        seen: Set[Tuple[int, int]] = set()
+        for i, u in enumerate(view.qnodes):
+            idx = np.nonzero(self.sim[i] & c.in_mask)[0]
+            for vi in idx.tolist():
+                if pess[i, vi]:
+                    out[(u, c.nodes[vi])] = TRUE
+                else:
+                    queue.append((i, vi))
+                    seen.add((i, vi))
+
+        keep = [(view.qnodes[i], c.nodes[vi]) for i, vi in queue]
+        if not keep:
+            return out
+
+        # Build the dependent subsystem only: pairs in sim \ pess, reached
+        # from the unresolved in-node variables.  Constants fold on sight.
+        equations: Dict[VarKey, BoolExpr] = {}
+        fwd_indptr, fwd_indices = c.fwd_indptr, c.fwd_indices
+        while queue:
+            i, vi = queue.popleft()
+            terms: List[BoolExpr] = []
+            for ci in view.children[i]:
+                succs = fwd_indices[fwd_indptr[vi]:fwd_indptr[vi + 1]]
+                alts: List[BoolExpr] = []
+                term_true = False
+                for w in succs.tolist():
+                    if not self.sim[ci, w]:
+                        continue
+                    if pess[ci, w]:
+                        term_true = True
+                        break
+                    alts.append(Var((view.qnodes[ci], c.nodes[w])))
+                    if c.local_mask[w] and (ci, w) not in seen:
+                        seen.add((ci, w))
+                        queue.append((ci, w))
+                if term_true:
+                    continue
+                terms.append(disj(alts) if alts else FALSE)
+            equations[(view.qnodes[i], c.nodes[vi])] = conj(terms)
+        system = EquationSystem(equations)
+        out.update(system.reduced_system(keep=keep, max_terms=max_terms).as_dict())
+        return out
+
+
+# ----------------------------------------------------------------------
+# dGPMd: vectorized per-rank exact evaluation
+# ----------------------------------------------------------------------
+
+class ArrayRankState:
+    """Array backend for dGPMd's rank schedule over one fragment.
+
+    Final (exact) decisions accumulate rank by rank in a ``(Q, N)`` bool
+    table; evaluating rank ``r`` is, per query node, one CSR gather plus
+    segment-any per query child -- the per-(node, child) Python loop of the
+    dict path collapses into O(children) numpy calls.
+    """
+
+    def __init__(self, compiled: CompiledFragment, query: Pattern, interner) -> None:
+        np = require_numpy()
+        self.compiled = compiled
+        self.view = _QueryView(compiled, query, interner)
+        n = compiled.n_nodes
+        q = len(self.view.qnodes)
+        #: exact matches, filled for a query node when its rank is evaluated
+        self.sim = np.zeros((q, n), dtype=bool)
+        #: virtual variables reported false by their owners
+        self.virtual_false = np.zeros((q, n), dtype=bool)
+
+    def mark_virtual_false(self, pairs: Iterable[VarKey]) -> None:
+        for u, v in pairs:
+            qi = self.view.qindex.get(u)
+            vi = self.compiled.index.get(v)
+            if qi is not None and vi is not None:
+                self.virtual_false[qi, vi] = True
+
+    def evaluate_nodes(self, query_nodes: Iterable[Node], in_nodes_shippable) -> List[VarKey]:
+        """Decide every given query node exactly; return falsified in-node vars.
+
+        ``in_nodes_shippable(u)`` tells whether falsifications of ``u`` are
+        worth shipping (dict path: ``query.parents(u)`` non-empty).
+        """
+        np = require_numpy()
+        c, view = self.compiled, self.view
+        falsified: List[VarKey] = []
+        for u in query_nodes:
+            i = view.qindex[u]
+            cand = np.nonzero(view.label_match[i] & c.local_mask)[0]
+            if cand.size == 0:
+                continue
+            ok_all = np.ones(cand.size, dtype=bool)
+            if view.children[i]:
+                neigh, counts = gather_csr(c.fwd_indptr, c.fwd_indices, cand)
+                for ci in view.children[i]:
+                    # local witnesses: already-final sim; virtual witnesses:
+                    # label agreement minus reported falsifications
+                    ok_child = np.where(
+                        c.local_mask,
+                        self.sim[ci],
+                        view.label_match[ci] & ~self.virtual_false[ci],
+                    )
+                    ok_all &= segment_any(ok_child[neigh], counts)
+            matched = cand[ok_all]
+            self.sim[i, matched] = True
+            if in_nodes_shippable(u):
+                failed = cand[~ok_all]
+                ship = failed[c.in_mask[failed]]
+                falsified.extend((u, c.nodes[v]) for v in ship.tolist())
+        return falsified
+
+    def matches(self) -> Dict[Node, Set[Node]]:
+        """The final per-query-node match sets (local nodes)."""
+        np = require_numpy()
+        c = self.compiled
+        return {
+            u: set(map(c.nodes.__getitem__, np.nonzero(self.sim[i])[0].tolist()))
+            for i, u in enumerate(self.view.qnodes)
+        }
+
+
+# ----------------------------------------------------------------------
+# dGPMt: vectorized bottom-up subtree sweep
+# ----------------------------------------------------------------------
+
+class ArrayTreeState:
+    """Array backend for dGPMt's per-site bottom-up symbolic evaluation.
+
+    Two vectorized boolean sweeps (virtual roots all-true / all-false)
+    bracket every local pair; the monotone expressions dGPMt builds make the
+    bracket exact, so symbolic :class:`~repro.boolean.expr.BoolExpr` values
+    are only materialized for the pairs that genuinely depend on child
+    fragments' roots.
+    """
+
+    def __init__(self, compiled: CompiledFragment, query: Pattern, interner) -> None:
+        np = require_numpy()
+        self.compiled = compiled
+        self.query = query
+        self.view = _QueryView(compiled, query, interner)
+        n = compiled.n_nodes
+        q = len(self.view.qnodes)
+        self.opt = np.zeros((q, n), dtype=bool)
+        self.pess = np.zeros((q, n), dtype=bool)
+        self._exprs: Optional[Dict[VarKey, BoolExpr]] = None
+
+    def bottom_up(self) -> None:
+        """Evaluate both brackets leaves-first, one vectorized level at a time."""
+        np = require_numpy()
+        c, view = self.compiled, self.view
+        for level in c.tree_levels():
+            neigh, counts = gather_csr(c.fwd_indptr, c.fwd_indices, level)
+            for i in range(len(view.qnodes)):
+                cand = view.label_match[i][level]
+                if not cand.any():
+                    continue
+                hit_opt = cand.copy()
+                hit_pess = cand.copy()
+                for ci in view.children[i]:
+                    ok_opt = np.where(
+                        c.local_mask, self.opt[ci], view.label_match[ci]
+                    )
+                    ok_pess = c.local_mask & self.pess[ci]
+                    hit_opt &= segment_any(ok_opt[neigh], counts)
+                    hit_pess &= segment_any(ok_pess[neigh], counts)
+                self.opt[i, level[hit_opt]] = True
+                self.pess[i, level[hit_pess]] = True
+
+    def exprs(self) -> Dict[VarKey, BoolExpr]:
+        """Symbolic values for the dependent pairs only (lazily built).
+
+        Dependent pairs (``opt`` true, ``pess`` false) are processed in the
+        same leaves-first order, so child expressions exist before parents
+        reference them; constant children fold to TRUE/FALSE on sight.
+        """
+        if self._exprs is not None:
+            return self._exprs
+        np = require_numpy()
+        c, view = self.compiled, self.view
+        dependent = self.opt & ~self.pess
+        exprs: Dict[VarKey, BoolExpr] = {}
+        by_pair: Dict[Tuple[int, int], BoolExpr] = {}
+        for level in c.tree_levels():
+            for i in range(len(view.qnodes)):
+                for vi in level[dependent[i][level]].tolist():
+                    terms: List[BoolExpr] = []
+                    succs = c.fwd_indices[
+                        c.fwd_indptr[vi]:c.fwd_indptr[vi + 1]
+                    ].tolist()
+                    for ci in view.children[i]:
+                        alts: List[BoolExpr] = []
+                        term_true = False
+                        for w in succs:
+                            if not view.label_match[ci, w]:
+                                continue
+                            if c.local_mask[w]:
+                                if self.pess[ci, w]:
+                                    term_true = True
+                                    break
+                                if self.opt[ci, w]:
+                                    alts.append(by_pair[(ci, w)])
+                            else:
+                                alts.append(Var((view.qnodes[ci], c.nodes[w])))
+                        if term_true:
+                            continue
+                        terms.append(disj(alts) if alts else FALSE)
+                    expr = conj(terms)
+                    by_pair[(i, vi)] = expr
+                    exprs[(view.qnodes[i], c.nodes[vi])] = expr
+        self._exprs = exprs
+        return exprs
+
+    def root_vector(self, root: Node) -> Dict[VarKey, BoolExpr]:
+        """The Boolean vector of the fragment's subtree root."""
+        c, view = self.compiled, self.view
+        ri = c.index[root]
+        vector: Dict[VarKey, BoolExpr] = {}
+        exprs = self.exprs()
+        for i, u in enumerate(view.qnodes):
+            if not view.label_match[i, ri]:
+                continue
+            if self.pess[i, ri]:
+                vector[(u, root)] = TRUE
+            elif not self.opt[i, ri]:
+                vector[(u, root)] = FALSE
+            else:
+                vector[(u, root)] = exprs[(u, root)]
+        return vector
+
+    def finalize(self, values: Dict[VarKey, bool]) -> Dict[Node, Set[Node]]:
+        """Local matches once the coordinator's virtual-root verdicts arrive."""
+        np = require_numpy()
+        c, view = self.compiled, self.view
+        out: Dict[Node, Set[Node]] = {u: set() for u in view.qnodes}
+        exprs = self.exprs()
+        for i, u in enumerate(view.qnodes):
+            sure = np.nonzero(self.pess[i] & c.local_mask)[0]
+            out[u].update(map(c.nodes.__getitem__, sure.tolist()))
+            maybe = np.nonzero(self.opt[i] & ~self.pess[i] & c.local_mask)[0]
+            for vi in maybe.tolist():
+                expr = exprs[(u, c.nodes[vi])]
+                if expr.evaluate_partial(values) == TRUE or (
+                    expr.is_const() and expr.evaluate({})
+                ):
+                    out[u].add(c.nodes[vi])
+        return out

@@ -35,6 +35,9 @@ class DependencyGraphs:
         self.watchers: List[Dict[Node, Set[int]]] = [dict() for _ in range(n)]
         #: owners[i][v'] = owning site of virtual node v' of Fi
         self.owners: List[Dict[Node, int]] = [dict() for _ in range(n)]
+        #: bumped on every patch -- caches derived from the watcher tables
+        #: (e.g. the array engine's shipping routes) key on this
+        self.version = 0
         for frag in fragmentation:
             for v in frag.virtual_nodes:
                 owner = frag.owner_of_virtual(v)
@@ -49,6 +52,7 @@ class DependencyGraphs:
         (adds) one watcher entry.  Local edges, and crossing edges that leave
         ``Fi.O`` membership unchanged, are no-ops here.
         """
+        self.version += 1
         if delta.virtual_dropped:
             self.owners[delta.source_fid].pop(delta.v, None)
             sites = self.watchers[delta.target_fid].get(delta.v)

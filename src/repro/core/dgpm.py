@@ -85,7 +85,22 @@ class _PushState:
 
 
 class DgpmSiteProgram:
-    """The per-site half of dGPM (procedures lEval + lMsg)."""
+    """The per-site half of dGPM (procedures lEval + lMsg).
+
+    ``state_factory(fragment, query, known_false_virtual=())`` builds the
+    local evaluation state; the default is the dict engine's
+    :class:`~repro.core.state.LocalEvalState`, the array engine passes a
+    factory closing over its compiled-CSR cache.
+
+    ``batch_updates`` ships the falsifications of one tick as **one**
+    VAR_UPDATE per watcher site (the dGPMd Example-10 merge) instead of one
+    message per variable.  The same variables travel in the same round, so
+    the fixpoint and the final relation are identical; only the envelope
+    count differs.  The dict engine keeps the paper-exact per-variable
+    accounting (Example 9 counts individual variables); the array engine
+    batches, which is where its vectorized falsification processing pays --
+    each delivered batch is one set of counter decrements.
+    """
 
     def __init__(
         self,
@@ -94,6 +109,8 @@ class DgpmSiteProgram:
         query: Pattern,
         deps: DependencyGraphs,
         config: DgpmConfig,
+        state_factory=None,
+        batch_updates: bool = False,
     ) -> None:
         self.fid = fid
         self.fragment = fragmentation[fid]
@@ -101,7 +118,31 @@ class DgpmSiteProgram:
         self.deps = deps
         self.config = config
         self.cost = config.cost
-        self.state = LocalEvalState(self.fragment, query)
+        if state_factory is None:
+            def state_factory(fragment, query, known_false_virtual=()):
+                return LocalEvalState(
+                    fragment, query, known_false_virtual=known_false_virtual
+                )
+        self._state_factory = state_factory
+        self.batch_updates = batch_updates
+        self.state = state_factory(self.fragment, query)
+        #: array-engine fast path: the state buffers falsifications as id
+        #: arrays and we drain only the shippable (in-node) pairs, so
+        #: interior falsifications never become Python tuples.
+        self._deferred_drain = batch_updates and hasattr(self.state, "defer_drain")
+        if self._deferred_drain:
+            self.state.defer_drain = True
+        #: full vectorized shipping: falsifications travel between sites as
+        #: global-id arrays, routed through precomputed watcher groups.
+        #: Requires the incremental protocol without push -- the push paths
+        #: (rewires, equation leaves) are keyed by VarKey tuples.
+        self._gid_ship = (
+            self._deferred_drain
+            and config.incremental
+            and not config.enable_push
+            and getattr(self.state, "compiled", None) is not None
+            and self.state.compiled.gids is not None
+        )
         #: falsified virtual vars accumulated so far (for from-scratch mode
         #: and for de-duplicating deliveries after a push rewire)
         self.known_false_virtual: Set[VarKey] = set()
@@ -120,30 +161,109 @@ class DgpmSiteProgram:
     # lMsg: route falsifications along the dependency graph
     # ------------------------------------------------------------------
     def _messages_for(self, falsified: Iterable[VarKey]) -> List[Message]:
-        out: List[Message] = []
+        per_site: Dict[int, List[VarKey]] = {}
         in_nodes = self.fragment.in_nodes
-        for u, v in falsified:
-            if v not in in_nodes or (u, v) in self.shipped:
+        shipped = self.shipped
+        parents = self.query.parents
+        watcher_sites = self.deps.watcher_sites
+        extra = self.extra_watchers
+        fid = self.fid
+        for key in falsified:
+            u, v = key
+            if v not in in_nodes or key in shipped:
                 continue
-            if not self.query.parents(u) and (u, v) not in self.extra_watchers:
+            if not parents(u) and key not in extra:
                 # No query edge targets u, so no site's equation can mention
                 # X(u, v); shipping it would be pure waste (Example 9 counts
                 # confirm the paper skips these).
                 continue
-            self.shipped.add((u, v))
-            targets = set(self.deps.watcher_sites(self.fid, v))
-            targets |= self.extra_watchers.get((u, v), set())
-            for peer in sorted(targets):
-                out.append(
-                    Message(
-                        src=self.fid,
-                        dst=peer,
-                        kind=MessageKind.VAR_UPDATE,
-                        payload=[(u, v)],
-                        size_bytes=self.cost.var_batch_bytes(1),
-                    )
+            shipped.add(key)
+            targets = watcher_sites(fid, v)
+            if extra:
+                targets = targets | extra.get(key, set())
+            for peer in targets:
+                per_site.setdefault(peer, []).append(key)
+        if self.batch_updates:
+            return [
+                Message(
+                    src=self.fid,
+                    dst=peer,
+                    kind=MessageKind.VAR_UPDATE,
+                    payload=entries,
+                    size_bytes=self.cost.var_batch_bytes(len(entries)),
                 )
-        return out
+                for peer, entries in sorted(per_site.items())
+            ]
+        return [
+            Message(
+                src=self.fid,
+                dst=peer,
+                kind=MessageKind.VAR_UPDATE,
+                payload=[key],
+                size_bytes=self.cost.var_batch_bytes(1),
+            )
+            for peer, entries in sorted(per_site.items())
+            for key in entries
+        ]
+
+    def _ship_gid_batches(self) -> Tuple[List[Message], int]:
+        """Drain the array state and ship falsifications as global-id arrays.
+
+        One VAR_UPDATE per watcher site per tick, payload
+        ``("gids", [(query node, id array), ...])``; byte accounting matches
+        the VarKey batches (same variable count per peer).  Pairs ship at
+        most once by construction -- a local pair falsifies at most once --
+        so no ``shipped`` bookkeeping is needed.
+        """
+        from repro.core.arraycompile import require_numpy
+
+        np = require_numpy()
+        chunks, total = self.state.drain_shippable_ids()
+        if not chunks:
+            return [], total
+        compiled = self.state.compiled
+        group_of, groups = compiled.shipping_routes(self.deps)
+        gids = compiled.gids
+        per_peer: Dict[int, List] = {}
+        sizes: Dict[int, int] = {}
+        for u, ids in chunks:
+            gsel = group_of[ids]
+            uniq = np.unique(gsel)
+            for gi in uniq.tolist():
+                if gi < 0:
+                    continue
+                peers = groups[gi]
+                if not peers:
+                    continue
+                batch = gids[ids] if uniq.size == 1 else gids[ids[gsel == gi]]
+                for peer in peers:
+                    per_peer.setdefault(peer, []).append((u, batch))
+                    sizes[peer] = sizes.get(peer, 0) + int(batch.size)
+        return [
+            Message(
+                src=self.fid,
+                dst=peer,
+                kind=MessageKind.VAR_UPDATE,
+                payload=("gids", entries),
+                size_bytes=self.cost.var_batch_bytes(sizes[peer]),
+            )
+            for peer, entries in sorted(per_peer.items())
+        ], total
+
+    def _ship_falsified(self, falsified: List[VarKey]) -> Tuple[List[Message], int]:
+        """``(messages, n_falsified)`` for this tick's falsifications.
+
+        On the deferred-drain fast path ``falsified`` is empty and the pairs
+        still sit in the state's buffer; drain only the shippable ones unless
+        a rewire added extra watchers (then every pair matters again).
+        """
+        if self._deferred_drain:
+            if self.extra_watchers:
+                falsified = self.state.drain_newly_false()
+            else:
+                shippable, total = self.state.drain_for_shipping()
+                return self._messages_for(shippable), total
+        return self._messages_for(falsified), len(falsified)
 
     def _control_flag(self, changed: bool) -> Message:
         return Message(
@@ -218,21 +338,33 @@ class DgpmSiteProgram:
     # ------------------------------------------------------------------
     def on_start(self) -> TickResult:
         falsified = self.state.run_initial()
-        messages = self._messages_for(falsified)
+        if self._gid_ship:
+            messages, n_falsified = self._ship_gid_batches()
+        else:
+            messages, n_falsified = self._ship_falsified(falsified)
         messages.extend(self._try_push())
         if messages:
             messages.append(self._control_flag(True))
-        return TickResult(messages=messages, halted=True, n_falsified=len(falsified))
+        return TickResult(messages=messages, halted=True, n_falsified=n_falsified)
 
     def on_tick(self, round_no: int, inbox: List[Message]) -> TickResult:
         incoming: List[VarKey] = []
+        gid_chunks: List = []
         late_rewire_forwards: List[Message] = []
         for message in inbox:
             if message.kind == MessageKind.VAR_UPDATE:
-                for key in message.payload:
-                    if key not in self.known_false_virtual:
-                        self.known_false_virtual.add(key)
-                        incoming.append(key)
+                if self._gid_ship:
+                    # payload = ("gids", [(query node, global-id array), ...])
+                    gid_chunks.extend(message.payload[1])
+                elif self._deferred_drain:
+                    # The array state drops already-false pairs vectorized, so
+                    # skip the per-key dedup; bulk-update the seen set below.
+                    incoming.extend(message.payload)
+                else:
+                    for key in message.payload:
+                        if key not in self.known_false_virtual:
+                            self.known_false_virtual.add(key)
+                            incoming.append(key)
             elif message.kind == MessageKind.EQUATION:
                 var, expr = message.payload
                 immediately_false = self.push_state.add(var, expr)
@@ -254,27 +386,42 @@ class DgpmSiteProgram:
                             )
                         )
 
-        # Pushed equations react to leaf falsifications as well.
-        for key in list(incoming):
-            for var in self.push_state.on_leaf_false(key):
-                incoming.append(var)
+        if self._deferred_drain and incoming:
+            self.known_false_virtual.update(incoming)
 
-        if not incoming:
+        # Pushed equations react to leaf falsifications as well.  (Skip the
+        # bookkeeping entirely while no equation has ever been pushed here --
+        # the common case, and a per-variable cost otherwise.)
+        if self.push_state.leaf_index:
+            for key in list(incoming):
+                for var in self.push_state.on_leaf_false(key):
+                    incoming.append(var)
+        elif incoming:
+            self.push_state.known_false_leaves.update(incoming)
+
+        if not incoming and not gid_chunks:
             return TickResult(messages=late_rewire_forwards, halted=True)
 
-        if self.config.incremental:
+        if self._gid_ship:
+            self.state.falsify_virtual_gids(gid_chunks)
+            if incoming:  # push machinery is off here; belt and braces
+                self.state.falsify_virtual(incoming)
+            messages, n_falsified = self._ship_gid_batches()
+        elif self.config.incremental:
             falsified = self.state.falsify_virtual(incoming)
+            messages, n_falsified = self._ship_falsified(falsified)
         else:
             falsified = self._recompute_from_scratch(incoming)
-        messages = self._messages_for(falsified)
+            messages = self._messages_for(falsified)
+            n_falsified = len(falsified)
         messages.extend(late_rewire_forwards)
         if messages:
             messages.append(self._control_flag(True))
-        return TickResult(messages=messages, halted=True, n_falsified=len(falsified))
+        return TickResult(messages=messages, halted=True, n_falsified=n_falsified)
 
     def _recompute_from_scratch(self, incoming: List[VarKey]) -> List[VarKey]:
         """dGPMNOpt: rebuild the whole local evaluation on every message."""
-        self.state = LocalEvalState(
+        self.state = self._state_factory(
             self.fragment, self.query, known_false_virtual=self.known_false_virtual
         )
         self.state.run_initial()
@@ -319,22 +466,63 @@ def assemble_result(query: Pattern, result_messages: List[Message]) -> MatchRela
     return MatchRelation(query.nodes(), merged)
 
 
+def _array_state_factory(fragmentation: Fragmentation, compiled=None):
+    """A ``state_factory`` building :class:`ArrayEvalState` per fragment.
+
+    Imported lazily so the dict engine never touches numpy; ``compiled`` may
+    be the session's resident :class:`CompiledFragmentation` cache (a
+    throwaway one is built otherwise).
+    """
+    from repro.core.arraycompile import CompiledFragmentation
+    from repro.core.arraystate import ArrayEvalState
+
+    if compiled is None:
+        compiled = CompiledFragmentation(fragmentation)
+
+    def factory(fragment, query, known_false_virtual=()):
+        return ArrayEvalState(
+            compiled.get(fragment.fid),
+            fragment,
+            query,
+            compiled.interner,
+            known_false_virtual,
+        )
+
+    return factory
+
+
+def _resolve_state_factory(engine: str, fragmentation: Fragmentation, compiled):
+    """Map an engine name to a state factory (None = dict default)."""
+    if engine == "dict":
+        return None
+    from repro.core.arraycompile import validate_engine
+
+    validate_engine(engine)
+    return _array_state_factory(fragmentation, compiled)
+
+
 def execute_dgpm(
     query: Pattern,
     fragmentation: Fragmentation,
     config: Optional[DgpmConfig] = None,
     deps: Optional[DependencyGraphs] = None,
+    engine: str = "dict",
+    compiled=None,
 ) -> RunResult:
     """One dGPM evaluation over (possibly pre-built) shared structures.
 
     ``deps`` may be the session's cached :class:`DependencyGraphs`; when
     omitted it is derived here, making this the full one-shot protocol.
     Drivers (:mod:`repro.session.drivers`) call this with the cached copy so
-    repeated queries never pay the per-graph setup again.
+    repeated queries never pay the per-graph setup again.  ``engine``
+    selects the local evaluation backend (``"dict"`` or ``"array"``);
+    ``compiled`` may carry the session's compiled-CSR cache for the array
+    engine.
     """
     config = config or DgpmConfig()
     cost = config.cost
     start = time.perf_counter()
+    state_factory = _resolve_state_factory(engine, fragmentation, compiled)
     network = Network(cost, scramble=config.scramble)
     if deps is None:
         deps = DependencyGraphs(fragmentation)
@@ -354,7 +542,15 @@ def execute_dgpm(
         network.deliver()
 
     programs = {
-        frag.fid: DgpmSiteProgram(frag.fid, fragmentation, query, deps, config)
+        frag.fid: DgpmSiteProgram(
+            frag.fid,
+            fragmentation,
+            query,
+            deps,
+            config,
+            state_factory=state_factory,
+            batch_updates=engine == "array",
+        )
         for frag in fragmentation
     }
     engine = SyncEngine(programs, network, cost)

@@ -43,7 +43,13 @@ from repro.simulation.matchrel import MatchRelation
 
 
 class DgpmdSiteProgram:
-    """Per-site half of dGPMd: exact per-rank evaluation, batched shipping."""
+    """Per-site half of dGPMd: exact per-rank evaluation, batched shipping.
+
+    ``rank_state`` may be an
+    :class:`~repro.core.arraystate.ArrayRankState` (the array engine's
+    vectorized backend for the same per-rank schedule); when None the exact
+    evaluation runs over dict-of-sets state.
+    """
 
     def __init__(
         self,
@@ -52,6 +58,7 @@ class DgpmdSiteProgram:
         query: Pattern,
         deps: DependencyGraphs,
         config: DgpmConfig,
+        rank_state=None,
     ) -> None:
         self.fid = fid
         self.fragment = fragmentation[fid]
@@ -61,6 +68,7 @@ class DgpmdSiteProgram:
         self.config = config
         self.rank_groups = query.nodes_by_rank()
         self.max_rank = len(self.rank_groups) - 1
+        self.rank_state = rank_state
         #: exact matches per query node, filled rank by rank (local nodes)
         self.sim: Dict[Node, Set[Node]] = {}
         #: virtual variables reported false by their owners
@@ -70,6 +78,10 @@ class DgpmdSiteProgram:
     # ------------------------------------------------------------------
     def _evaluate_rank(self, rank: int) -> List[VarKey]:
         """Decide every rank-``rank`` variable exactly; return falsified in-node vars."""
+        if self.rank_state is not None:
+            return self.rank_state.evaluate_nodes(
+                self.rank_groups[rank], lambda u: bool(self.query.parents(u))
+            )
         graph = self.fragment.graph
         local = self.fragment.local_nodes
         in_nodes = self.fragment.in_nodes
@@ -141,6 +153,8 @@ class DgpmdSiteProgram:
         for message in inbox:
             if message.kind == MessageKind.VAR_UPDATE:
                 self.virtual_false.update(message.payload)
+                if self.rank_state is not None:
+                    self.rank_state.mark_virtual_false(message.payload)
         if self.current_rank > self.max_rank:
             return TickResult(messages=[], halted=True)
         falsified = self._evaluate_rank(self.current_rank)
@@ -153,7 +167,10 @@ class DgpmdSiteProgram:
         return TickResult(messages=self._batch_messages(falsified), halted=done)
 
     def collect(self) -> Message:
-        matches = {u: set(vs) for u, vs in self.sim.items()}
+        if self.rank_state is not None:
+            matches = self.rank_state.matches()
+        else:
+            matches = {u: set(vs) for u, vs in self.sim.items()}
         if self.config.boolean_only:
             payload = {u: bool(vs) for u, vs in matches.items()}
             size = self.cost.var_batch_bytes(len(payload))
@@ -174,11 +191,28 @@ def execute_dgpmd(
     fragmentation: Fragmentation,
     config: Optional[DgpmConfig] = None,
     deps: Optional[DependencyGraphs] = None,
+    engine: str = "dict",
+    compiled=None,
 ) -> RunResult:
-    """One dGPMd evaluation; ``deps`` may be a session's cached structures."""
+    """One dGPMd evaluation; ``deps`` may be a session's cached structures.
+
+    ``engine``/``compiled`` as in :func:`~repro.core.dgpm.execute_dgpm`.
+    """
     config = config or DgpmConfig()
     cost = config.cost
     start = time.perf_counter()
+
+    rank_states = None
+    if engine != "dict":
+        from repro.core.arraycompile import CompiledFragmentation, validate_engine
+        from repro.core.arraystate import ArrayRankState
+
+        validate_engine(engine)
+        if compiled is None:
+            compiled = CompiledFragmentation(fragmentation)
+
+        def rank_states(fid):
+            return ArrayRankState(compiled.get(fid), query, compiled.interner)
 
     if not query.is_dag():
         # Theorem 3 also covers DAG data graphs: a cyclic query cannot match.
@@ -213,7 +247,14 @@ def execute_dgpmd(
     network.deliver()
 
     programs = {
-        frag.fid: DgpmdSiteProgram(frag.fid, fragmentation, query, deps, config)
+        frag.fid: DgpmdSiteProgram(
+            frag.fid,
+            fragmentation,
+            query,
+            deps,
+            config,
+            rank_state=rank_states(frag.fid) if rank_states is not None else None,
+        )
         for frag in fragmentation
     }
     engine = SyncEngine(programs, network, cost)

@@ -39,15 +39,29 @@ from repro.simulation.matchrel import MatchRelation
 
 
 class DgpmtSiteProgram:
-    """Per-site half of dGPMt: bottom-up symbolic evaluation of a subtree."""
+    """Per-site half of dGPMt: bottom-up symbolic evaluation of a subtree.
 
-    def __init__(self, fid: int, fragmentation: Fragmentation, query: Pattern, config: DgpmConfig) -> None:
+    ``tree_state`` may be an
+    :class:`~repro.core.arraystate.ArrayTreeState` (the array engine's
+    vectorized bottom-up sweep); when None the sweep builds dict-keyed
+    symbolic expressions directly.
+    """
+
+    def __init__(
+        self,
+        fid: int,
+        fragmentation: Fragmentation,
+        query: Pattern,
+        config: DgpmConfig,
+        tree_state=None,
+    ) -> None:
         self.fid = fid
         self.fragment = fragmentation[fid]
         self.query = query
         self.cost = config.cost
         self.config = config
-        #: symbolic value of every local pair, filled bottom-up
+        self.tree_state = tree_state
+        #: symbolic value of every local pair, filled bottom-up (dict path)
         self.exprs: Dict[VarKey, BoolExpr] = {}
         self._finalized: Dict[Node, Set[Node]] = {}
 
@@ -96,8 +110,8 @@ class DgpmtSiteProgram:
                     terms.append(disj(alts) if alts else FALSE)
                 self.exprs[(u, v)] = conj(terms)
 
-    def _root_vector(self) -> Dict[VarKey, BoolExpr]:
-        """The Boolean vector of the fragment's subtree root."""
+    def _find_root(self) -> Node:
+        """The unique local node with no local predecessor (subtree root)."""
         graph = self.fragment.graph
         local = self.fragment.local_nodes
         roots = [v for v in local if not any(p in local for p in graph.predecessors(v))]
@@ -105,7 +119,14 @@ class DgpmtSiteProgram:
             raise FragmentationError(
                 f"fragment {self.fid} is not a connected subtree ({len(roots)} roots)"
             )
-        root = roots[0]
+        return roots[0]
+
+    def _root_vector(self) -> Dict[VarKey, BoolExpr]:
+        """The Boolean vector of the fragment's subtree root."""
+        root = self._find_root()
+        if self.tree_state is not None:
+            return self.tree_state.root_vector(root)
+        graph = self.fragment.graph
         return {
             (u, root): self.exprs.get((u, root), FALSE)
             for u in self.query.nodes()
@@ -114,7 +135,10 @@ class DgpmtSiteProgram:
 
     # ------------------------------------------------------------------
     def on_start(self) -> TickResult:
-        self._bottom_up()
+        if self.tree_state is not None:
+            self.tree_state.bottom_up()
+        else:
+            self._bottom_up()
         vector = self._root_vector()
         n_terms = sum(expr.n_terms for expr in vector.values()) or 1
         message = Message(
@@ -134,6 +158,9 @@ class DgpmtSiteProgram:
         if not values and not inbox:
             return TickResult(messages=[], halted=False)
         # Finalize: substitute the coordinator's verdicts on virtual roots.
+        if self.tree_state is not None:
+            self._finalized = self.tree_state.finalize(values)
+            return TickResult(messages=[], halted=True)
         for (u, v), expr in self.exprs.items():
             self._finalized.setdefault(u, set())
             if expr.evaluate_partial(values) == TRUE or (
@@ -200,8 +227,13 @@ def execute_dgpmt(
     query: Pattern,
     fragmentation: Fragmentation,
     config: Optional[DgpmConfig] = None,
+    engine: str = "dict",
+    compiled=None,
 ) -> RunResult:
-    """One dGPMt evaluation (two coordinator round-trips)."""
+    """One dGPMt evaluation (two coordinator round-trips).
+
+    ``engine``/``compiled`` as in :func:`~repro.core.dgpm.execute_dgpm`.
+    """
     config = config or DgpmConfig()
     cost = config.cost
     start = time.perf_counter()
@@ -209,6 +241,18 @@ def execute_dgpmt(
         raise GraphError("dGPMt requires a rooted directed tree data graph")
     if not fragmentation.has_connected_fragments():
         raise FragmentationError("dGPMt requires connected fragments")
+
+    tree_states = None
+    if engine != "dict":
+        from repro.core.arraycompile import CompiledFragmentation, validate_engine
+        from repro.core.arraystate import ArrayTreeState
+
+        validate_engine(engine)
+        if compiled is None:
+            compiled = CompiledFragmentation(fragmentation)
+
+        def tree_states(fid):
+            return ArrayTreeState(compiled.get(fid), query, compiled.interner)
 
     network = Network(cost)
     for frag in fragmentation:
@@ -221,7 +265,13 @@ def execute_dgpmt(
     network.deliver()
 
     programs = {
-        frag.fid: DgpmtSiteProgram(frag.fid, fragmentation, query, config)
+        frag.fid: DgpmtSiteProgram(
+            frag.fid,
+            fragmentation,
+            query,
+            config,
+            tree_state=tree_states(frag.fid) if tree_states is not None else None,
+        )
         for frag in fragmentation
     }
     coordinator = _TreeCoordinator(fragmentation, query, cost)

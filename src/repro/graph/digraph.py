@@ -315,6 +315,48 @@ class DiGraph:
         """
         return self._version
 
+    def dense_csr(self):
+        """Columnar snapshot of the graph over dense node ids.
+
+        Returns ``(nodes, index, fwd_indptr, fwd_indices, rev_indptr,
+        rev_indices)``: ``nodes`` is a tuple mapping dense id -> node (the
+        graph's insertion order, so the view is deterministic), ``index`` the
+        inverse dict, and the two ``(indptr, indices)`` pairs are CSR
+        adjacency (successors) and reverse CSR adjacency (predecessors) as
+        numpy int64 arrays.  The snapshot is immutable and decoupled from the
+        graph: later mutations do not touch it (consumers key their caches on
+        :attr:`version`).
+
+        Requires numpy (the array engine's dependency); the dict-based
+        engine never calls this.
+        """
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - exercised via monkeypatch
+            raise RuntimeError(
+                "DiGraph.dense_csr requires numpy, which is not installed; "
+                "install numpy or use the dict engine"
+            ) from None
+        nodes = tuple(self._labels)
+        index = {node: i for i, node in enumerate(nodes)}
+        n = len(nodes)
+        fwd_indptr = np.zeros(n + 1, dtype=np.int64)
+        rev_indptr = np.zeros(n + 1, dtype=np.int64)
+        for i, node in enumerate(nodes):
+            fwd_indptr[i + 1] = fwd_indptr[i] + len(self._succ[node])
+            rev_indptr[i + 1] = rev_indptr[i] + len(self._pred[node])
+        fwd_indices = np.fromiter(
+            (index[w] for node in nodes for w in self._succ[node]),
+            dtype=np.int64,
+            count=int(fwd_indptr[-1]),
+        )
+        rev_indices = np.fromiter(
+            (index[w] for node in nodes for w in self._pred[node]),
+            dtype=np.int64,
+            count=int(rev_indptr[-1]),
+        )
+        return nodes, index, fwd_indptr, fwd_indices, rev_indptr, rev_indices
+
     # ------------------------------------------------------------------
     # derived graphs
     # ------------------------------------------------------------------

@@ -247,6 +247,13 @@ class SimulationSession:
     warm_after_hits:
         A cached query is promoted to a warm state once it has been served
         from cache this many times (promotion itself costs one fixpoint).
+    engine:
+        Default execution engine for every query (``"dict"`` or
+        ``"array"``); ``run``/``run_many`` accept a per-query override.  The
+        array engine compiles fragments to columnar CSR snapshots
+        (:mod:`repro.core.arraycompile`) cached on the session and
+        invalidated per fragment by mutation stamp; it requires numpy at
+        query time (a clear ``RuntimeError`` otherwise).
     """
 
     def __init__(
@@ -258,6 +265,7 @@ class SimulationSession:
         max_warm_states: int = 8,
         warm_after_hits: int = 1,
         deps: Optional[DependencyGraphs] = None,
+        engine: str = "dict",
     ) -> None:
         if maintenance not in ("incremental", "invalidate"):
             raise ReproError(
@@ -266,6 +274,7 @@ class SimulationSession:
             )
         self.fragmentation = fragmentation
         self.config = config or DgpmConfig()
+        self.engine = self._validate_engine_name(engine)
         self.maintenance = maintenance
         self.max_warm_states = max_warm_states
         self.warm_after_hits = warm_after_hits
@@ -276,6 +285,10 @@ class SimulationSession:
         self._meta: Dict[Tuple, _CacheEntryMeta] = {}
         self._warm: "OrderedDict[Tuple, IncrementalMatchState]" = OrderedDict()
         self._deps = deps
+        #: compiled-CSR fragment cache for the array engine (lazy; entries
+        #: are revalidated per fragment on every access, so mutations only
+        #: force recompilation of the fragments they touched)
+        self._compiled = None
         #: guards the lazy deps build (never held while computing a query)
         self._deps_lock = threading.Lock()
         #: guards ``_meta``/``_warm`` against concurrent readers; acquired
@@ -308,6 +321,21 @@ class SimulationSession:
                 if self._deps is None:
                     self._deps = DependencyGraphs(self.fragmentation)
         return self._deps
+
+    def compiled_fragments(self):
+        """The array engine's compiled-CSR cache, shared across queries.
+
+        Built lazily on the first array-engine query (so dict-only sessions
+        never import numpy).  Fragment snapshots self-invalidate: every
+        access revalidates against the fragment's mutation stamp, so this
+        cache survives mutations and recompiles exactly the touched
+        fragments.
+        """
+        if self._compiled is None:
+            from repro.core.arraycompile import CompiledFragmentation
+
+            self._compiled = CompiledFragmentation(self.fragmentation, self.labels)
+        return self._compiled
 
     def canonical_form_of(self, query: Pattern):
         """The query's canonical form, memoized per live ``Pattern`` object.
@@ -342,6 +370,7 @@ class SimulationSession:
     def invalidate(self) -> None:
         """Drop every derived structure; the next query rebuilds them."""
         self._deps = None
+        self._compiled = None
         self._cache.clear()
         with self._state_lock:
             self._meta.clear()
@@ -372,6 +401,7 @@ class SimulationSession:
         query: Pattern,
         algorithm: str = "auto",
         config: Optional[DgpmConfig] = None,
+        engine: Optional[str] = None,
     ) -> RunResult:
         """Serve one query; identical in answer and metrics to the one-shot
         ``run_*`` function of the same algorithm.
@@ -395,18 +425,24 @@ ConcurrentSessionServer` provides.
         """
         self._refresh_if_stale()
         config = config or self.config
+        engine = self._validate_args(algorithm, engine)
         if algorithm.lower() == "dgpmnopt":
             config = config.without_optimizations()
             algorithm = "dgpm"
         driver = self._resolve_for_query(algorithm, query)
+        if engine not in driver.engines:
+            raise ReproError(
+                f"algorithm {driver.name!r} does not support engine {engine!r} "
+                f"(supported: {', '.join(driver.engines)})"
+            )
         form = self.canonical_form_of(query)
-        key = (driver.name, repr(config), form.digest)
+        key = (driver.name, engine, repr(config), form.digest)
         self.stats.bump("queries_served")
 
         computed: List[RunResult] = []
 
         def compute() -> RunResult:
-            result = driver.run(self, query, config)
+            result = driver.run(self, query, config, engine=engine)
             computed.append(result)
             # Record the entry's pattern/order *before* the result becomes
             # visible to coalesced waiters, so a renamed hit can always
@@ -455,7 +491,7 @@ ConcurrentSessionServer` provides.
             # This query ran the protocol after all: correct the counters.
             self.stats.bump("cache_hits", -1)
             self.stats.bump("cache_misses")
-            return driver.run(self, query, config)
+            return driver.run(self, query, config, engine=engine)
         metrics = replace(
             stored.metrics, extras={**stored.metrics.extras, "cache_hit": 1.0}
         )
@@ -469,9 +505,13 @@ ConcurrentSessionServer` provides.
         queries: Iterable[Pattern],
         algorithm: str = "auto",
         config: Optional[DgpmConfig] = None,
+        engine: Optional[str] = None,
     ) -> List[RunResult]:
         """Serve a stream of queries in order; one result per query."""
-        return [self.run(query, algorithm=algorithm, config=config) for query in queries]
+        return [
+            self.run(query, algorithm=algorithm, config=config, engine=engine)
+            for query in queries
+        ]
 
     # ------------------------------------------------------------------
     # mutations (the write path; see the module docstring for the contract)
@@ -648,6 +688,43 @@ ConcurrentSessionServer` provides.
             self._warm[key] = warm
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_engine_name(engine: str) -> str:
+        from repro.core.arraycompile import ENGINES
+
+        name = engine.lower()
+        if name not in ENGINES:
+            raise ReproError(
+                f"unknown engine {engine!r} (known: {', '.join(ENGINES)})"
+            )
+        return name
+
+    def _validate_args(self, algorithm: str, engine: Optional[str]) -> str:
+        """Validate ``run``'s names up front; one error listing every problem.
+
+        Historically a bad algorithm name surfaced as a registry ``KeyError``
+        only after alias/auto resolution, and a bad engine name would have
+        failed deep inside a protocol function; both are now rejected here,
+        together, with the valid names spelled out.  Returns the normalized
+        engine name (the session default when ``engine`` is None).
+        """
+        from repro.core.arraycompile import ENGINES
+
+        problems: List[str] = []
+        name = _ALIASES.get(algorithm.lower(), algorithm.lower())
+        valid = {"auto", "dgpmnopt", *self.drivers}
+        if name not in valid:
+            known = ", ".join(sorted(valid | set(_ALIASES)))
+            problems.append(f"unknown algorithm {algorithm!r} (known: {known})")
+        engine_name = (engine if engine is not None else self.engine).lower()
+        if engine_name not in ENGINES:
+            problems.append(
+                f"unknown engine {engine!r} (known: {', '.join(ENGINES)})"
+            )
+        if problems:
+            raise ReproError("; ".join(problems))
+        return engine_name
+
     def _resolve_for_query(self, algorithm: str, query: Pattern) -> AlgorithmDriver:
         name = _ALIASES.get(algorithm.lower(), algorithm.lower())
         if name == "auto":

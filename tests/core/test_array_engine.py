@@ -1,0 +1,232 @@
+"""Unit tests for the array engine's compilation layer.
+
+Covers the pieces underneath :class:`~repro.core.arraystate.ArrayEvalState`:
+the CSR kernels, :meth:`DiGraph.dense_csr`, the per-fragment columnar
+snapshot (freshness, per-label caches, global-id tables, shipping routes),
+and the numpy-less failure mode.  End-to-end answer parity lives in
+``tests/core/test_property_engines.py``.
+"""
+
+import sys
+
+import pytest
+
+import repro.core.arraycompile as ac
+from repro.core.depgraph import DependencyGraphs
+from repro.graph.digraph import DiGraph
+from repro.partition.fragmentation import fragment_graph
+from repro.session.cache import LabelInterner
+
+np = pytest.importorskip("numpy")
+
+
+def small_graph() -> DiGraph:
+    return DiGraph(
+        {0: "A", 1: "B", 2: "A", 3: "C", 4: "B"},
+        [(0, 1), (1, 2), (2, 3), (3, 0), (1, 4), (4, 2), (0, 2)],
+    )
+
+
+def small_fragmentation():
+    return fragment_graph(small_graph(), {0: 0, 1: 0, 2: 1, 3: 1, 4: 1})
+
+
+# ----------------------------------------------------------------------
+# CSR kernels
+# ----------------------------------------------------------------------
+
+def test_dense_csr_round_trips_adjacency(rng):
+    n = 30
+    graph = DiGraph({i: "AB"[i % 2] for i in range(n)})
+    for _ in range(4 * n):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    nodes, index, fwd_ip, fwd_ix, rev_ip, rev_ix = graph.dense_csr()
+    assert sorted(nodes) == sorted(graph.nodes())
+    for i, node in enumerate(nodes):
+        assert index[node] == i
+        succ = {nodes[j] for j in fwd_ix[fwd_ip[i]:fwd_ip[i + 1]]}
+        pred = {nodes[j] for j in rev_ix[rev_ip[i]:rev_ip[i + 1]]}
+        assert succ == set(graph.successors(node))
+        assert pred == set(graph.predecessors(node))
+
+
+def test_gather_csr_matches_slicing(rng):
+    graph = DiGraph({i: "A" for i in range(20)})
+    for _ in range(60):
+        u, v = rng.randrange(20), rng.randrange(20)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    _, _, indptr, indices, _, _ = graph.dense_csr()
+    rows = np.asarray([0, 7, 7, 19, 3], dtype=np.int64)
+    flat, counts = ac.gather_csr(indptr, indices, rows)
+    expected = [indices[indptr[r]:indptr[r + 1]] for r in rows.tolist()]
+    assert counts.tolist() == [len(e) for e in expected]
+    assert flat.tolist() == [x for e in expected for x in e.tolist()]
+
+
+def test_gather_csr_all_empty_rows():
+    indptr = np.zeros(4, dtype=np.int64)  # 3 nodes, no edges
+    indices = np.empty(0, dtype=np.int64)
+    flat, counts = ac.gather_csr(indptr, indices, np.asarray([0, 2], dtype=np.int64))
+    assert flat.size == 0
+    assert counts.tolist() == [0, 0]
+
+
+def test_segment_any_and_sum_match_python(rng):
+    counts = np.asarray([rng.randrange(4) for _ in range(12)], dtype=np.int64)
+    values = np.asarray(
+        [rng.random() < 0.3 for _ in range(int(counts.sum()))], dtype=bool
+    )
+    segments, pos = [], 0
+    for c in counts.tolist():
+        segments.append(values[pos:pos + c])
+        pos += c
+    assert ac.segment_any(values, counts).tolist() == [
+        bool(seg.any()) for seg in segments
+    ]
+    indptr = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64))
+    )
+    assert ac.segment_sum_full(values, indptr).tolist() == [
+        int(seg.sum()) for seg in segments
+    ]
+
+
+# ----------------------------------------------------------------------
+# CompiledFragment
+# ----------------------------------------------------------------------
+
+def test_compiled_fragment_masks_and_labels():
+    fragmentation = small_fragmentation()
+    interner = LabelInterner()
+    for frag in fragmentation:
+        cf = ac.CompiledFragment(frag, interner)
+        for i, v in enumerate(cf.nodes):
+            assert cf.labels[i] == interner.intern(frag.graph.label(v))
+            assert cf.local_mask[i] == (v in frag.local_nodes)
+            assert cf.virtual_mask[i] == (v in frag.virtual_nodes)
+            assert cf.in_mask[i] == (v in frag.in_nodes)
+
+
+def test_label_row_and_count_col_cached_and_correct():
+    fragmentation = small_fragmentation()
+    interner = LabelInterner()
+    frag = fragmentation[0]
+    cf = ac.CompiledFragment(frag, interner)
+    for label in ("A", "B", "C"):
+        lab = interner.intern(label)
+        row = cf.label_row(lab)
+        assert cf.label_row(lab) is row  # cached, not rebuilt
+        assert row.tolist() == [
+            frag.graph.label(v) == label for v in cf.nodes
+        ]
+        col = cf.count_col(lab)
+        assert cf.count_col(lab) is col
+        assert col.tolist() == [
+            sum(1 for w in frag.graph.successors(v) if frag.graph.label(w) == label)
+            for v in cf.nodes
+        ]
+
+
+def test_is_fresh_tracks_graph_version():
+    fragmentation = small_fragmentation()
+    cf = ac.CompiledFragment(fragmentation[0], LabelInterner())
+    assert cf.is_fresh(fragmentation[0])
+    fragmentation.delete_edge(0, 1)  # intra-fragment edge of fragment 0
+    assert not cf.is_fresh(fragmentation[0])
+
+
+def test_compiled_fragmentation_recompiles_only_stale_fragments():
+    fragmentation = small_fragmentation()
+    compiled = ac.CompiledFragmentation(fragmentation).warm()
+    assert compiled.compilations == fragmentation.n_fragments
+    compiled.warm()  # nothing moved: every entry is still fresh
+    assert compiled.compilations == fragmentation.n_fragments
+
+    old = {frag.fid: compiled.get(frag.fid) for frag in fragmentation}
+    fragmentation.delete_edge(2, 3)  # both endpoints live in fragment 1
+    stale = [
+        fid for fid, entry in old.items()
+        if not entry.is_fresh(fragmentation[fid])
+    ]
+    assert stale  # the mutation must invalidate at least its own fragment
+    compiled.warm()
+    assert compiled.compilations == fragmentation.n_fragments + len(stale)
+    for fid in stale:
+        assert compiled.get(fid) is not old[fid]
+    for frag in fragmentation:
+        if frag.fid not in stale:
+            assert compiled.get(frag.fid) is old[frag.fid]
+
+
+def test_gid_map_shared_across_fragments_and_g2l_inverts():
+    fragmentation = small_fragmentation()
+    compiled = ac.CompiledFragmentation(fragmentation).warm()
+    seen = {}
+    for frag in fragmentation:
+        cf = compiled.get(frag.fid)
+        for i, v in enumerate(cf.nodes):
+            gid = int(cf.gids[i])
+            # one global id per node, no matter how many fragments hold a copy
+            assert seen.setdefault(v, gid) == gid
+            assert cf.g2l()[gid] == i
+    # every registered id belongs to some node, densely
+    assert sorted(seen.values()) == list(range(len(compiled.gid_map)))
+
+
+def test_standalone_compiled_fragment_has_no_gids():
+    fragmentation = small_fragmentation()
+    cf = ac.CompiledFragment(fragmentation[0], LabelInterner())
+    assert cf.gids is None  # gid shipping only exists under a shared cache
+
+
+def test_shipping_routes_group_by_watcher_set_and_track_deps_version():
+    fragmentation = small_fragmentation()
+    deps = DependencyGraphs(fragmentation)
+    compiled = ac.CompiledFragmentation(fragmentation).warm()
+    for frag in fragmentation:
+        cf = compiled.get(frag.fid)
+        group_of, groups = cf.shipping_routes(deps)
+        # cached: same table object until deps changes
+        assert cf.shipping_routes(deps)[0] is group_of
+        for i, v in enumerate(cf.nodes):
+            peers = tuple(sorted(deps.watcher_sites(frag.fid, v)))
+            if cf.in_mask[i]:
+                assert groups[group_of[i]] == peers
+            else:
+                assert group_of[i] == -1
+        deps.version += 1  # what apply_delta does on any watcher patch
+        assert cf.shipping_routes(deps)[0] is not group_of
+
+
+# ----------------------------------------------------------------------
+# numpy-less failure mode
+# ----------------------------------------------------------------------
+
+def _hide_numpy(monkeypatch):
+    monkeypatch.setattr(ac, "_np", None)
+    monkeypatch.setitem(sys.modules, "numpy", None)  # import raises
+
+
+def test_require_numpy_without_numpy_is_one_clear_error(monkeypatch):
+    _hide_numpy(monkeypatch)
+    with pytest.raises(RuntimeError, match="engine='array' requires numpy"):
+        ac.require_numpy()
+    assert not ac.have_numpy()
+
+
+def test_dict_engine_serves_without_numpy(monkeypatch):
+    _hide_numpy(monkeypatch)
+    from repro.graph.pattern import Pattern
+    from repro.session import SimulationSession
+    from repro.simulation import simulation
+
+    graph = small_graph()
+    session = SimulationSession(small_fragmentation())
+    pattern = Pattern({"x": "A", "y": "B"}, [("x", "y")])
+    result = session.run(pattern, algorithm="dgpm")  # default engine: dict
+    assert result.relation == simulation(pattern, graph)
+    with pytest.raises(RuntimeError, match="requires numpy"):
+        session.run(pattern, algorithm="dgpm", engine="array")

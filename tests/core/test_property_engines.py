@@ -1,0 +1,164 @@
+"""Property-based cross-engine parity: dict and array answers are identical.
+
+The array engine re-implements local evaluation over CSR arrays; nothing
+about the protocol's answer may depend on that choice.  Hypothesis generates
+graphs, real partitioner outputs (all three general partitioners), patterns,
+and optimization configs; every served algorithm's array answer is compared
+to its dict answer and to the centralized oracle -- including across a
+mutation stream, which exercises the compiled-CSR cache's per-fragment
+invalidation inside a resident session.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DgpmConfig
+from repro.core.dgpm import execute_dgpm
+from repro.core.dgpmd import execute_dgpmd
+from repro.core.dgpmt import execute_dgpmt
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_tree
+from repro.graph.pattern import Pattern
+from repro.partition.partitioners import (
+    balanced_bfs_partition,
+    hash_partition,
+    random_partition,
+    tree_partition,
+)
+from repro.session import SimulationSession
+from repro.simulation import simulation
+
+pytest.importorskip("numpy")
+
+LABELS = "ABC"
+PARTITIONERS = (hash_partition, random_partition, balanced_bfs_partition)
+
+
+def _graph(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    labels = draw(st.lists(st.sampled_from(LABELS), min_size=n, max_size=n))
+    graph = DiGraph({i: labels[i] for i in range(n)})
+    for _ in range(draw(st.integers(min_value=0, max_value=3 * n))):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+def _pattern(draw, max_nodes=3):
+    qn = draw(st.integers(min_value=1, max_value=max_nodes))
+    qlabels = draw(st.lists(st.sampled_from(LABELS), min_size=qn, max_size=qn))
+    qedges = []
+    for _ in range(draw(st.integers(min_value=0, max_value=2 * qn))):
+        a = draw(st.integers(min_value=0, max_value=qn - 1))
+        b = draw(st.integers(min_value=0, max_value=qn - 1))
+        qedges.append((a, b))
+    return Pattern({i: qlabels[i] for i in range(qn)}, qedges)
+
+
+@st.composite
+def engine_instances(draw):
+    graph = _graph(draw)
+    partitioner = draw(st.sampled_from(PARTITIONERS))
+    n_frag = draw(st.integers(min_value=1, max_value=min(4, graph.n_nodes)))
+    fragmentation = partitioner(
+        graph, n_frag, seed=draw(st.integers(min_value=0, max_value=3))
+    )
+    return graph, fragmentation, _pattern(draw)
+
+
+@settings(max_examples=50, deadline=None)
+@given(engine_instances(), st.booleans(), st.booleans())
+def test_dgpm_cross_engine_parity(instance, push, incremental):
+    graph, fragmentation, pattern = instance
+    config = DgpmConfig(enable_push=push, incremental=incremental)
+    oracle = simulation(pattern, graph)
+    assert execute_dgpm(pattern, fragmentation, config, engine="dict").relation == oracle
+    assert execute_dgpm(pattern, fragmentation, config, engine="array").relation == oracle
+
+
+@settings(max_examples=30, deadline=None)
+@given(engine_instances())
+def test_dgpmd_cross_engine_parity_on_dag_queries(instance):
+    graph, fragmentation, pattern = instance
+    if not pattern.is_dag():
+        return
+    oracle = simulation(pattern, graph)
+    assert execute_dgpmd(pattern, fragmentation, engine="dict").relation == oracle
+    assert execute_dgpmd(pattern, fragmentation, engine="array").relation == oracle
+
+
+@st.composite
+def tree_instances(draw):
+    n = draw(st.integers(min_value=2, max_value=16))
+    tree = random_tree(n, n_labels=3, seed=draw(st.integers(min_value=0, max_value=50)))
+    n_frag = draw(st.integers(min_value=1, max_value=min(4, n)))
+    fragmentation = tree_partition(
+        tree, n_frag, seed=draw(st.integers(min_value=0, max_value=3))
+    )
+    qn = draw(st.integers(min_value=1, max_value=3))
+    qlabels = draw(st.lists(st.sampled_from("L0 L1 L2".split()), min_size=qn, max_size=qn))
+    qedges = [
+        (draw(st.integers(min_value=0, max_value=i - 1)), i) for i in range(1, qn)
+    ]
+    return tree, fragmentation, Pattern({i: qlabels[i] for i in range(qn)}, qedges)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree_instances())
+def test_dgpmt_cross_engine_parity(instance):
+    tree, fragmentation, pattern = instance
+    oracle = simulation(pattern, tree)
+    assert execute_dgpmt(pattern, fragmentation, engine="dict").relation == oracle
+    assert execute_dgpmt(pattern, fragmentation, engine="array").relation == oracle
+
+
+@st.composite
+def mutation_instances(draw):
+    graph = _graph(draw)
+    partitioner = draw(st.sampled_from(PARTITIONERS))
+    n_frag = draw(st.integers(min_value=1, max_value=min(4, graph.n_nodes)))
+    fragmentation = partitioner(
+        graph, n_frag, seed=draw(st.integers(min_value=0, max_value=3))
+    )
+    n = graph.n_nodes
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(("delete", "insert")),
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=6,
+        )
+    )
+    return fragmentation, _pattern(draw), ops
+
+
+@settings(max_examples=25, deadline=None)
+@given(mutation_instances())
+def test_array_session_stays_exact_across_mutation_stream(instance):
+    """A resident array-engine session, mutated through the session API.
+
+    The compiled-CSR cache is *kept* across mutations and must recompile the
+    touched fragments on the next query -- every answer is re-checked against
+    the centralized oracle on the current graph.
+    """
+    fragmentation, pattern, ops = instance
+    session = SimulationSession(fragmentation, cache_size=0, engine="array")
+    graph = session.fragmentation.graph
+    assert session.run(pattern, algorithm="dgpm").relation == simulation(pattern, graph)
+    compiled = session.compiled_fragments()
+    for kind, u, v in ops:
+        if kind == "delete" and graph.has_edge(u, v):
+            session.delete_edge(u, v)
+        elif kind == "insert" and u != v and not graph.has_edge(u, v):
+            session.insert_edge(u, v)
+        else:
+            continue
+        assert session.run(pattern, algorithm="dgpm").relation == simulation(
+            pattern, graph
+        )
+    # mutations must never blow the compiled cache away wholesale
+    assert session.compiled_fragments() is compiled

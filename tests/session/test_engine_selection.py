@@ -1,0 +1,111 @@
+"""Engine selection and up-front argument validation on the session.
+
+Covers the ``run(algorithm=, engine=)`` contract: bad names are rejected
+before any protocol work, together, with the valid names spelled out; the
+engine is part of the result-cache key; and the compiled-CSR cache is reused
+across queries and recompiles exactly the fragments a mutation touched.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.graph.digraph import DiGraph
+from repro.graph.pattern import Pattern
+from repro.partition.fragmentation import fragment_graph
+from repro.session import SimulationSession
+
+
+@pytest.fixture
+def fragmentation():
+    graph = DiGraph(
+        {0: "A", 1: "B", 2: "A", 3: "C", 4: "B"},
+        [(0, 1), (1, 2), (2, 3), (3, 0), (1, 4), (4, 2)],
+    )
+    return fragment_graph(graph, {0: 0, 1: 0, 2: 1, 3: 1, 4: 1})
+
+
+@pytest.fixture
+def query():
+    return Pattern({"x": "A", "y": "B"}, [("x", "y")])
+
+
+def test_unknown_algorithm_rejected_up_front(fragmentation, query):
+    session = SimulationSession(fragmentation)
+    with pytest.raises(ReproError, match="unknown algorithm 'nope'") as err:
+        session.run(query, algorithm="nope")
+    # the error lists the valid names, not just the rejection
+    for name in ("auto", "dgpm", "dgpmnopt", "dgpmt", "dmes", "match"):
+        assert name in str(err.value)
+    assert session.stats.queries_served == 0  # rejected before any serving
+
+
+def test_unknown_engine_rejected_up_front(fragmentation, query):
+    session = SimulationSession(fragmentation)
+    with pytest.raises(ReproError, match="unknown engine 'gpu'.*dict.*array"):
+        session.run(query, engine="gpu")
+
+
+def test_bad_algorithm_and_engine_reported_together(fragmentation, query):
+    session = SimulationSession(fragmentation)
+    with pytest.raises(ReproError) as err:
+        session.run(query, algorithm="nope", engine="gpu")
+    message = str(err.value)
+    assert "unknown algorithm 'nope'" in message
+    assert "unknown engine 'gpu'" in message
+
+
+def test_constructor_rejects_unknown_default_engine(fragmentation):
+    with pytest.raises(ReproError, match="unknown engine 'columnar'"):
+        SimulationSession(fragmentation, engine="columnar")
+
+
+def test_dict_only_drivers_reject_array_engine(fragmentation, query):
+    pytest.importorskip("numpy")
+    session = SimulationSession(fragmentation)
+    with pytest.raises(ReproError, match="'dmes' does not support engine 'array'"):
+        session.run(query, algorithm="dmes", engine="array")
+
+
+def test_session_default_engine_and_per_query_override(fragmentation, query):
+    pytest.importorskip("numpy")
+    dict_answer = SimulationSession(fragmentation).run(query, algorithm="dgpm")
+    session = SimulationSession(fragmentation, engine="array")
+    assert session.run(query, algorithm="dgpm").relation == dict_answer.relation
+    assert (
+        session.run(query, algorithm="dgpm", engine="dict").relation
+        == dict_answer.relation
+    )
+
+
+def test_engine_is_part_of_the_cache_key(fragmentation, query):
+    pytest.importorskip("numpy")
+    session = SimulationSession(fragmentation)
+    session.run(query, algorithm="dgpm", engine="dict")
+    session.run(query, algorithm="dgpm", engine="array")
+    assert session.stats.cache_misses == 2  # array run was not a dict hit
+    session.run(query, algorithm="dgpm", engine="array")
+    assert session.stats.cache_hits == 1
+
+
+def test_compiled_cache_reused_and_recompiled_per_touched_fragment(
+    fragmentation, query
+):
+    pytest.importorskip("numpy")
+    session = SimulationSession(fragmentation, cache_size=0, engine="array")
+    session.run(query, algorithm="dgpm")
+    compiled = session.compiled_fragments()
+    base = compiled.compilations
+    assert base == fragmentation.n_fragments
+    session.run(query, algorithm="dgpm")
+    assert compiled.compilations == base  # resident snapshots were reused
+
+    old = {frag.fid: compiled.get(frag.fid) for frag in fragmentation}
+    session.delete_edge(0, 1)  # intra-fragment edge of fragment 0
+    assert session.compiled_fragments() is compiled  # maintained, not dropped
+    stale = [
+        fid for fid, entry in old.items()
+        if not entry.is_fresh(session.fragmentation[fid])
+    ]
+    assert stale
+    session.run(query, algorithm="dgpm")
+    assert compiled.compilations == base + len(stale)
