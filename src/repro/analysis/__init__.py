@@ -1,0 +1,31 @@
+"""Project-invariant static analysis for the repro codebase.
+
+The correctness results this repository reproduces (FanWWD14, Theorems
+4.4/5.2) only hold if every site's partial-evaluation state stays consistent
+under concurrent mutation.  PRs 2-6 enforced the resulting invariants by code
+review -- mutable relations poisoning cache hits, racy lazy-index builds,
+module-level numpy imports breaking the dict-only install, wire-frame kinds
+without decode/dispatch arms.  This package machine-checks them instead:
+
+* a small AST framework (:mod:`repro.analysis.project`,
+  :mod:`repro.analysis.findings`, :mod:`repro.analysis.runner`) that parses
+  the package tree once and runs a set of *checkers* over it;
+* the checkers themselves (:mod:`repro.analysis.checkers`), each encoding
+  one invariant with a stable rule id;
+* a committed-baseline suppression mechanism
+  (:mod:`repro.analysis.baseline`) so a rule can land before the last
+  violation is fixed, while new violations still fail;
+* a CLI -- ``python -m repro.analysis`` -- with clean/dirty exit codes,
+  wired into CI.
+
+Run ``python -m repro.analysis --help`` for usage; the rule catalogue is in
+the README ("Static analysis").
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers import ALL_CHECKERS
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.runner import run_analysis
+
+__all__ = ["ALL_CHECKERS", "Finding", "Severity", "run_analysis"]

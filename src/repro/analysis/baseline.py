@@ -1,0 +1,86 @@
+"""Committed-baseline suppression.
+
+A baseline is a JSON file of finding fingerprints (see
+:func:`repro.analysis.findings.fingerprints`) that are *known and accepted*:
+they are reported as suppressed, never fail the run.  The mechanism is a
+ratchet -- a rule can land before its last pre-existing violation is fixed,
+while any *new* violation still fails CI.  Stale entries (fingerprints that
+no longer match anything) are reported so the baseline shrinks over time;
+``--write-baseline`` regenerates the file from the current findings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.analysis.findings import Finding, fingerprints
+from repro.analysis.project import AnalysisError
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Triage:
+    """A run's findings split against a baseline."""
+
+    #: findings not covered by the baseline -- these fail the run
+    fresh: Tuple[Finding, ...]
+    #: findings matched (and silenced) by a baseline entry
+    suppressed: Tuple[Finding, ...]
+    #: baseline fingerprints that matched nothing (candidates for removal)
+    stale: Tuple[str, ...]
+
+
+def load_baseline(path: Path) -> List[str]:
+    """The suppression fingerprints committed at ``path`` ([] if absent)."""
+    if not path.exists():
+        return []
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise AnalysisError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(document, dict) or document.get("version") != BASELINE_VERSION:
+        raise AnalysisError(
+            f"baseline {path} is not a version-{BASELINE_VERSION} document"
+        )
+    suppressions = document.get("suppressions", [])
+    if not isinstance(suppressions, list) or not all(
+        isinstance(s, str) for s in suppressions
+    ):
+        raise AnalysisError(f"baseline {path}: 'suppressions' must be a string list")
+    return suppressions
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write a fresh baseline covering ``findings``; returns the entry count."""
+    entries = sorted(fp for _, fp in fingerprints(findings))
+    document = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Accepted pre-existing findings of `python -m repro.analysis`. "
+            "Shrink this file, never grow it: fix the violation instead of "
+            "re-running with --write-baseline."
+        ),
+        "suppressions": entries,
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def triage(findings: Iterable[Finding], suppressions: Iterable[str]) -> Triage:
+    """Split findings into fresh/suppressed and spot stale baseline entries."""
+    allowed = set(suppressions)
+    fresh: List[Finding] = []
+    suppressed: List[Finding] = []
+    matched: set = set()
+    for finding, fp in fingerprints(findings):
+        if fp in allowed:
+            suppressed.append(finding)
+            matched.add(fp)
+        else:
+            fresh.append(finding)
+    stale = tuple(sorted(allowed - matched))
+    return Triage(fresh=tuple(fresh), suppressed=tuple(suppressed), stale=stale)

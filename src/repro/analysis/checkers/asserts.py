@@ -1,0 +1,42 @@
+"""Rule ``bare-assert``: library code raises typed errors, not asserts.
+
+``assert`` statements vanish under ``python -O``, so an invariant expressed
+as one is only checked in debug runs -- and when it *does* fire, callers get
+a bare ``AssertionError`` instead of one of the :mod:`repro.errors` types
+the API documents (and the net server maps to ``ErrorReply`` codes).  Every
+runtime invariant in the package body must raise a ``ReproError`` subclass;
+asserts stay legal in tests, which this checker never scans.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, symbol_of
+
+
+class BareAssertChecker:
+    rule = "bare-assert"
+    description = (
+        "no `assert` in library code: raise a repro.errors type instead "
+        "(asserts disappear under python -O)"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project:
+            for node in module.walk():
+                if isinstance(node, ast.Assert):
+                    yield Finding(
+                        rule=self.rule,
+                        path=module.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "assert is stripped under python -O; raise a "
+                            "repro.errors exception for runtime invariants"
+                        ),
+                        symbol=symbol_of(node),
+                        detail="assert",
+                    )

@@ -1,0 +1,133 @@
+"""Rule ``determinism``: no ambient randomness or wall-clock in the engine.
+
+The replay oracles (per-stamp snapshot checks, cross-engine parity) and the
+canonical cache key all assume that evaluating a query is a pure function of
+(query, fragmentation).  Ambient nondeterminism breaks that silently:
+
+* the module-global ``random`` RNG (``random.choice``, ``random.shuffle``,
+  ``random.seed``, a bare ``random.Random()``) is shared process-wide state
+  -- any library call reseeds every consumer.  Banned everywhere in the
+  package: code that needs randomness takes a seeded ``random.Random``
+  (conftest's ``rng`` fixture, the generators' ``seed=`` parameters).
+* ``time.time()`` is wall-clock and feeds *data*, not metrics, when it leaks
+  into the engine.  Banned in the engine directories
+  (:data:`NO_WALLCLOCK_DIRS`); ``time.perf_counter``/``monotonic`` stay
+  allowed (they only ever feed metrics/timeouts), and bench/ may timestamp
+  its reports.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ParsedModule, Project, symbol_of
+
+#: directories (relpath prefixes) where wall-clock reads are banned
+NO_WALLCLOCK_DIRS: Tuple[str, ...] = ("core/", "simulation/", "partition/")
+
+
+class DeterminismChecker:
+    rule = "determinism"
+    description = (
+        "no module-global random.* use anywhere; no time.time() in "
+        "core/, simulation/, partition/"
+    )
+
+    def __init__(
+        self, no_wallclock_dirs: Tuple[str, ...] = NO_WALLCLOCK_DIRS
+    ) -> None:
+        self.no_wallclock_dirs = no_wallclock_dirs
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project:
+            wallclock_banned = module.relpath.startswith(self.no_wallclock_dirs)
+            for node in module.walk():
+                yield from self._check_random(module, node)
+                if wallclock_banned:
+                    yield from self._check_wallclock(module, node)
+
+    # ------------------------------------------------------------------
+    def _check_random(self, module: ParsedModule, node: ast.AST) -> Iterable[Finding]:
+        # from random import X -- pulls global-RNG functions into scope
+        # under untraceable local names; only the Random class is safe.
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            bad = [a.name for a in node.names if a.name not in ("Random", "SystemRandom")]
+            if bad:
+                yield self._finding(
+                    module, node,
+                    f"`from random import {', '.join(bad)}` uses the shared "
+                    "module-global RNG; take a seeded random.Random instead",
+                    detail="from-random",
+                )
+            return
+        # random.<attr> -- any use of the module-global RNG.
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "random"
+            and node.attr not in ("Random", "SystemRandom")
+        ):
+            yield self._finding(
+                module, node,
+                f"`random.{node.attr}` uses the shared module-global RNG; "
+                "thread a seeded random.Random through instead",
+                detail=f"random.{node.attr}",
+            )
+            return
+        # random.Random() with no seed -- seeded from the OS, irreproducible.
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "random"
+            and node.func.attr == "Random"
+            and not node.args
+            and not node.keywords
+        ):
+            yield self._finding(
+                module, node,
+                "`random.Random()` without a seed is irreproducible; pass "
+                "an explicit seed",
+                detail="Random()",
+            )
+
+    def _check_wallclock(
+        self, module: ParsedModule, node: ast.AST
+    ) -> Iterable[Finding]:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "time"
+            and node.func.attr == "time"
+        ):
+            yield self._finding(
+                module, node,
+                "time.time() is wall-clock; engine code may only use "
+                "perf_counter/monotonic, and only for metrics",
+                detail="time.time",
+            )
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            bad = [a.name for a in node.names if a.name == "time"]
+            if bad:
+                yield self._finding(
+                    module, node,
+                    "`from time import time` hides a wall-clock read; "
+                    "engine code may not read wall-clock",
+                    detail="from-time",
+                )
+
+    def _finding(
+        self, module: ParsedModule, node: ast.AST, message: str, detail: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule,
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            symbol=symbol_of(node),
+            detail=detail,
+        )

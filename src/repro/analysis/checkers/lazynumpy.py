@@ -1,0 +1,77 @@
+"""Rule ``lazy-numpy``: the dict engine stays importable without numpy.
+
+numpy is the array engine's dependency, not the library's: every other
+module must import cleanly on a numpy-less install (the paper's dict-based
+reference engine is stdlib-only, and the tests exercise that mode).  A
+module-level ``import numpy`` anywhere else breaks it transitively, so only
+the two array-engine modules may even *mention* the import at module scope
+-- and in practice they, too, go through
+:func:`repro.core.arraycompile.require_numpy` inside functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, parent_of, symbol_of
+
+#: modules allowed to import numpy at module level (the array engine)
+ALLOWED_MODULES: Tuple[str, ...] = ("core/arraycompile.py", "core/arraystate.py")
+
+
+def _module_level(node: ast.AST) -> bool:
+    """True when ``node`` executes at import time (not inside any def).
+
+    Imports under module-level ``if``/``try`` still run at import time, so
+    only function boundaries stop the climb.
+    """
+    cur: Optional[ast.AST] = parent_of(node)
+    while cur is not None:
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return False
+        cur = parent_of(cur)
+    return True
+
+
+class LazyNumpyChecker:
+    rule = "lazy-numpy"
+    description = (
+        "no module-level numpy import outside the array-engine modules"
+    )
+
+    def __init__(self, allowed: Tuple[str, ...] = ALLOWED_MODULES) -> None:
+        self.allowed = allowed
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project:
+            if module.relpath in self.allowed:
+                continue
+            for node in module.walk():
+                name = _numpy_import(node)
+                if name is not None and _module_level(node):
+                    yield Finding(
+                        rule=self.rule,
+                        path=module.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"module-level `{name}` makes the dict-only "
+                            "install unimportable; import numpy lazily via "
+                            "repro.core.arraycompile.require_numpy()"
+                        ),
+                        symbol=symbol_of(node),
+                        detail="numpy",
+                    )
+
+
+def _numpy_import(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.name == "numpy" or alias.name.startswith("numpy."):
+                return f"import {alias.name}"
+    if isinstance(node, ast.ImportFrom) and node.module is not None:
+        if node.module == "numpy" or node.module.startswith("numpy."):
+            return f"from {node.module} import ..."
+    return None

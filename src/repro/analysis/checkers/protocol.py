@@ -1,0 +1,170 @@
+"""Rule ``protocol-exhaustive``: every frame kind has all four arms.
+
+Adding a :class:`FrameKind` member is a four-site change -- the codec table,
+the server dispatch, the client handling -- and nothing ties the sites
+together at runtime: a kind missing its server arm only surfaces as a
+mid-connection ``ErrorReply`` when a client first sends it.  This checker
+derives the kind inventory from the enum itself and demands, for every
+member:
+
+* a ``FrameKind.<KIND>: <FrameClass>`` entry in ``FRAME_CLASSES`` (the
+  codec's decode table), and
+* a ``FrameKind.<KIND>`` reference in the server module (dispatch arm), and
+* a ``FrameKind.<KIND>`` reference in the client module (request/reply arm).
+
+``OBJ`` is the deliberate exception: it is the worker transport's opaque
+pickle frame, never decoded via ``FRAME_CLASSES`` nor served by the TCP
+front door -- it must instead be referenced by the transport module, so a
+renamed/retired transport surfaces here too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ParsedModule, Project, symbol_of
+
+PROTOCOL_MODULE = "net/protocol.py"
+SERVER_MODULE = "net/server.py"
+CLIENT_MODULE = "net/client.py"
+TRANSPORT_MODULE = "runtime/transport.py"
+
+#: kinds excluded from codec/dispatch arms -> the module that must use them
+EXEMPT_KINDS: Dict[str, str] = {"OBJ": TRANSPORT_MODULE}
+
+
+class ProtocolExhaustivenessChecker:
+    rule = "protocol-exhaustive"
+    description = (
+        "every FrameKind member has a FRAME_CLASSES entry plus server and "
+        "client arms (OBJ: used by the worker transport)"
+    )
+
+    def __init__(
+        self,
+        protocol_module: str = PROTOCOL_MODULE,
+        server_module: str = SERVER_MODULE,
+        client_module: str = CLIENT_MODULE,
+        exempt_kinds: Dict[str, str] = EXEMPT_KINDS,
+    ) -> None:
+        self.protocol_module = protocol_module
+        self.server_module = server_module
+        self.client_module = client_module
+        self.exempt_kinds = dict(exempt_kinds)
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        protocol = project.module(self.protocol_module)
+        if protocol is None:
+            return  # nothing to check outside the real tree / a full fixture
+        kinds = _enum_members(protocol, "FrameKind")
+        if not kinds:
+            yield self._finding(
+                protocol, protocol.tree, "FrameKind",
+                f"no FrameKind enum found in {self.protocol_module}",
+            )
+            return
+        codec_keys = _frame_class_keys(protocol)
+        server_refs = _kind_references(project.module(self.server_module))
+        client_refs = _kind_references(project.module(self.client_module))
+
+        for kind, node in kinds:
+            if kind in self.exempt_kinds:
+                yield from self._check_exempt(project, protocol, kind, node)
+                continue
+            if kind not in codec_keys:
+                yield self._finding(
+                    protocol, node, kind,
+                    f"FrameKind.{kind} has no FRAME_CLASSES entry: the codec "
+                    "cannot decode it",
+                )
+            if kind not in server_refs:
+                yield self._finding(
+                    protocol, node, kind,
+                    f"FrameKind.{kind} is never referenced in "
+                    f"{self.server_module}: the server has no dispatch arm "
+                    "for it",
+                )
+            if kind not in client_refs:
+                yield self._finding(
+                    protocol, node, kind,
+                    f"FrameKind.{kind} is never referenced in "
+                    f"{self.client_module}: no client sends or handles it",
+                )
+
+    def _check_exempt(
+        self, project: Project, protocol: ParsedModule, kind: str, node: ast.AST
+    ) -> Iterable[Finding]:
+        home = self.exempt_kinds[kind]
+        refs = _kind_references(project.module(home))
+        if kind not in refs:
+            yield self._finding(
+                protocol, node, kind,
+                f"FrameKind.{kind} is exempt from codec/dispatch arms "
+                f"because {home} owns it, but {home} never references it",
+            )
+
+    def _finding(
+        self, module: ParsedModule, node: ast.AST, kind: str, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule,
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            symbol=symbol_of(node),
+            detail=kind,
+        )
+
+
+def _enum_members(
+    module: ParsedModule, enum_name: str
+) -> List[Tuple[str, ast.AST]]:
+    """``(member_name, assignment_node)`` for each member of the enum class."""
+    for node in module.walk():
+        if isinstance(node, ast.ClassDef) and node.name == enum_name:
+            members: List[Tuple[str, ast.AST]] = []
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                            members.append((target.id, stmt))
+            return members
+    return []
+
+
+def _frame_class_keys(module: ParsedModule) -> Set[str]:
+    """FrameKind member names used as keys of the ``FRAME_CLASSES`` dict."""
+    keys: Set[str] = set()
+    for node in module.walk():
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict)):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "FRAME_CLASSES" for t in node.targets
+        ):
+            continue
+        for key in node.value.keys:
+            if (
+                isinstance(key, ast.Attribute)
+                and isinstance(key.value, ast.Name)
+                and key.value.id == "FrameKind"
+            ):
+                keys.add(key.attr)
+    return keys
+
+
+def _kind_references(module: ParsedModule | None) -> Set[str]:
+    """Every ``FrameKind.<X>`` attribute read in ``module`` ({} if absent)."""
+    if module is None:
+        return set()
+    refs: Set[str] = set()
+    for node in module.walk():
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "FrameKind"
+        ):
+            refs.add(node.attr)
+    return refs

@@ -1,0 +1,111 @@
+"""``python -m repro.analysis``: run the checkers, honour the baseline.
+
+Exit codes:
+
+* 0 -- clean: no findings outside the committed baseline;
+* 1 -- dirty: at least one fresh (un-baselined) finding, printed one per
+  line as ``path:line:col: error[rule] message``;
+* 2 -- the analyzer itself could not run (bad root, unparseable source,
+  corrupt baseline).
+
+The default root is the package tree (``src/repro`` resolved relative to
+this file, so the command works from any CWD); the default baseline is
+``.analysis-baseline.json`` in the repository root.  ``--write-baseline``
+regenerates the baseline from the current findings -- the ratchet's escape
+hatch, to be used only when accepting pre-existing debt.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import load_baseline, triage, write_baseline
+from repro.analysis.checkers import ALL_CHECKERS
+from repro.analysis.project import AnalysisError, Project
+from repro.analysis.runner import run_analysis
+
+#: src/repro -- two levels up from this file
+_PACKAGE_ROOT = Path(__file__).resolve().parent.parent
+#: repository root (…/src/repro -> …); baseline and CI run from here
+_REPO_ROOT = _PACKAGE_ROOT.parent.parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-invariant static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=_PACKAGE_ROOT,
+        help="directory tree to analyze (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=_REPO_ROOT / ".analysis-baseline.json",
+        help="committed suppression file (default: .analysis-baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as fresh",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (findings still print)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for checker in ALL_CHECKERS:
+            print(f"{checker.rule:22s} {checker.description}")
+        return 0
+
+    try:
+        project = Project.load(args.root)
+        findings = run_analysis(project)
+        if args.write_baseline:
+            count = write_baseline(args.baseline, findings)
+            print(f"wrote {count} suppression(s) to {args.baseline}")
+            return 0
+        suppressions: List[str] = (
+            [] if args.no_baseline else load_baseline(args.baseline)
+        )
+    except AnalysisError as exc:
+        print(f"analysis error: {exc}", file=sys.stderr)
+        return 2
+
+    result = triage(findings, suppressions)
+    for finding in result.fresh:
+        print(finding.render())
+    for fingerprint in result.stale:
+        print(f"stale baseline entry (remove it): {fingerprint}", file=sys.stderr)
+    if not args.quiet:
+        print(
+            f"{len(project)} module(s): {len(result.fresh)} finding(s), "
+            f"{len(result.suppressed)} baselined, {len(result.stale)} stale "
+            "baseline entr(ies)",
+            file=sys.stderr,
+        )
+    return 1 if result.fresh else 0

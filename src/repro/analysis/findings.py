@@ -1,0 +1,71 @@
+"""The finding model: what a checker reports and how it is identified.
+
+A :class:`Finding` pins a violation to ``file:line`` for humans and to a
+*fingerprint* for the baseline: the fingerprint deliberately excludes line
+numbers (they drift with every unrelated edit) and is built from the rule
+id, the file, the enclosing symbol, and a short checker-chosen detail token,
+with an occurrence index to disambiguate repeats inside one symbol.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit code."""
+
+    #: violates an enforced invariant; fails the run unless baselined
+    ERROR = "error"
+    #: worth a look, never fails the run
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one site.
+
+    ``symbol`` is the dotted path of the enclosing class/function (empty at
+    module level); ``detail`` is a short stable token the checker picks
+    (usually the offending attribute or name) -- together with ``rule`` and
+    ``path`` it forms the baseline fingerprint.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+    detail: str = ""
+    severity: Severity = Severity.ERROR
+
+    def render(self) -> str:
+        """Human-readable one-liner (``path:line:col rule message``)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity.value}[{self.rule}] {self.message}"
+        )
+
+
+def fingerprints(findings: Iterable[Finding]) -> List[Tuple[Finding, str]]:
+    """Pair each finding with its baseline fingerprint.
+
+    Fingerprints are line-independent: ``rule::path::symbol::detail#n``
+    where ``n`` counts repeated (rule, path, symbol, detail) occurrences in
+    source order, so two identical violations in one function suppress
+    independently and an unrelated edit above them changes nothing.
+    """
+    seen: Dict[Tuple[str, str, str, str], int] = {}
+    out: List[Tuple[Finding, str]] = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        key = (finding.rule, finding.path, finding.symbol, finding.detail)
+        n = seen.get(key, 0)
+        seen[key] = n + 1
+        out.append(
+            (finding, f"{finding.rule}::{finding.path}::{finding.symbol}"
+             f"::{finding.detail}#{n}")
+        )
+    return out

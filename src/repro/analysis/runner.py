@@ -1,0 +1,22 @@
+"""Running a checker set over a project and ordering the result."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.checkers import ALL_CHECKERS
+from repro.analysis.checkers.base import Checker
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+
+
+def run_analysis(
+    project: Project, checkers: Optional[Sequence[Checker]] = None
+) -> List[Finding]:
+    """Every finding from ``checkers`` (default: all), in file/line order."""
+    selected: Iterable[Checker] = ALL_CHECKERS if checkers is None else checkers
+    findings: List[Finding] = []
+    for checker in selected:
+        findings.extend(checker.check(project))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.detail))
+    return findings

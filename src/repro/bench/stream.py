@@ -55,17 +55,29 @@ def mixed_query_stream(
     n_nodes: int = 4,
     n_edges: int = 6,
     seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> List[Pattern]:
     """``n_distinct`` patterns sampled from ``graph``, cycled ``repeat`` times.
 
     Patterns are re-instantiated per repetition (fresh ``Pattern`` objects),
     so cache hits must come from canonical hashing, not object identity.
+
+    With ``rng``, the distinct patterns are drawn from the caller's
+    generator (per-pattern sub-seeds derived from it); by default each
+    pattern gets the deterministic seed ``seed + s``.
     """
+    sub_seeds = (
+        [rng.randrange(2**31) for _ in range(n_distinct)]
+        if rng is not None
+        else [seed + s for s in range(n_distinct)]
+    )
     stream: List[Pattern] = []
     for rep in range(repeat):
         for s in range(n_distinct):
             stream.append(
-                cyclic_pattern(graph, n_nodes=n_nodes, n_edges=n_edges, seed=seed + s)
+                cyclic_pattern(
+                    graph, n_nodes=n_nodes, n_edges=n_edges, seed=sub_seeds[s]
+                )
             )
     return stream
 
@@ -202,6 +214,7 @@ def mixed_update_stream(
     n_hot: int = 3,
     seed: int = 0,
     queries: Optional[Sequence[Pattern]] = None,
+    rng: Optional[random.Random] = None,
 ) -> List[Tuple]:
     """An interleaved mutation/query op list over ``graph``.
 
@@ -213,9 +226,10 @@ def mixed_update_stream(
     invalidates answers and forces repairs (uniform deletions on a large
     alphabet almost never touch a witness).  Ops are generated against a
     scratch copy, so the same list can be replayed against independent
-    sessions.
+    sessions.  ``rng`` overrides ``seed`` (one caller-owned stream across
+    many calls); by default the call is a pure function of its arguments.
     """
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     scratch = graph.copy()
     relevant_pairs = (
         {(q.label(a), q.label(b)) for q in queries for a, b in q.edges()}

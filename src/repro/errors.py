@@ -6,6 +6,8 @@ can catch one type to handle anything the library signals.
 
 from __future__ import annotations
 
+from typing import Sequence, Tuple
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -59,12 +61,14 @@ class MutationBatchError(ReproError):
     update that raised, and ``__cause__`` the underlying error.
     """
 
-    def __init__(self, message: str, applied, failed_op) -> None:
+    def __init__(
+        self, message: str, applied: Sequence[object], failed_op: Tuple
+    ) -> None:
         super().__init__(message)
         self.applied = applied
         self.failed_op = failed_op
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         # The default exception reduce replays only ``args`` (the message);
         # replay all three so the error survives process boundaries.
         return (type(self), (self.args[0], self.applied, self.failed_op))

@@ -315,7 +315,7 @@ class DiGraph:
         """
         return self._version
 
-    def dense_csr(self):
+    def dense_csr(self) -> tuple:
         """Columnar snapshot of the graph over dense node ids.
 
         Returns ``(nodes, index, fwd_indptr, fwd_indices, rev_indptr,
@@ -388,14 +388,14 @@ class DiGraph:
     # ------------------------------------------------------------------
     # pickling (graphs ship to worker processes; locks cannot)
     # ------------------------------------------------------------------
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, object]:
         return {
             slot: getattr(self, slot)
             for slot in self.__slots__
             if slot != "_index_lock"
         }
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: Dict[str, object]) -> None:
         for slot, value in state.items():
             setattr(self, slot, value)
         self._index_lock = threading.Lock()

@@ -7,13 +7,13 @@ take results out) without networkx ever becoming a core dependency.
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Any, Hashable
 
 from repro.errors import GraphError
 from repro.graph.digraph import DiGraph
 
 
-def _require_networkx():
+def _require_networkx() -> Any:
     try:
         import networkx
     except ImportError as exc:  # pragma: no cover - environment dependent
@@ -21,7 +21,9 @@ def _require_networkx():
     return networkx
 
 
-def from_networkx(nx_graph, label_attr: str = "label", default_label: Hashable = "_") -> DiGraph:
+def from_networkx(
+    nx_graph: Any, label_attr: str = "label", default_label: Hashable = "_"
+) -> DiGraph:
     """Convert a ``networkx.DiGraph`` into a repro :class:`DiGraph`.
 
     Node labels are read from the ``label_attr`` node attribute; nodes
@@ -38,7 +40,7 @@ def from_networkx(nx_graph, label_attr: str = "label", default_label: Hashable =
     return graph
 
 
-def to_networkx(graph: DiGraph, label_attr: str = "label"):
+def to_networkx(graph: DiGraph, label_attr: str = "label") -> Any:
     """Convert a repro :class:`DiGraph` into a ``networkx.DiGraph``."""
     networkx = _require_networkx()
     out = networkx.DiGraph()

@@ -38,7 +38,7 @@ _EXPORTS = {
 }
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     module = _EXPORTS.get(name)
     if module is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
@@ -49,7 +49,7 @@ def __getattr__(name):
     return value
 
 
-def __dir__():
+def __dir__() -> list:
     return sorted(set(globals()) | set(_EXPORTS))
 
 

@@ -31,7 +31,7 @@ import contextlib
 import itertools
 import socket
 import threading
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import DgpmConfig
 from repro.errors import TransportError, WireFormatError
@@ -44,7 +44,7 @@ from repro.net.protocol import DEFAULT_MAX_FRAME, FrameKind
 from repro.session.concurrent import StampedOutcome, StampedResult
 
 
-def _unwrap(kind: FrameKind, payload, expected: FrameKind):
+def _unwrap(kind: FrameKind, payload: Any, expected: FrameKind) -> Any:
     """Turn a reply frame into a return value or a raised server error."""
     if kind == FrameKind.ERROR:
         raise payload.to_exception()
@@ -111,7 +111,7 @@ class SessionClient:
             pass
         return TransportError(message)
 
-    def _request(self, kind: FrameKind, frame, expected: FrameKind):
+    def _request(self, kind: FrameKind, frame: Any, expected: FrameKind) -> Any:
         with self._lock:
             if self._closed:
                 raise TransportError("the client is closed")
@@ -171,6 +171,12 @@ class SessionClient:
             FrameKind.STATS, protocol.StatsRequest(), FrameKind.STATS_REPLY
         )
 
+    def hello(self, role: str = "client", token: bytes = b"") -> protocol.Hello:
+        """Announce ourselves; returns the server's Hello (a liveness probe)."""
+        return self._request(
+            FrameKind.HELLO, protocol.Hello(role=role, token=token), FrameKind.HELLO
+        )
+
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
@@ -220,7 +226,7 @@ class SessionClient:
     def __enter__(self) -> "SessionClient":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -288,7 +294,7 @@ class AsyncSessionClient:
             if isinstance(exc, asyncio.CancelledError):
                 raise
 
-    async def _request(self, kind: FrameKind, frame, expected: FrameKind):
+    async def _request(self, kind: FrameKind, frame: Any, expected: FrameKind) -> Any:
         if self._closed:
             raise TransportError("the client is closed")
         if self._broken is not None:
@@ -339,6 +345,14 @@ class AsyncSessionClient:
         """The server's serving counters, stamp, and identity facts."""
         return await self._request(
             FrameKind.STATS, protocol.StatsRequest(), FrameKind.STATS_REPLY
+        )
+
+    async def hello(
+        self, role: str = "client", token: bytes = b""
+    ) -> protocol.Hello:
+        """Announce ourselves; resolves to the server's Hello (liveness probe)."""
+        return await self._request(
+            FrameKind.HELLO, protocol.Hello(role=role, token=token), FrameKind.HELLO
         )
 
     async def apply(self, updates: Sequence[Tuple]) -> List[StampedOutcome]:
@@ -394,5 +408,5 @@ class AsyncSessionClient:
     async def __aenter__(self) -> "AsyncSessionClient":
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.aclose()

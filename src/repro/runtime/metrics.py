@@ -13,9 +13,15 @@ from typing import Dict, List
 from repro.simulation.matchrel import MatchRelation
 
 
-@dataclass
+@dataclass(frozen=True)
 class RunMetrics:
-    """Metered performance of one distributed run."""
+    """Metered performance of one distributed run.
+
+    Frozen: instances live in the session's result cache and are pickled
+    inside RunReply frames, so every cache hit and every reply future hands
+    the same object to another caller.  Derive variants with
+    ``dataclasses.replace``.
+    """
 
     algorithm: str
     #: simulated makespan: sum over rounds of (max site compute + link time)
@@ -48,9 +54,13 @@ class RunMetrics:
         )
 
 
-@dataclass
+@dataclass(frozen=True)
 class RunResult:
-    """Answer plus metrics for one distributed evaluation."""
+    """Answer plus metrics for one distributed evaluation.
+
+    Frozen for the same reason as :class:`RunMetrics`: this is the cached
+    value itself, shared by every hit on the entry.
+    """
 
     relation: MatchRelation
     metrics: RunMetrics

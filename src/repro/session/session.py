@@ -291,6 +291,9 @@ class SimulationSession:
         self._compiled = None
         #: guards the lazy deps build (never held while computing a query)
         self._deps_lock = threading.Lock()
+        #: guards the lazy compiled-CSR build the same way: concurrent first
+        #: array-engine queries must share one CompiledFragmentation
+        self._compiled_lock = threading.Lock()
         #: guards ``_meta``/``_warm`` against concurrent readers; acquired
         #: *after* the cache's lock when both are needed (the cache's
         #: ``on_evict`` fires under its lock), never the other way around
@@ -334,7 +337,11 @@ class SimulationSession:
         if self._compiled is None:
             from repro.core.arraycompile import CompiledFragmentation
 
-            self._compiled = CompiledFragmentation(self.fragmentation, self.labels)
+            with self._compiled_lock:
+                if self._compiled is None:
+                    self._compiled = CompiledFragmentation(
+                        self.fragmentation, self.labels
+                    )
         return self._compiled
 
     def canonical_form_of(self, query: Pattern):

@@ -1,0 +1,368 @@
+"""Every checker: a seeded fixture it must flag, a clean one it must pass."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.analysis.checkers.asserts import BareAssertChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.drivers import DriverRegistryChecker
+from repro.analysis.checkers.frozen import CrossingType, FrozenCrossingChecker
+from repro.analysis.checkers.lazynumpy import LazyNumpyChecker
+from repro.analysis.checkers.locks import GuardSpec, LockDisciplineChecker
+from repro.analysis.checkers.protocol import ProtocolExhaustivenessChecker
+from repro.analysis.project import Project
+from repro.analysis.runner import run_analysis
+
+
+def check(checker, sources):
+    return list(checker.check(Project.from_sources(sources)))
+
+
+class TestLockDiscipline:
+    SPEC = (
+        GuardSpec(
+            class_name="Box",
+            attrs=("_items",),
+            locks=("self._lock",),
+            exempt_methods=("rebuild",),
+            why="test fixture",
+        ),
+    )
+
+    def _checker(self):
+        return LockDisciplineChecker(guarded=self.SPEC)
+
+    def test_unguarded_write_flagged(self):
+        src = (
+            "class Box:\n"
+            "    def put(self, k, v):\n"
+            "        self._items[k] = v\n"
+        )
+        findings = check(self._checker(), {"m.py": src})
+        assert [f.detail for f in findings] == ["_items"]
+        assert findings[0].symbol == "Box.put"
+
+    def test_guarded_write_clean(self):
+        src = (
+            "class Box:\n"
+            "    def put(self, k, v):\n"
+            "        with self._lock:\n"
+            "            self._items[k] = v\n"
+        )
+        assert check(self._checker(), {"m.py": src}) == []
+
+    def test_mutator_call_counts_as_write(self):
+        src = (
+            "class Box:\n"
+            "    def drop(self, k):\n"
+            "        self._items.pop(k, None)\n"
+        )
+        assert len(check(self._checker(), {"m.py": src})) == 1
+
+    def test_init_and_exempt_methods_allowed(self):
+        src = (
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self._items = {}\n"
+            "    def rebuild(self):\n"
+            "        self._items = {}\n"
+        )
+        assert check(self._checker(), {"m.py": src}) == []
+
+    def test_closure_inside_guard_still_flagged(self):
+        # The with-block wraps the *definition*; the closure body runs later,
+        # after the lock is released.
+        src = (
+            "class Box:\n"
+            "    def put(self, k, v):\n"
+            "        with self._lock:\n"
+            "            def later():\n"
+            "                self._items[k] = v\n"
+            "            return later\n"
+        )
+        assert len(check(self._checker(), {"m.py": src})) == 1
+
+    def test_other_class_untouched(self):
+        src = (
+            "class Other:\n"
+            "    def put(self, k, v):\n"
+            "        self._items[k] = v\n"
+        )
+        assert check(self._checker(), {"m.py": src}) == []
+
+    def test_wildcard_spec_covers_setattr(self):
+        spec = (
+            GuardSpec(
+                class_name="Stats", attrs=("*",), locks=("self._lock",), why="t"
+            ),
+        )
+        src = (
+            "class Stats:\n"
+            "    def bump(self, name):\n"
+            "        setattr(self, name, 1)\n"
+            "    def ok(self, name):\n"
+            "        with self._lock:\n"
+            "            setattr(self, name, 1)\n"
+        )
+        findings = check(LockDisciplineChecker(guarded=spec), {"m.py": src})
+        assert [f.symbol for f in findings] == ["Stats.bump"]
+
+
+class TestFrozenCrossing:
+    def test_unfrozen_dataclass_in_frozen_module_flagged(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Frame:\n"
+            "    x: int\n"
+        )
+        checker = FrozenCrossingChecker(
+            frozen_modules=("net/protocol.py",), crossing_types=()
+        )
+        findings = check(checker, {"net/protocol.py": src})
+        assert [f.detail for f in findings] == ["Frame"]
+
+    def test_frozen_dataclass_clean(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Frame:\n"
+            "    x: int\n"
+        )
+        checker = FrozenCrossingChecker(
+            frozen_modules=("net/protocol.py",), crossing_types=()
+        )
+        assert check(checker, {"net/protocol.py": src}) == []
+
+    def test_registered_crossing_type_must_be_frozen(self):
+        spec = (CrossingType("m.py", "Result", "cached"),)
+        checker = FrozenCrossingChecker(frozen_modules=(), crossing_types=spec)
+        dirty = "from dataclasses import dataclass\n@dataclass\nclass Result:\n    x: int\n"
+        clean = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\nclass Result:\n    x: int\n"
+        )
+        assert len(check(checker, {"m.py": dirty})) == 1
+        assert check(checker, {"m.py": clean}) == []
+
+    def test_setattr_style_requires_guard(self):
+        spec = (CrossingType("m.py", "Rel", "shared", style="setattr"),)
+        checker = FrozenCrossingChecker(frozen_modules=(), crossing_types=spec)
+        dirty = "class Rel:\n    pass\n"
+        clean = (
+            "class Rel:\n"
+            "    def __setattr__(self, name, value):\n"
+            "        raise AttributeError(name)\n"
+        )
+        assert len(check(checker, {"m.py": dirty})) == 1
+        assert check(checker, {"m.py": clean}) == []
+
+    def test_missing_registered_class_reported(self):
+        spec = (CrossingType("m.py", "Vanished", "gone"),)
+        checker = FrozenCrossingChecker(frozen_modules=(), crossing_types=spec)
+        findings = check(checker, {"m.py": "x = 1\n"})
+        assert [f.detail for f in findings] == ["Vanished"]
+
+
+class TestLazyNumpy:
+    def _checker(self):
+        return LazyNumpyChecker(allowed=("core/arraystate.py",))
+
+    def test_module_level_import_flagged(self):
+        for src in (
+            "import numpy\n",
+            "import numpy as np\n",
+            "from numpy import zeros\n",
+            "import numpy.linalg\n",
+            "try:\n    import numpy\nexcept ImportError:\n    numpy = None\n",
+        ):
+            assert len(check(self._checker(), {"core/dgpm.py": src})) == 1, src
+
+    def test_function_level_import_clean(self):
+        src = "def f():\n    import numpy as np\n    return np.zeros(1)\n"
+        assert check(self._checker(), {"core/dgpm.py": src}) == []
+
+    def test_allowed_module_clean(self):
+        assert check(self._checker(), {"core/arraystate.py": "import numpy\n"}) == []
+
+
+class TestProtocolExhaustiveness:
+    PROTOCOL = (
+        "import enum\n"
+        "class FrameKind(enum.IntEnum):\n"
+        "    HELLO = 1\n"
+        "    RUN = 2\n"
+        "    OBJ = 3\n"
+        "class Hello:\n    pass\n"
+        "class RunRequest:\n    pass\n"
+        "FRAME_CLASSES = {\n"
+        "    FrameKind.HELLO: Hello,\n"
+        "    FrameKind.RUN: RunRequest,\n"
+        "}\n"
+    )
+    SERVER = "def dispatch(kind):\n    return kind in (FrameKind.HELLO, FrameKind.RUN)\n"
+    CLIENT = "def send():\n    return (FrameKind.HELLO, FrameKind.RUN)\n"
+    TRANSPORT = "def ship():\n    return FrameKind.OBJ\n"
+
+    def _full_tree(self):
+        return {
+            "net/protocol.py": self.PROTOCOL,
+            "net/server.py": self.SERVER,
+            "net/client.py": self.CLIENT,
+            "runtime/transport.py": self.TRANSPORT,
+        }
+
+    def test_complete_protocol_clean(self):
+        assert check(ProtocolExhaustivenessChecker(), self._full_tree()) == []
+
+    def test_missing_codec_entry_flagged(self):
+        tree = self._full_tree()
+        tree["net/protocol.py"] = self.PROTOCOL.replace(
+            "    FrameKind.RUN: RunRequest,\n", ""
+        )
+        findings = check(ProtocolExhaustivenessChecker(), tree)
+        assert any("FRAME_CLASSES" in f.message and f.detail == "RUN" for f in findings)
+
+    def test_missing_server_arm_flagged(self):
+        tree = self._full_tree()
+        tree["net/server.py"] = "def dispatch(kind):\n    return kind == FrameKind.HELLO\n"
+        findings = check(ProtocolExhaustivenessChecker(), tree)
+        assert any("dispatch arm" in f.message and f.detail == "RUN" for f in findings)
+
+    def test_missing_client_arm_flagged(self):
+        tree = self._full_tree()
+        tree["net/client.py"] = "def send():\n    return FrameKind.HELLO\n"
+        findings = check(ProtocolExhaustivenessChecker(), tree)
+        assert any("client" in f.message and f.detail == "RUN" for f in findings)
+
+    def test_exempt_kind_must_be_used_by_its_owner(self):
+        tree = self._full_tree()
+        tree["runtime/transport.py"] = "def ship():\n    return None\n"
+        findings = check(ProtocolExhaustivenessChecker(), tree)
+        assert [f.detail for f in findings] == ["OBJ"]
+
+    def test_absent_protocol_module_is_not_checked(self):
+        assert check(ProtocolExhaustivenessChecker(), {"other.py": "x = 1\n"}) == []
+
+
+class TestDeterminism:
+    def test_global_rng_flagged_everywhere(self):
+        for src in (
+            "import random\nx = random.choice([1, 2])\n",
+            "import random\nrandom.seed(0)\n",
+            "from random import shuffle\n",
+            "import random\nr = random.Random()\n",
+        ):
+            assert len(check(DeterminismChecker(), {"bench/w.py": src})) == 1, src
+
+    def test_seeded_random_clean(self):
+        src = "import random\nrng = random.Random(7)\nx = rng.random()\n"
+        assert check(DeterminismChecker(), {"core/a.py": src}) == []
+
+    def test_wallclock_flagged_only_in_engine_dirs(self):
+        src = "import time\nt = time.time()\n"
+        assert len(check(DeterminismChecker(), {"core/a.py": src})) == 1
+        assert len(check(DeterminismChecker(), {"simulation/a.py": src})) == 1
+        assert check(DeterminismChecker(), {"bench/a.py": src}) == []
+
+    def test_perf_counter_clean(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert check(DeterminismChecker(), {"core/a.py": src}) == []
+
+    def test_from_time_import_time_flagged(self):
+        src = "from time import time\n"
+        assert len(check(DeterminismChecker(), {"partition/a.py": src})) == 1
+        assert check(DeterminismChecker(), {"net/a.py": src}) == []
+
+
+class TestDriverRegistry:
+    GOOD_DRIVER = (
+        "class GoodDriver:\n"
+        "    name = 'good'\n"
+        "    display_name = 'Good'\n"
+        "    engines = ('dict',)\n"
+        "    def run(self, session, query, config, engine='dict'):\n"
+        "        return None\n"
+        "DRIVERS = {d.name: d for d in (GoodDriver(),)}\n"
+    )
+    ENGINES = "ENGINES = ('dict', 'array')\n"
+    SESSION = (
+        "def validate(driver, engine):\n"
+        "    if engine not in driver.engines:\n"
+        "        raise ValueError(engine)\n"
+    )
+
+    def _tree(self, driver_src=None, session_src=None):
+        return {
+            "session/drivers.py": driver_src or self.GOOD_DRIVER,
+            "core/arraycompile.py": self.ENGINES,
+            "session/session.py": session_src or self.SESSION,
+        }
+
+    def test_well_formed_registry_clean(self):
+        assert check(DriverRegistryChecker(), self._tree()) == []
+
+    def test_missing_engines_flagged(self):
+        bad = self.GOOD_DRIVER.replace("    engines = ('dict',)\n", "")
+        findings = check(DriverRegistryChecker(), self._tree(driver_src=bad))
+        assert any("engines" in f.message for f in findings)
+
+    def test_unknown_engine_flagged(self):
+        bad = self.GOOD_DRIVER.replace("('dict',)", "('dict', 'gpu')")
+        findings = check(DriverRegistryChecker(), self._tree(driver_src=bad))
+        assert any("'gpu'" in f.message for f in findings)
+
+    def test_run_without_engine_param_flagged(self):
+        bad = self.GOOD_DRIVER.replace(
+            "def run(self, session, query, config, engine='dict'):",
+            "def run(self, session, query, config):",
+        )
+        findings = check(DriverRegistryChecker(), self._tree(driver_src=bad))
+        assert any("engine" in f.message for f in findings)
+
+    def test_duplicate_name_flagged(self):
+        dup = (
+            "class A:\n"
+            "    name = 'x'\n"
+            "    display_name = 'A'\n"
+            "    engines = ('dict',)\n"
+            "    def run(self, session, query, config, engine='dict'):\n"
+            "        return None\n"
+            "class B:\n"
+            "    name = 'x'\n"
+            "    display_name = 'B'\n"
+            "    engines = ('dict',)\n"
+            "    def run(self, session, query, config, engine='dict'):\n"
+            "        return None\n"
+            "DRIVERS = {d.name: d for d in (A(), B())}\n"
+        )
+        findings = check(DriverRegistryChecker(), self._tree(driver_src=dup))
+        assert any("re-registers" in f.message for f in findings)
+
+    def test_missing_session_gate_flagged(self):
+        findings = check(
+            DriverRegistryChecker(),
+            self._tree(session_src="def validate(driver, engine):\n    pass\n"),
+        )
+        assert [f.detail for f in findings] == ["session-gate"]
+
+
+class TestBareAssert:
+    def test_assert_flagged(self):
+        findings = check(BareAssertChecker(), {"m.py": "def f(x):\n    assert x\n"})
+        assert [f.detail for f in findings] == ["assert"]
+        assert findings[0].symbol == "f"
+
+    def test_raise_clean(self):
+        src = "def f(x):\n    if not x:\n        raise ValueError(x)\n"
+        assert check(BareAssertChecker(), {"m.py": src}) == []
+
+
+class TestRealTreeIsClean:
+    def test_package_has_no_findings(self):
+        """The committed tree passes every rule (exit-0 contract of CI)."""
+        root = Path(repro.__file__).resolve().parent
+        findings = run_analysis(Project.load(root))
+        assert findings == [], "\n" + "\n".join(f.render() for f in findings)

@@ -1,0 +1,147 @@
+"""The analysis core: project loading, finding fingerprints, baselines."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import load_baseline, triage, write_baseline
+from repro.analysis.findings import Finding, Severity, fingerprints
+from repro.analysis.project import (
+    AnalysisError,
+    Project,
+    dotted,
+    enclosing_method,
+    parent_of,
+    symbol_of,
+)
+
+
+class TestProject:
+    def test_from_sources_indexes_by_relpath(self):
+        project = Project.from_sources({"a/b.py": "x = 1\n", "c.py": "y = 2\n"})
+        assert len(project) == 2
+        assert project.module("a/b.py") is not None
+        assert project.module("missing.py") is None
+
+    def test_parse_error_is_analysis_error(self):
+        with pytest.raises(AnalysisError, match="bad.py"):
+            Project.from_sources({"bad.py": "def broken(:\n"})
+
+    def test_parent_and_symbol_annotations(self):
+        project = Project.from_sources(
+            {"m.py": "class C:\n    def f(self):\n        x = 1\n"}
+        )
+        module = project.module("m.py")
+        import ast
+
+        assign = next(n for n in module.walk() if isinstance(n, ast.Assign))
+        assert symbol_of(assign) == "C.f"
+        func = parent_of(assign)
+        assert isinstance(func, ast.FunctionDef)
+        method = enclosing_method(assign)
+        assert method is func
+
+    def test_closure_write_attributed_to_outer_method(self):
+        source = (
+            "class C:\n"
+            "    def outer(self):\n"
+            "        def inner():\n"
+            "            self.x = 1\n"
+            "        return inner\n"
+        )
+        project = Project.from_sources({"m.py": source})
+        import ast
+
+        assign = next(
+            n for n in project.module("m.py").walk() if isinstance(n, ast.Assign)
+        )
+        assert enclosing_method(assign).name == "outer"
+
+    def test_dotted_renders_lock_expressions(self):
+        import ast
+
+        expr = ast.parse("self._rw.write_locked()").body[0].value
+        assert dotted(expr) == "self._rw.write_locked()"
+        plain = ast.parse("self._lock").body[0].value
+        assert dotted(plain) == "self._lock"
+
+    def test_load_skips_pycache(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("syntax error here(\n")
+        project = Project.load(tmp_path)
+        assert [m.relpath for m in project] == ["ok.py"]
+
+    def test_load_rejects_non_directory(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            Project.load(tmp_path / "nope")
+
+
+class TestFingerprints:
+    def test_line_independent_and_occurrence_counted(self):
+        f1 = Finding("r", "p.py", 10, 0, "m", symbol="C.f", detail="x")
+        f2 = Finding("r", "p.py", 20, 0, "m", symbol="C.f", detail="x")
+        pairs = fingerprints([f2, f1])
+        assert [fp for _, fp in pairs] == [
+            "r::p.py::C.f::x#0",
+            "r::p.py::C.f::x#1",
+        ]
+        # Shifting lines does not change the fingerprints.
+        moved = fingerprints(
+            [
+                Finding("r", "p.py", 11, 0, "m", symbol="C.f", detail="x"),
+                Finding("r", "p.py", 99, 0, "m", symbol="C.f", detail="x"),
+            ]
+        )
+        assert [fp for _, fp in moved] == [fp for _, fp in pairs]
+
+    def test_render_pins_file_and_line(self):
+        f = Finding("rule-x", "a/b.py", 3, 7, "broken thing")
+        assert f.render() == "a/b.py:3:7: error[rule-x] broken thing"
+        assert f.severity is Severity.ERROR
+
+
+class TestBaseline:
+    def _finding(self, detail="x"):
+        return Finding("r", "p.py", 1, 0, "m", symbol="f", detail=detail)
+
+    def test_round_trip_suppresses(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [self._finding("a"), self._finding("b")]
+        assert write_baseline(path, findings) == 2
+        result = triage(findings, load_baseline(path))
+        assert not result.fresh
+        assert len(result.suppressed) == 2
+        assert not result.stale
+
+    def test_fresh_findings_not_matched(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [self._finding("a")])
+        result = triage(
+            [self._finding("a"), self._finding("new")], load_baseline(path)
+        )
+        assert [f.detail for f in result.fresh] == ["new"]
+
+    def test_stale_entries_reported(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [self._finding("gone")])
+        result = triage([], load_baseline(path))
+        assert result.stale == ("r::p.py::f::gone#0",)
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_corrupt_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json at all")
+        with pytest.raises(AnalysisError):
+            load_baseline(path)
+        path.write_text(json.dumps({"version": 99, "suppressions": []}))
+        with pytest.raises(AnalysisError):
+            load_baseline(path)
+        path.write_text(json.dumps({"version": 1, "suppressions": [1, 2]}))
+        with pytest.raises(AnalysisError):
+            load_baseline(path)

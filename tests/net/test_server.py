@@ -114,6 +114,15 @@ class TestSyncClient:
                 assert reply.stats.queries_served >= 1
                 assert reply.stats.mutations == 1
 
+    def test_hello_handshake(self, instance):
+        graph, frag, queries = instance
+        with serve_in_thread(frag, backend="thread", n_workers=2) as srv:
+            with SessionClient(*srv.address, timeout=60.0) as client:
+                reply = client.hello()
+                assert reply.role == "server"
+                # the handshake is a plain request: the connection keeps working
+                assert client.run(queries[0], algorithm="dgpm").stamp == 0
+
     def test_server_errors_reraise_original_type(self, instance):
         graph, frag, queries = instance
         with serve_in_thread(frag, backend="thread", n_workers=2) as srv:
@@ -170,6 +179,17 @@ class TestAsyncClient:
                 assert r.stamp == 0
                 assert r.relation == simulation(q, graph)
             assert reply.stats.queries_served >= len(queries)
+
+    def test_async_hello_handshake(self, instance):
+        graph, frag, queries = instance
+        with serve_in_thread(frag, backend="thread", n_workers=2) as srv:
+            host, port = srv.address
+
+            async def scenario():
+                async with await AsyncSessionClient.connect(host, port) as client:
+                    return await client.hello()
+
+            assert asyncio.run(scenario()).role == "server"
 
     def test_async_mutations_and_errors(self, instance):
         graph, frag, queries = instance

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Run mypy and ratchet its error inventory against a committed baseline.
+
+The typing story is incremental: a few strict islands (see ``[tool.mypy]``
+in ``pyproject.toml``) plus a frozen inventory of accepted errors for the
+rest.  This wrapper enforces the ratchet direction:
+
+* an error NOT in ``tools/mypy_baseline.txt`` fails the run (new debt);
+* a baseline line matching nothing is reported as stale (fixable shrink);
+* error lines are normalized (column numbers stripped) so small edits don't
+  churn the baseline.
+
+Bootstrap: the committed baseline starts with ``# seeded: false``.  While
+unseeded, the run never fails -- it prints the full inventory and writes it
+to ``tools/mypy_baseline.candidate.txt`` so a CI artifact / local run can
+seed the real baseline (flip the header to ``# seeded: true`` after
+reviewing).  This keeps the job honest on machines where mypy cannot run
+today without letting an unreviewed inventory silently become the contract.
+
+Exit codes: 0 clean/bootstrap, 1 new errors, 2 could not run.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "tools" / "mypy_baseline.txt"
+CANDIDATE = REPO / "tools" / "mypy_baseline.candidate.txt"
+
+#: "path:line:col: error: msg" -> "path: error: msg" (line and column drift)
+_LOCATION = re.compile(r"^(?P<path>[^:]+):\d+(:\d+)?: (?P<rest>(error|note): .*)$")
+
+
+def normalize(line: str) -> str:
+    match = _LOCATION.match(line.strip())
+    if match is None:
+        return line.strip()
+    return f"{match.group('path')}: {match.group('rest')}"
+
+
+def run_mypy() -> Tuple[List[str], int]:
+    """(normalized error lines, mypy exit code); only 'error:' lines kept."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary", "src/repro"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    errors = sorted(
+        normalize(line)
+        for line in proc.stdout.splitlines()
+        if ": error: " in line
+    )
+    return errors, proc.returncode
+
+
+def load_baseline() -> Tuple[bool, List[str]]:
+    """(seeded?, accepted lines).  Missing file == unseeded and empty."""
+    if not BASELINE.exists():
+        return False, []
+    seeded = False
+    lines: List[str] = []
+    for raw in BASELINE.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if line.startswith("# seeded:"):
+            seeded = line.split(":", 1)[1].strip().lower() == "true"
+        elif line and not line.startswith("#"):
+            lines.append(line)
+    return seeded, lines
+
+
+def main() -> int:
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        # mypy is a CI-only dependency; a machine without it cannot move the
+        # ratchet either way.
+        print("mypy-ratchet: mypy is not installed; skipping (CI installs it)")
+        return 0
+
+    errors, code = run_mypy()
+    if code not in (0, 1):  # 2 == mypy crashed / bad config
+        print(f"mypy-ratchet: mypy exited {code}; configuration problem?")
+        return 2
+
+    seeded, accepted = load_baseline()
+    if not seeded:
+        CANDIDATE.write_text(
+            "\n".join(errors) + ("\n" if errors else ""), encoding="utf-8"
+        )
+        for line in errors:
+            print(line)
+        print(
+            f"mypy-ratchet: baseline not seeded; {len(errors)} error(s) "
+            f"recorded in {CANDIDATE.relative_to(REPO)} (review, copy into "
+            "tools/mypy_baseline.txt, set '# seeded: true' to arm the ratchet)"
+        )
+        return 0
+
+    fresh = [e for e in errors if e not in set(accepted)]
+    stale = [a for a in accepted if a not in set(errors)]
+    for line in fresh:
+        print(line)
+    for line in stale:
+        print(f"mypy-ratchet: stale baseline entry (remove it): {line}")
+    print(
+        f"mypy-ratchet: {len(errors)} error(s): {len(fresh)} new, "
+        f"{len(errors) - len(fresh)} baselined, {len(stale)} stale"
+    )
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
