@@ -1,0 +1,185 @@
+"""Sharded vs replicated worker memory: the fragment-ownership gate.
+
+The whole point of ``backend="sharded"`` (ISSUE 8, the top ROADMAP open
+item) is that a worker holds only its *owned* fragments -- the paper's site
+model -- instead of a full replica session, so per-worker memory scales
+with ``|F|/n`` rather than ``|F|``.  This benchmark spawns both pools over
+the same 8000-node/32000-edge web graph at ``|F| = 16`` with the ``spawn``
+start method (no copy-on-write sharing: every page a worker holds is its
+own, so ``VmHWM`` is honest), serves the same query stream through each,
+and compares per-worker peak RSS.
+
+Gate: **max sharded worker peak RSS < 0.6x the max replicated worker's** at
+4 workers, with answers parity-checked against a from-scratch simulation.
+The RSS gate needs ``/proc/<pid>/status`` (Linux); elsewhere it degrades to
+parity-only, loudly reported.
+
+Runs two ways:
+
+* ``pytest benchmarks/ -o python_files='bench_*.py'`` -- recorded sweep;
+* ``python benchmarks/bench_sharded.py [--smoke]`` -- standalone CI gate.
+"""
+
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro import ConcurrentSessionServer, hash_partition, simulation, web_graph
+from repro.bench.report import record_report
+from repro.bench.smoke import record_smoke
+from repro.bench.workloads import cyclic_pattern
+
+RESULTS = Path(__file__).parent / "results"
+
+RSS_RATIO_GATE = 0.6
+
+
+def _peak_rss_kb(pid: int) -> Optional[int]:
+    """``VmHWM`` of another live process (Linux); None where unsupported."""
+    try:
+        with open(f"/proc/{pid}/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        return None
+    return None
+
+
+def sharded_memory_run(
+    n_nodes: int = 8000,
+    n_edges: int = 32000,
+    n_fragments: int = 16,
+    n_workers: int = 4,
+    n_queries: int = 6,
+    seed: int = 17,
+) -> Dict[str, object]:
+    """Serve one stream through both backends; return parity + RSS facts."""
+    graph = web_graph(n_nodes, n_edges, n_labels=5, seed=seed)
+    frag = hash_partition(graph, n_fragments, seed=seed)
+    queries = [cyclic_pattern(graph, 3, 4, seed=s) for s in range(n_queries)]
+    oracles = [simulation(q, graph) for q in queries]
+
+    def drive(backend: str) -> Dict[str, object]:
+        with ConcurrentSessionServer(
+            frag, backend=backend, n_workers=n_workers, mp_context="spawn"
+        ) as server:
+            pool = server._shards if backend == "sharded" else server._workers
+            parity = all(
+                server.run(q, algorithm="dgpm").relation == oracle
+                for q, oracle in zip(queries, oracles)
+            )
+            rss = [_peak_rss_kb(h.process.pid) for h in pool]
+        return {"parity": parity, "rss_kb": rss}
+
+    replicated = drive("process")
+    sharded = drive("sharded")
+    rep_rss = [r for r in replicated["rss_kb"] if r is not None]
+    sh_rss = [r for r in sharded["rss_kb"] if r is not None]
+    ratio = (max(sh_rss) / max(rep_rss)) if rep_rss and sh_rss else None
+    return {
+        "n_nodes": n_nodes,
+        "n_edges": n_edges,
+        "n_fragments": n_fragments,
+        "n_workers": n_workers,
+        "parity": bool(replicated["parity"] and sharded["parity"]),
+        "replicated_peak_rss_kb": rep_rss,
+        "sharded_peak_rss_kb": sh_rss,
+        "rss_ratio": ratio,
+    }
+
+
+def render(run: Dict[str, object]) -> str:
+    lines = [
+        "sharded vs replicated per-worker peak RSS "
+        f"(|F|={run['n_fragments']}, {run['n_workers']} workers, "
+        f"{run['n_nodes']} nodes / {run['n_edges']} edges)",
+        f"  replicated: {run['replicated_peak_rss_kb']} kB",
+        f"  sharded:    {run['sharded_peak_rss_kb']} kB",
+        (
+            f"  max ratio:  {run['rss_ratio']:.3f} (gate < {RSS_RATIO_GATE})"
+            if run["rss_ratio"] is not None
+            else "  max ratio:  n/a (no /proc RSS on this platform)"
+        ),
+        f"  parity:     {'ok' if run['parity'] else 'VIOLATED'}",
+    ]
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def memory_run():
+    run = sharded_memory_run()
+    record_report("sharded_memory", render(run), RESULTS)
+    return run
+
+
+def test_sharded_parity(memory_run):
+    assert memory_run["parity"], "sharded answers diverged from the oracle"
+
+
+def test_sharded_per_worker_rss_gate(memory_run):
+    ratio = memory_run["rss_ratio"]
+    if ratio is None:
+        pytest.skip("no /proc/<pid>/status on this platform")
+    assert ratio < RSS_RATIO_GATE, (
+        f"sharded workers must be lighter than replicas: max RSS ratio "
+        f"{ratio:.3f} >= {RSS_RATIO_GATE} "
+        f"(sharded {memory_run['sharded_peak_rss_kb']} kB vs replicated "
+        f"{memory_run['replicated_peak_rss_kb']} kB)"
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--nodes", type=int, default=12000)
+    parser.add_argument("--edges", type=int, default=48000)
+    parser.add_argument("--fragments", type=int, default=16)
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        # Big enough that fragment data dominates the per-process
+        # interpreter baseline, small enough for CI seconds.
+        args.nodes, args.edges = 8000, 32000
+
+    run = sharded_memory_run(
+        n_nodes=args.nodes,
+        n_edges=args.edges,
+        n_fragments=args.fragments,
+        n_workers=args.workers,
+    )
+    print(render(run))
+    failures: List[str] = []
+    if not run["parity"]:
+        failures.append("answer parity violated")
+    if run["rss_ratio"] is None:
+        print(
+            "note: per-worker RSS is unreadable on this platform -- the "
+            "0.6x gate is skipped (parity still enforced)"
+        )
+    elif run["rss_ratio"] >= RSS_RATIO_GATE:
+        failures.append(
+            f"max sharded/replicated RSS ratio {run['rss_ratio']:.3f} "
+            f">= {RSS_RATIO_GATE}"
+        )
+    record_smoke(
+        "sharded",
+        {
+            "smoke": args.smoke,
+            "ok": not failures,
+            "gate": RSS_RATIO_GATE,
+            **run,
+        },
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

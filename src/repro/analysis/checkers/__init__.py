@@ -17,13 +17,17 @@ from repro.analysis.checkers.drivers import DriverRegistryChecker
 from repro.analysis.checkers.frozen import FrozenCrossingChecker
 from repro.analysis.checkers.lazynumpy import LazyNumpyChecker
 from repro.analysis.checkers.locks import LockDisciplineChecker
-from repro.analysis.checkers.protocol import ProtocolExhaustivenessChecker
+from repro.analysis.checkers.protocol import (
+    ProtocolExhaustivenessChecker,
+    ShardCommandChecker,
+)
 
 ALL_CHECKERS: Tuple[Checker, ...] = (
     LockDisciplineChecker(),
     FrozenCrossingChecker(),
     LazyNumpyChecker(),
     ProtocolExhaustivenessChecker(),
+    ShardCommandChecker(),
     DeterminismChecker(),
     DriverRegistryChecker(),
     BareAssertChecker(),
@@ -39,4 +43,5 @@ __all__ = [
     "LazyNumpyChecker",
     "LockDisciplineChecker",
     "ProtocolExhaustivenessChecker",
+    "ShardCommandChecker",
 ]

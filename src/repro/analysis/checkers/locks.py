@@ -120,6 +120,15 @@ GUARDED: Tuple[GuardSpec, ...] = (
         locks=("self._rw.write_locked()",),
         why="stamp/desync flips happen only at quiescent points",
     ),
+    GuardSpec(
+        class_name="ConcurrentSessionServer",
+        attrs=("_shards", "_ring", "_respawns"),
+        locks=("self._pool_lock",),
+        why=(
+            "the sharded pool (worker handles, hash ring, respawn counter) "
+            "is repaired/rebalanced by whichever thread hits a dead worker"
+        ),
+    ),
 )
 
 

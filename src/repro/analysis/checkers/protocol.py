@@ -119,6 +119,131 @@ class ProtocolExhaustivenessChecker:
         )
 
 
+MP_MODULE = "runtime/mp.py"
+COORDINATOR_MODULE = "session/concurrent.py"
+
+
+class ShardCommandChecker:
+    """The sharded arm: every ``SHARD_COMMANDS`` entry is wired end to end.
+
+    The shard worker protocol is stringly typed on purpose (commands ride
+    the pickle transport), so nothing at runtime ties the three sites
+    together: the ``SHARD_COMMANDS`` inventory in ``runtime/mp.py``, the
+    ``_shard_worker`` dispatch arm matching each command, and the
+    coordinator in ``session/concurrent.py`` that sends it.  A command
+    present in the inventory but missing either arm -- or dispatched/sent
+    but absent from the inventory -- is a finding.
+    """
+
+    rule = "protocol-exhaustive"
+    description = (
+        "every SHARD_COMMANDS entry has a _shard_worker dispatch arm in "
+        "runtime/mp.py and a sender in session/concurrent.py"
+    )
+
+    def __init__(
+        self,
+        mp_module: str = MP_MODULE,
+        coordinator_module: str = COORDINATOR_MODULE,
+    ) -> None:
+        self.mp_module = mp_module
+        self.coordinator_module = coordinator_module
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        mp = project.module(self.mp_module)
+        if mp is None:
+            return  # outside the real tree / a partial fixture
+        inventory = _shard_command_inventory(mp)
+        if inventory is None:
+            yield Finding(
+                rule=self.rule,
+                path=mp.relpath,
+                line=1,
+                col=0,
+                message=(
+                    f"no SHARD_COMMANDS inventory found in {self.mp_module}; "
+                    "the shard worker protocol is unchecked"
+                ),
+                symbol=None,
+                detail="SHARD_COMMANDS",
+            )
+            return
+        commands, node = inventory
+        dispatch = _string_literals(mp, skip=node)
+        senders = _string_literals(project.module(self.coordinator_module))
+        for command in commands:
+            if command not in dispatch:
+                yield self._finding(
+                    mp, node, command,
+                    f"shard command {command!r} has no dispatch arm in "
+                    f"{self.mp_module}: the worker cannot serve it",
+                )
+            if command not in senders:
+                yield self._finding(
+                    mp, node, command,
+                    f"shard command {command!r} is never sent from "
+                    f"{self.coordinator_module}: dead protocol surface",
+                )
+
+    def _finding(
+        self, module: ParsedModule, node: ast.AST, command: str, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule,
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            symbol=symbol_of(node),
+            detail=command,
+        )
+
+
+def _shard_command_inventory(
+    module: ParsedModule,
+) -> Tuple[Set[str], ast.AST] | None:
+    """The ``SHARD_COMMANDS`` tuple's string members and its assignment node."""
+    for node in module.walk():
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "SHARD_COMMANDS" for t in targets
+        ):
+            continue
+        value = node.value
+        if isinstance(value, (ast.Tuple, ast.List)):
+            members = {
+                elt.value
+                for elt in value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            }
+            return members, node
+    return None
+
+
+def _string_literals(
+    module: ParsedModule | None, skip: ast.AST | None = None
+) -> Set[str]:
+    """Every string constant in ``module``, excluding the ``skip`` subtree."""
+    if module is None:
+        return set()
+    skipped: Set[int] = set()
+    if skip is not None:
+        skipped = {id(sub) for sub in ast.walk(skip)}
+    out: Set[str] = set()
+    for node in module.walk():
+        if id(node) in skipped:
+            continue
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            out.add(node.value)
+    return out
+
+
 def _enum_members(
     module: ParsedModule, enum_name: str
 ) -> List[Tuple[str, ast.AST]]:

@@ -31,6 +31,7 @@ import contextlib
 import itertools
 import socket
 import threading
+import time
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import DgpmConfig
@@ -39,6 +40,7 @@ from repro.graph.digraph import Label, Node
 from repro.graph.pattern import Pattern
 from repro.net import protocol
 from repro.net.protocol import DEFAULT_MAX_FRAME, FrameKind
+from repro.runtime.transport import RetryPolicy
 # Import from the concrete module (not the repro.session package): this
 # module loads while the package may still be mid-initialization.
 from repro.session.concurrent import StampedOutcome, StampedResult
@@ -74,7 +76,16 @@ def _next_seq(counter: "itertools.count") -> int:
 
 
 class SessionClient:
-    """A blocking client for one :class:`NetworkSessionServer`."""
+    """A blocking client for one :class:`NetworkSessionServer`.
+
+    Pass ``reconnect=RetryPolicy(...)`` to opt into bounded redial: a broken
+    stream (timeout, server restart, mid-exchange disconnect) still fails
+    the request it struck -- its reply can no longer be trusted to pair up
+    -- but instead of marking the client permanently broken, the *next*
+    request dials a fresh connection under the policy's backoff schedule.
+    Without a policy, any stream break closes the client for good (the
+    original conservative semantics).
+    """
 
     def __init__(
         self,
@@ -82,39 +93,73 @@ class SessionClient:
         port: int,
         timeout: Optional[float] = None,
         max_frame: int = DEFAULT_MAX_FRAME,
+        reconnect: Optional[RetryPolicy] = None,
     ) -> None:
-        try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
-        except OSError as exc:
-            raise TransportError(
-                f"cannot reach server at {host}:{port}: {exc}"
-            ) from exc
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._reconnect = reconnect
+        self._sock: Optional[socket.socket] = self._dial()
         self._max_frame = max_frame
         self._lock = threading.Lock()
         self._seq = itertools.count(1)
         self._closed = False
 
     # ------------------------------------------------------------------
+    def _dial(self) -> socket.socket:
+        try:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"cannot reach server at {self._host}:{self._port}: {exc}"
+            ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
     def _broken(self, message: str) -> TransportError:
-        """Mark the connection unusable and build the error to raise.
+        """Drop the connection and build the error to raise.
 
         A timeout or mid-exchange disconnect leaves the byte stream
         desynchronized (the late reply may still arrive and would pair with
-        the *next* request), so the client refuses further use instead of
-        producing confusing seq-mismatch failures later.
+        the *next* request), so the socket is never reused.  Without a
+        ``reconnect`` policy the whole client is closed for good; with one,
+        only the socket dies and the next request redials.
         """
-        self._closed = True
-        try:
-            self._sock.close()
-        except OSError:  # pragma: no cover - best-effort teardown
-            pass
+        if self._reconnect is None:
+            self._closed = True
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+            self._sock = None
         return TransportError(message)
+
+    def _redial_locked(self) -> None:
+        """Bounded reconnect (fresh socket, fresh stream) under the policy."""
+        if self._reconnect is None:  # pragma: no cover - guarded by _broken
+            raise TransportError("the client is closed")
+        last: Optional[BaseException] = None
+        for delay in self._reconnect.delays():
+            try:
+                self._sock = self._dial()
+                return
+            except TransportError as exc:
+                last = exc
+                time.sleep(delay)
+        raise TransportError(
+            f"reconnect to {self._host}:{self._port} failed after "
+            f"{self._reconnect.attempts} attempts: {last}"
+        ) from last
 
     def _request(self, kind: FrameKind, frame: Any, expected: FrameKind) -> Any:
         with self._lock:
             if self._closed:
                 raise TransportError("the client is closed")
+            if self._sock is None:
+                self._redial_locked()
             seq = _next_seq(self._seq)
             try:
                 protocol.write_frame(
@@ -215,6 +260,8 @@ class SessionClient:
             if self._closed:
                 return
             self._closed = True
+            if self._sock is None:  # broken earlier, awaiting a redial
+                return
             try:
                 protocol.write_frame(
                     self._sock, FrameKind.BYE, protocol.Bye(), seq=_next_seq(self._seq)
@@ -222,6 +269,7 @@ class SessionClient:
             except OSError:
                 pass
             self._sock.close()
+            self._sock = None
 
     def __enter__(self) -> "SessionClient":
         return self

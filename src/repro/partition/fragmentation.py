@@ -252,6 +252,24 @@ class Fragmentation:
         )
 
     # ------------------------------------------------------------------
+    # shipping fragments to shard workers
+    # ------------------------------------------------------------------
+    def extract_shard(self, fids) -> "FragmentShard":
+        """The named fragments, packaged for shipping to one shard worker.
+
+        The shard references the live :class:`Fragment` objects; crossing a
+        process boundary (pickling over a transport, or spawn/fork) copies
+        them, which is exactly the snapshot the worker should hold.  Unlike
+        the full fragmentation, a shard carries *no base graph and no
+        global owner map* -- the whole point of the sharded deployment is
+        that per-worker memory scales with ``|F|/n``, not ``|G|``.
+        """
+        missing = [fid for fid in fids if not 0 <= fid < self.n_fragments]
+        if missing:
+            raise FragmentationError(f"fragment ids {missing} out of range")
+        return FragmentShard({fid: self.fragments[fid] for fid in fids})
+
+    # ------------------------------------------------------------------
     # invariants (Section 2.2)
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -380,3 +398,94 @@ def fragment_graph(graph: DiGraph, assignment: Mapping[Node, int]) -> Fragmentat
             )
         )
     return Fragmentation(graph, fragments, owner)
+
+
+class FragmentShard:
+    """One shard worker's owned subset of a fragmentation's fragments.
+
+    Site programs only ever evaluate ``fragmentation[their_fid]``, so a
+    mapping that answers ``shard[fid]`` for the owned ids is a drop-in
+    stand-in for the full :class:`Fragmentation` on the worker side.  The
+    shard is also *maintainable*: :meth:`apply_delta` replays a
+    :class:`MutationDelta` against whichever owned fragments it touches,
+    using the delta's recorded boundary transitions instead of the base
+    graph (which the worker deliberately does not hold).
+    """
+
+    __slots__ = ("_fragments",)
+
+    def __init__(self, fragments: Mapping[int, Fragment]) -> None:
+        self._fragments: Dict[int, Fragment] = dict(fragments)
+
+    @property
+    def fids(self) -> Tuple[int, ...]:
+        """Owned fragment ids, sorted."""
+        return tuple(sorted(self._fragments))
+
+    def __contains__(self, fid: object) -> bool:
+        return fid in self._fragments
+
+    def __len__(self) -> int:
+        return len(self._fragments)
+
+    def __getitem__(self, fid: int) -> Fragment:
+        try:
+            return self._fragments[fid]
+        except KeyError:
+            raise FragmentationError(
+                f"fragment {fid} is not owned by this shard (owns {self.fids})"
+            ) from None
+
+    def install(self, fid: int, fragment: Fragment) -> None:
+        """Adopt ownership of ``fragment`` (ring migration re-ship)."""
+        self._fragments[fid] = fragment
+
+    def drop(self, fid: int) -> None:
+        """Release ownership of ``fid`` (migrated away)."""
+        self._fragments.pop(fid, None)
+
+    @property
+    def resident_size(self) -> int:
+        """Sum of owned fragments' ``|Vi| + |Ei|`` (capacity accounting)."""
+        return sum(f.size for f in self._fragments.values())
+
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: MutationDelta) -> None:
+        """Replay one mutation against the owned fragments.
+
+        Mirrors :meth:`Fragmentation.delete_edge` / :meth:`insert_edge` /
+        :meth:`add_node` fragment-by-fragment, trusting the delta's
+        ``virtual_*``/``in_*`` booleans for the boundary decisions that
+        would otherwise need the base graph.  Deltas touching no owned
+        fragment are no-ops, so the coordinator may over-deliver safely.
+        """
+        source = self._fragments.get(delta.source_fid)
+        target = self._fragments.get(delta.target_fid)
+        if delta.kind == "add_node":
+            if source is not None:
+                source.graph.add_node(delta.u, delta.u_label)
+                source._add_local_node(delta.u)
+            return
+        if delta.kind == "insert":
+            if source is not None:
+                if delta.crossing and delta.virtual_added:
+                    source._add_virtual_node(delta.v, owner=delta.target_fid)
+                    if delta.v not in source.graph:
+                        source.graph.add_node(delta.v, delta.v_label)
+                source.graph.add_edge(delta.u, delta.v)
+            if target is not None and delta.crossing and delta.in_added:
+                target._add_in_node(delta.v)
+            return
+        if delta.kind == "delete":
+            if source is not None:
+                source.graph.remove_edge(delta.u, delta.v)
+                if delta.crossing and delta.virtual_dropped:
+                    source._drop_virtual_node(delta.v)
+                    source.graph.remove_node(delta.v)
+            if target is not None and delta.crossing and delta.in_dropped:
+                target._drop_in_node(delta.v)
+            return
+        raise FragmentationError(f"unknown mutation kind {delta.kind!r}")
+
+    def __repr__(self) -> str:
+        return f"FragmentShard(fids={self.fids}, size={self.resident_size})"

@@ -144,6 +144,175 @@ def _resident_session_worker(channel, init=None) -> None:
             transport.send(("err", ProtocolError(f"worker reply failed to pickle: {exc}")))
 
 
+#: the sharded worker's full command inventory; the protocol-exhaustive
+#: checker verifies every entry has a dispatch arm in ``_shard_worker`` and
+#: a sender in the coordinator (repro.session.concurrent).
+SHARD_COMMANDS: Tuple[str, ...] = (
+    "q.start",
+    "q.tick",
+    "q.collect",
+    "mutate",
+    "install",
+    "stats",
+    "stop",
+)
+
+
+def _peak_rss_kb() -> int:
+    """This process's peak resident set (VmHWM) in KiB; 0 if unreadable."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        pass
+    try:  # pragma: no cover - non-Linux fallback
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:  # pragma: no cover
+        return 0
+
+
+def _shard_worker(channel, init=None) -> None:
+    """Worker-process loop: own a *subset* of fragments, not a replica.
+
+    This is the site model of the paper's Section 2.2 made literal: the
+    worker holds a :class:`~repro.partition.fragmentation.FragmentShard`
+    (its owned fragments only -- no base graph) plus the watcher tables,
+    and participates in coordinator-driven rounds.  Commands:
+
+    * ``("q.start", (name, query, config))`` -- build one site program per
+      owned fragment from the module-level sharded plan registry and run
+      ``on_start``; replies ``("ok", (cross_msgs, all_halted, has_local))``
+      where ``cross_msgs`` are messages leaving this shard (intra-shard
+      messages are buffered locally for the next round, preserving the
+      synchronous-round semantics of the in-process engine).  Always resets
+      any previous query state, so an aborted run cannot leak into the
+      next.
+    * ``("q.tick", (round_no, inbox))`` -- one superstep over the owned
+      sites: deliver buffered intra-shard messages plus the coordinator's
+      ``inbox``, tick every site that has mail or is not halted; same reply
+      shape.
+    * ``("q.collect", None)`` -> ``("ok", [result messages])``; clears the
+      query state.
+    * ``("mutate", [MutationDelta, ...])`` -- replay deltas into the shard
+      and watcher tables -> ``("ok", n_applied)``.
+    * ``("install", (adds, drops))`` -- adopt/release fragment ownership on
+      ring changes -> ``("ok", owned_fids)``.
+    * ``("stats", None)`` -> ``("ok", {...})`` incl. peak RSS.
+    * ``("stop", None)`` -- close and exit.
+    """
+    from repro.session.sharding import SHARDED_PLANS  # import cycle guard
+
+    transport = open_worker_transport(channel)
+    shard, deps = _worker_init(transport, init)
+    programs = None
+    halted: Dict[int, bool] = {}
+    local_pending: List[Message] = []
+
+    def route(messages: List[Message], cross: List[Message]) -> None:
+        for message in messages:
+            if programs is not None and message.dst in programs:
+                local_pending.append(message)
+            else:
+                cross.append(message)
+
+    while True:
+        try:
+            command, payload = transport.recv()
+        except EOFError:  # pragma: no cover - parent died
+            return
+        if command == "q.start":
+            name, query, config = payload
+            try:
+                plan = SHARDED_PLANS[name]
+                halted = {}
+                local_pending = []
+                programs = {
+                    fid: plan.build_program(fid, shard, query, deps, config)
+                    for fid in shard.fids
+                }
+                cross: List[Message] = []
+                for fid in sorted(programs):
+                    result = programs[fid].on_start()
+                    halted[fid] = result.halted
+                    route(result.messages, cross)
+                reply = ("ok", (cross, all(halted.values()), bool(local_pending)))
+            except Exception as exc:
+                programs = None
+                reply = ("err", exc)
+        elif command == "q.tick":
+            round_no, inbox = payload
+            try:
+                if programs is None:
+                    raise ProtocolError("q.tick without an active q.start")
+                inboxes: Dict[int, List[Message]] = {}
+                for message in local_pending + list(inbox):
+                    inboxes.setdefault(message.dst, []).append(message)
+                local_pending = []
+                cross = []
+                for fid in sorted(programs):
+                    site_inbox = inboxes.get(fid, [])
+                    if not site_inbox and halted[fid]:
+                        continue
+                    result = programs[fid].on_tick(round_no, site_inbox)
+                    halted[fid] = result.halted
+                    route(result.messages, cross)
+                reply = ("ok", (cross, all(halted.values()), bool(local_pending)))
+            except Exception as exc:
+                reply = ("err", exc)
+        elif command == "q.collect":
+            try:
+                if programs is None:
+                    raise ProtocolError("q.collect without an active q.start")
+                results = [programs[fid].collect() for fid in sorted(programs)]
+                reply = ("ok", results)
+            except Exception as exc:
+                reply = ("err", exc)
+            programs = None
+            halted = {}
+            local_pending = []
+        elif command == "mutate":
+            try:
+                for delta in payload:
+                    shard.apply_delta(delta)
+                    deps.apply_delta(delta)
+                reply = ("ok", len(payload))
+            except Exception as exc:
+                reply = ("err", exc)
+        elif command == "install":
+            try:
+                adds, drops = payload
+                for fid in drops:
+                    shard.drop(fid)
+                for fid, fragment in adds.items():
+                    shard.install(fid, fragment)
+                reply = ("ok", shard.fids)
+            except Exception as exc:
+                reply = ("err", exc)
+        elif command == "stats":
+            reply = (
+                "ok",
+                {
+                    "fids": shard.fids,
+                    "n_fragments": len(shard),
+                    "resident_size": shard.resident_size,
+                    "peak_rss_kb": _peak_rss_kb(),
+                },
+            )
+        elif command == "stop":
+            transport.close()
+            return
+        else:
+            reply = ("err", ProtocolError(f"unknown shard command {command!r}"))
+        try:
+            transport.send(reply)
+        except Exception as exc:  # pragma: no cover - unpicklable payload
+            transport.send(("err", ProtocolError(f"shard reply failed to pickle: {exc}")))
+
+
 def _check_transport(transport: str) -> None:
     if transport not in TRANSPORTS:
         raise ReproError(
@@ -156,6 +325,7 @@ def _spawn_over_transport(
     inits: List[tuple],
     transport: str,
     ctx=None,
+    handshake_timeout: float = 30.0,
 ) -> List[Tuple[mp.Process, Transport]]:
     """Spawn one ``target`` worker per init payload; returns their links,
     in init order.
@@ -200,7 +370,7 @@ def _spawn_over_transport(
                 proc.start()
                 procs.append(proc)
                 tokens.append((token, i))
-            links = listener.accept_workers(tokens)
+            links = listener.accept_workers(tokens, timeout=handshake_timeout)
         for i, init in enumerate(inits):
             links[i].send(("init", init))
             pairs.append((procs[i], links[i]))
@@ -226,19 +396,98 @@ def spawn_resident_workers(
     session_kwargs: dict,
     n_workers: int,
     transport: str = "pipe",
+    mp_context: Optional[str] = None,
 ) -> List[Tuple[mp.Process, Transport]]:
     """Spawn ``n_workers`` replica-session workers over the chosen transport.
 
     Each worker builds one :class:`SimulationSession` from the shipped
     fragmentation and pre-built dependency graphs (shipped once per worker
-    lifetime, whichever the channel).  Returns ``[(process, link), ...]``;
-    the caller owns shutdown (send ``("stop", None)``, join, close).
+    lifetime, whichever the channel).  ``mp_context`` picks the
+    multiprocessing start method (``"spawn"`` gives honest per-worker RSS
+    accounting; the platform default otherwise).  Returns
+    ``[(process, link), ...]``; the caller owns shutdown (send
+    ``("stop", None)``, join, close).
     """
     _check_transport(transport)
+    ctx = mp.get_context(mp_context) if mp_context else None
     init = (fragmentation, deps, session_kwargs)
     return _spawn_over_transport(
-        _resident_session_worker, [init] * n_workers, transport
+        _resident_session_worker, [init] * n_workers, transport, ctx=ctx
     )
+
+
+def spawn_shard_workers(
+    fragmentation: Fragmentation,
+    deps: DependencyGraphs,
+    shard_fids: List[Tuple[int, ...]],
+    transport: str = "pipe",
+    mp_context: Optional[str] = None,
+) -> List[Tuple[mp.Process, Transport]]:
+    """Spawn one shard worker per entry of ``shard_fids``.
+
+    Worker ``i`` receives ``fragmentation.extract_shard(shard_fids[i])``
+    plus the pre-built dependency graphs -- never the base graph, so
+    per-worker memory scales with its owned fragments.  Returns
+    ``[(process, link), ...]`` in ``shard_fids`` order; the caller owns
+    shutdown.
+    """
+    _check_transport(transport)
+    ctx = mp.get_context(mp_context) if mp_context else None
+    inits = [
+        (fragmentation.extract_shard(fids), deps) for fids in shard_fids
+    ]
+    return _spawn_over_transport(_shard_worker, inits, transport, ctx=ctx)
+
+
+def respawn_worker(
+    target,
+    init: tuple,
+    transport: str,
+    policy,
+    probe: Optional[tuple] = ("stats", None),
+    mp_context: Optional[str] = None,
+    handshake_timeout: float = 30.0,
+) -> Tuple[mp.Process, Transport]:
+    """Spawn one worker with bounded retry + backoff (a ``RetryPolicy``).
+
+    The reconnect semantics are transport-independent: each attempt is a
+    full fresh spawn -- the TCP path mints a *new* token per attempt (the
+    respawned worker re-authenticates; the dead worker's token is gone with
+    its listener), the pipe path a new pipe pair -- followed by an optional
+    ``probe`` round-trip that proves the worker is actually serving (a
+    dead-on-arrival pipe worker only surfaces at first ``recv``).  On
+    failure the partial spawn is torn down, the policy's backoff is slept,
+    and the next attempt starts clean; exhaustion raises
+    :class:`~repro.errors.ProtocolError` chaining the last cause.
+    """
+    _check_transport(transport)
+    ctx = mp.get_context(mp_context) if mp_context else None
+    last: Optional[BaseException] = None
+    for delay in policy.delays():
+        proc = link = None
+        try:
+            [(proc, link)] = _spawn_over_transport(
+                target, [init], transport, ctx=ctx, handshake_timeout=handshake_timeout
+            )
+            if probe is not None:
+                link.send(probe)
+                status, value = link.recv()
+                if status != "ok":
+                    raise ProtocolError(f"respawn probe failed: {value!r}")
+            return proc, link
+        except (EOFError, OSError, TransportError, ProtocolError) as exc:
+            last = exc
+            if link is not None:
+                try:
+                    link.close()
+                except OSError:  # pragma: no cover - best-effort teardown
+                    pass
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+            time.sleep(delay)
+    raise ProtocolError(
+        f"worker respawn failed after {policy.attempts} attempt(s): {last!r}"
+    ) from last
 
 
 def run_dgpm_multiprocess(

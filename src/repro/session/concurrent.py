@@ -79,10 +79,13 @@ from repro.errors import (
 )
 from repro.graph.digraph import Label, Node
 from repro.graph.pattern import Pattern
-from repro.partition.fragmentation import Fragmentation
-from repro.runtime.metrics import RunMetrics
-from repro.runtime.transport import TRANSPORTS
+from repro.partition.fragmentation import Fragmentation, MutationDelta
+from repro.runtime.messages import COORDINATOR, Message, MessageKind
+from repro.runtime.metrics import RunMetrics, RunResult
+from repro.runtime.network import Network
+from repro.runtime.transport import TRANSPORTS, FaultPlan, RetryPolicy
 from repro.session.session import MutationOutcome, SimulationSession
+from repro.session.sharding import SHARDED_PLANS, HashRing
 from repro.simulation.matchrel import MatchRelation
 
 
@@ -240,6 +243,16 @@ class _WorkerHandle:
         return self._unwrap(status, reply)
 
 
+class _ShardHandle(_WorkerHandle):
+    """One sharded-backend worker: a :class:`_WorkerHandle` plus its ring slot."""
+
+    __slots__ = ("slot",)
+
+    def __init__(self, process, link, slot) -> None:
+        super().__init__(process, link)
+        self.slot = slot
+
+
 class ConcurrentSessionServer:
     """Thread/process front-end serving one resident session concurrently.
 
@@ -279,21 +292,34 @@ class ConcurrentSessionServer:
         n_workers: int = 4,
         config: Optional[DgpmConfig] = None,
         transport: str = "pipe",
+        fault_plan: Optional[FaultPlan] = None,
+        respawn: Optional[RetryPolicy] = None,
+        mp_context: Optional[str] = None,
         **session_kwargs,
     ) -> None:
-        if backend not in ("thread", "process"):
+        if backend not in ("thread", "process", "sharded"):
             raise ReproError(
-                f"unknown backend {backend!r} (known: thread, process)"
+                f"unknown backend {backend!r} (known: thread, process, sharded)"
             )
         if transport not in TRANSPORTS:
             raise ReproError(
                 f"unknown transport {transport!r} "
                 f"(known: {', '.join(TRANSPORTS)})"
             )
-        if transport != "pipe" and backend != "process":
+        if transport != "pipe" and backend == "thread":
             raise ReproError(
                 "transport= selects the worker channel; it requires "
-                "backend='process'"
+                "backend='process' or backend='sharded'"
+            )
+        if fault_plan is not None and backend != "sharded":
+            raise ReproError(
+                "fault_plan= injects faults on shard worker links; it "
+                "requires backend='sharded'"
+            )
+        if mp_context is not None and backend == "thread":
+            raise ReproError(
+                "mp_context= picks the worker start method; it requires "
+                "backend='process' or backend='sharded'"
             )
         if n_workers < 1:
             raise ReproError("n_workers must be >= 1")
@@ -324,9 +350,16 @@ class ConcurrentSessionServer:
                 f"cannot serve a {type(source).__name__}; pass a "
                 "Fragmentation or a SimulationSession"
             )
+        if backend == "sharded" and self._session.engine != "dict":
+            raise ReproError(
+                "backend='sharded' requires a dict-engine session: shard "
+                "workers hold fragment subsets, and the array engine's "
+                "compiled cache is built per full fragmentation"
+            )
         self.backend = backend
         self.transport = transport
         self.n_workers = n_workers
+        self.mp_context = mp_context
         self._rw = _ReadWriteLock()
         self._stamp = 0
         self._closed = False
@@ -345,8 +378,18 @@ class ConcurrentSessionServer:
         #: replica cache entries they mirrored
         self._affinity: "OrderedDict[str, _WorkerHandle]" = OrderedDict()
         self._max_routes = 4096
+        #: sharded backend: worker pool keyed by ring slot, serialized by a
+        #: reentrant pool lock (ring state, respawns, and distributed runs)
+        self._pool_lock = threading.RLock()
+        self._fault_plan = fault_plan
+        self._respawn_policy = respawn if respawn is not None else RetryPolicy()
+        self._shards: Optional[List[_ShardHandle]] = None
+        self._ring: Optional[HashRing] = None
+        self._respawns = 0
         if backend == "process":
             self._workers = self._spawn_workers()
+        elif backend == "sharded":
+            self._ring, self._shards = self._spawn_shards()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -363,8 +406,40 @@ class ConcurrentSessionServer:
                 self._replica_kwargs,
                 self.n_workers,
                 transport=self.transport,
+                mp_context=self.mp_context,
             )
         ]
+
+    def _spawn_shards(self) -> Tuple[HashRing, List["_ShardHandle"]]:
+        """Build the ring and spawn one fragment-owning worker per slot.
+
+        Each worker ships out with only its owned fragments (plus the
+        shared watcher tables) -- never the base graph -- so per-worker
+        memory scales with ``|F|/n``; ``benchmarks/bench_sharded.py`` gates
+        this against the replicated process backend.
+        """
+        from repro.runtime.mp import spawn_shard_workers
+
+        self._session.warm()
+        fragmentation = self._session.fragmentation
+        ring = HashRing(
+            tuple(range(self.n_workers)),
+            tuple(frag.fid for frag in fragmentation),
+        )
+        slots = list(ring.workers)
+        pairs = spawn_shard_workers(
+            fragmentation,
+            self._session.deps,
+            [ring.fragments_of(slot) for slot in slots],
+            transport=self.transport,
+            mp_context=self.mp_context,
+        )
+        handles: List[_ShardHandle] = []
+        for slot, (proc, link) in zip(slots, pairs):
+            if self._fault_plan is not None:
+                link = self._fault_plan.wrap(slot, link, on_kill=proc.terminate)
+            handles.append(_ShardHandle(proc, link, slot))
+        return ring, handles
 
     def close(self) -> None:
         """Drain in-flight work and shut both pools down (idempotent).
@@ -389,14 +464,16 @@ class ConcurrentSessionServer:
                 time.monotonic() < deadline
             ):
                 self._write_cond.wait(timeout=1.0)
-        if self._workers is not None:
-            for handle in self._workers:
+        for pool in (self._workers, self._shards):
+            if pool is None:
+                continue
+            for handle in pool:
                 try:
                     with handle.lock:
                         handle.link.send(("stop", None))
                 except (BrokenPipeError, TransportError, OSError):
                     pass
-            for handle in self._workers:
+            for handle in pool:
                 handle.process.join(timeout=10)
                 if handle.process.is_alive():  # pragma: no cover - defensive
                     handle.process.terminate()
@@ -472,10 +549,12 @@ class ConcurrentSessionServer:
     ) -> StampedResult:
         with self._rw.read_locked():
             stamp = self._stamp
-            if self._workers is None:
-                result = self._session.run(query, algorithm=algorithm, config=config)
-            else:
+            if self._workers is not None:
                 result = self._serve_via_worker(query, algorithm, config)
+            elif self._shards is not None:
+                result = self._serve_via_shards(query, algorithm, config)
+            else:
+                result = self._session.run(query, algorithm=algorithm, config=config)
         return StampedResult(
             relation=result.relation, metrics=result.metrics, stamp=stamp
         )
@@ -542,6 +621,366 @@ class ConcurrentSessionServer:
                 for handle in self._workers
                 if not handle.dead
             ]
+
+    # ------------------------------------------------------------------
+    # sharded backend: fragment-owning workers behind a consistent-hash ring
+    # ------------------------------------------------------------------
+    @property
+    def ring(self) -> Optional[HashRing]:
+        """The current fragment->worker assignment (sharded backend)."""
+        return self._ring
+
+    @property
+    def respawns(self) -> int:
+        """Workers respawned after a death (sharded backend)."""
+        return self._respawns
+
+    def shard_stats(self) -> List[dict]:
+        """Per-shard-worker stats (owned fragments, resident size, peak RSS)."""
+        if self._shards is None:
+            raise ReproError("shard_stats requires the sharded backend")
+        self._check_open()
+        with self._rw.read_locked():
+            with self._pool_lock:
+                self._heal_pool_locked()
+                return [
+                    handle.request("stats", None)
+                    for handle in self._shards
+                    if not handle.dead
+                ]
+
+    def _serve_via_shards(
+        self, query: Pattern, algorithm: str, config: Optional[DgpmConfig]
+    ) -> RunResult:
+        config = config or self._session.config
+        self._session._validate_args(algorithm, None)
+        name = algorithm.lower()
+        if name == "dgpmnopt":
+            config = config.without_optimizations()
+            name = "dgpm"
+        driver = self._session._resolve_for_query(name, query)
+        plan = SHARDED_PLANS.get(driver.name)
+        if plan is None:
+            # Centralized baselines (match, dISHHK) and the mp validation
+            # driver ship the whole graph to one site by design; evaluating
+            # them at the coordinator is faithful to their cost model.
+            return self._session.run(query, algorithm=driver.name, config=config)
+        # Queries are pure reads, so a worker death mid-run is retried from
+        # scratch after the pool heals (bounded: each retry removes or
+        # respawns at least one dead worker).
+        with self._pool_lock:
+            last: Optional[BaseException] = None
+            for _ in range(self.n_workers + 2):
+                self._heal_pool_locked()
+                try:
+                    return self._run_plan_locked(plan, driver.name, query, config)
+                except ProtocolError as exc:
+                    last = exc
+            raise ProtocolError(
+                f"sharded query failed after repeated pool repair: {last}"
+            ) from last
+
+    def _run_plan_locked(
+        self, plan, name: str, query: Pattern, config: DgpmConfig
+    ) -> RunResult:
+        """One distributed run: Phase-1 broadcast, rounds, collect, assemble.
+
+        Mirrors :class:`~repro.runtime.engine.SyncEngine` exactly -- same
+        round numbering, same delivery barriers, same coordinator-handler
+        timing -- but sites live in shard workers: each round's cross-shard
+        messages route through the metered :class:`Network` and are batched
+        to owning workers by ring lookup, while intra-shard messages stay
+        worker-local (buffered one round, preserving superstep semantics).
+        """
+        session = self._session
+        fragmentation = session.fragmentation
+        cost = config.cost
+        start = time.perf_counter()
+        if plan.precheck is not None:
+            short = plan.precheck(query, fragmentation, config)
+            if short is not None:
+                relation, extras = short
+                wall = time.perf_counter() - start
+                metrics = RunMetrics(
+                    algorithm=plan.display_name,
+                    pt_seconds=wall,
+                    wall_seconds=wall,
+                    ds_bytes=0,
+                    n_messages=0,
+                    n_rounds=0,
+                    extras=extras,
+                )
+                return RunResult(relation=relation, metrics=metrics)
+        handles = {h.slot: h for h in self._shards if not h.dead}
+        if not handles:
+            raise ProtocolError(
+                "every shard worker has died -- rebuild the server"
+            )
+        network = Network(cost)
+        for frag in fragmentation:
+            network.send(
+                Message(
+                    src=COORDINATOR,
+                    dst=frag.fid,
+                    kind=MessageKind.QUERY,
+                    payload=query,
+                    size_bytes=cost.query_bytes(query.n_nodes, query.n_edges),
+                )
+            )
+        while network.has_pending:  # broadcast completes before evaluation
+            network.deliver()
+        coordinator = (
+            plan.make_coordinator(fragmentation, query, cost)
+            if plan.make_coordinator is not None
+            else None
+        )
+        outstanding: List[_ShardHandle] = []
+        all_halted: dict = {}
+        has_local: dict = {}
+        try:
+            for handle in handles.values():
+                self._shard_post(
+                    handle, "q.start", (name, query, config), outstanding
+                )
+            for handle in list(outstanding):
+                cross, halted, local = self._shard_collect(
+                    handle, "q.start", outstanding
+                )
+                all_halted[handle.slot] = halted
+                has_local[handle.slot] = local
+                network.send_all(cross)
+            rounds = 1
+            while (
+                network.has_pending
+                or not all(all_halted.values())
+                or any(has_local.values())
+            ):
+                if rounds >= 1_000_000:
+                    raise ProtocolError("no quiescence after 1000000 rounds")
+                inboxes = network.deliver()
+                coordinator_msgs = inboxes.pop(COORDINATOR, [])
+                if coordinator_msgs and coordinator is not None:
+                    network.send_all(coordinator(coordinator_msgs))
+                per_slot: dict = {}
+                for fid, inbox in inboxes.items():
+                    per_slot.setdefault(self._ring.owner_of(fid), []).extend(inbox)
+                targets = [
+                    slot
+                    for slot in handles
+                    if per_slot.get(slot) or has_local[slot] or not all_halted[slot]
+                ]
+                for slot in targets:
+                    self._shard_post(
+                        handles[slot],
+                        "q.tick",
+                        (rounds, per_slot.get(slot, [])),
+                        outstanding,
+                    )
+                for slot in targets:
+                    cross, halted, local = self._shard_collect(
+                        handles[slot], "q.tick", outstanding
+                    )
+                    all_halted[slot] = halted
+                    has_local[slot] = local
+                    network.send_all(cross)
+                rounds += 1
+            results: List[Message] = []
+            for handle in handles.values():
+                self._shard_post(handle, "q.collect", None, outstanding)
+            for handle in handles.values():
+                messages = self._shard_collect(handle, "q.collect", outstanding)
+                network.send_all(messages)
+                results.extend(messages)
+            network.deliver()
+        except BaseException:
+            self._abort_outstanding(outstanding)
+            raise
+        relation = plan.assemble(query, results)
+        wall = time.perf_counter() - start
+        metrics = RunMetrics(
+            algorithm=plan.display_name,
+            pt_seconds=wall,
+            wall_seconds=wall,
+            ds_bytes=network.data_bytes,
+            n_messages=network.data_message_count,
+            n_rounds=rounds,
+            ds_breakdown=network.breakdown(),
+            extras={"sharded_workers": float(len(handles))},
+        )
+        return RunResult(relation=relation, metrics=metrics)
+
+    @staticmethod
+    def _shard_post(
+        handle: _ShardHandle, command: str, payload, outstanding: List[_ShardHandle]
+    ) -> None:
+        """Post to one shard worker, tracking the reply it now owes."""
+        try:
+            handle.post(command, payload)
+        except ProtocolError:
+            handle.dead = True
+            raise
+        outstanding.append(handle)
+
+    @staticmethod
+    def _shard_collect(
+        handle: _ShardHandle, command: str, outstanding: List[_ShardHandle]
+    ):
+        """Collect one owed reply; a broken link marks the worker dead."""
+        try:
+            value = handle.collect(command)
+        except ProtocolError:
+            handle.dead = True
+            raise
+        finally:
+            outstanding.remove(handle)
+        return value
+
+    @staticmethod
+    def _abort_outstanding(outstanding: List[_ShardHandle]) -> None:
+        """Drain replies still owed after an aborted run.
+
+        Unread replies would mispair with the next command on the link;
+        collect-and-discard from every still-live worker (``q.start``
+        unconditionally resets worker query state, so no abort command is
+        needed).  Workers that fail here are marked dead for the heal pass.
+        """
+        for handle in list(outstanding):
+            if handle.dead:
+                outstanding.remove(handle)
+                continue
+            try:
+                handle.collect("abort-drain")
+            except ProtocolError:
+                handle.dead = True
+            except Exception:  # worker-side error reply: link is clean
+                pass
+            outstanding.remove(handle)
+
+    def _heal_pool_locked(self) -> None:
+        """Respawn every dead shard worker; shrink the ring on give-up.
+
+        A respawned worker receives its shard freshly extracted from the
+        parent's *current* fragmentation -- every mutation applied while it
+        was down is inherently included, so no batch is ever lost.  If the
+        bounded :class:`~repro.runtime.transport.RetryPolicy` is exhausted,
+        the slot leaves the ring and only its (migrated) fragments are
+        re-shipped to the surviving owners.
+        """
+        from repro.runtime.mp import _shard_worker, respawn_worker
+
+        with self._pool_lock:
+            for handle in list(self._shards):
+                if not handle.dead and handle.process.is_alive():
+                    continue
+                handle.dead = True
+                fids = self._ring.fragments_of(handle.slot)
+                init = (
+                    self._session.fragmentation.extract_shard(fids),
+                    self._session.deps,
+                )
+                try:
+                    proc, link = respawn_worker(
+                        _shard_worker,
+                        init,
+                        self.transport,
+                        self._respawn_policy,
+                        mp_context=self.mp_context,
+                    )
+                except ProtocolError:
+                    self._evict_slot_locked(handle)
+                    continue
+                if self._fault_plan is not None:
+                    link = self._fault_plan.wrap(
+                        handle.slot, link, on_kill=proc.terminate
+                    )
+                try:
+                    handle.link.close()
+                except (OSError, TransportError):  # pragma: no cover
+                    pass
+                self._shards[self._shards.index(handle)] = _ShardHandle(
+                    proc, link, handle.slot
+                )
+                self._respawns += 1
+            if not self._shards:
+                raise ProtocolError(
+                    "every shard worker has died -- rebuild the server"
+                )
+
+    def _evict_slot_locked(self, handle: _ShardHandle) -> None:
+        """Remove an unrecoverable slot; re-ship only the migrated fragments."""
+        with self._pool_lock:
+            if len(self._ring.workers) == 1:
+                self._shards.remove(handle)
+                return  # _heal_pool_locked raises "every shard worker died"
+            new_ring = self._ring.leave(handle.slot)
+            moved = self._ring.moved(new_ring)
+            live = {
+                h.slot: h
+                for h in self._shards
+                if h is not handle and not h.dead
+            }
+            adds_per_slot: dict = {}
+            for fid, (_, gaining) in moved.items():
+                adds_per_slot.setdefault(gaining, {})[fid] = (
+                    self._session.fragmentation[fid]
+                )
+            for slot, adds in adds_per_slot.items():
+                gainer = live.get(slot)
+                if gainer is None:
+                    # The gaining worker is itself dead; its own respawn
+                    # extracts from the new ring and picks these up.
+                    continue
+                try:
+                    gainer.request("install", (adds, []))
+                except ProtocolError:
+                    gainer.dead = True
+            self._ring = new_ring
+            self._shards.remove(handle)
+            try:
+                handle.link.close()
+            except (OSError, TransportError):  # pragma: no cover
+                pass
+
+    def _broadcast_deltas_locked(self, deltas: List[MutationDelta]) -> None:
+        """Route applied deltas to owning workers (+ watchers on boundary moves).
+
+        Boundary transitions (``virtual_added``/``virtual_dropped``) patch
+        every worker's watcher tables; all other deltas only touch the
+        fragments of their source/target owners.  A worker that fails here
+        is marked dead, *not* desynced: its replacement re-extracts from the
+        authoritative parent fragmentation at heal time, so the batch is
+        never lost.
+        """
+        with self._pool_lock:
+            live = {h.slot: h for h in self._shards if not h.dead}
+            per_slot: dict = {}
+            for delta in deltas:
+                if delta.virtual_added or delta.virtual_dropped:
+                    slots = set(live)
+                else:
+                    slots = set()
+                    for fid in (delta.source_fid, delta.target_fid):
+                        slot = self._ring.owner_of(fid)
+                        if slot in live:
+                            slots.add(slot)
+                for slot in slots:
+                    per_slot.setdefault(slot, []).append(delta)
+            outstanding: List[_ShardHandle] = []
+            for slot, batch in per_slot.items():
+                try:
+                    live[slot].post("mutate", batch)
+                except ProtocolError:
+                    continue  # post marked it dead; heal re-ships fresh state
+                outstanding.append(live[slot])
+            for handle in list(outstanding):
+                try:
+                    handle.collect("mutate")
+                except ProtocolError:
+                    pass  # collect marked it dead; heal re-ships fresh state
+                except Exception:
+                    # In-worker apply failure: its shard may have diverged.
+                    # Retire it; the respawn re-extracts the current state.
+                    handle.dead = True
 
     # ------------------------------------------------------------------
     # writes (serialized, coalesced, applied at quiescent points)
@@ -644,6 +1083,7 @@ class ConcurrentSessionServer:
         """
         with self._rw.write_locked():
             applied: List[Tuple] = []
+            applied_deltas: List[MutationDelta] = []
             for ticket in batch:
                 results: List[StampedOutcome] = []
                 failed_op = None
@@ -652,6 +1092,8 @@ class ConcurrentSessionServer:
                         failed_op = op
                         outcome = self._session.apply([op])[0]
                         applied.append(op)
+                        if outcome.delta is not None:
+                            applied_deltas.append(outcome.delta)
                         self._stamp += 1
                         results.append(
                             StampedOutcome(outcome=outcome, stamp=self._stamp)
@@ -696,6 +1138,11 @@ class ConcurrentSessionServer:
                     # possibly-stale answers from the pool afterwards.
                     self._desynced = True
                     raise
+            if self._shards is not None and applied_deltas:
+                # Shard workers never desync the server: a failed worker is
+                # marked dead and its respawn re-extracts from the parent
+                # fragmentation (which already holds this batch).
+                self._broadcast_deltas_locked(applied_deltas)
 
     # ------------------------------------------------------------------
     def _check_open(self) -> None:
@@ -703,9 +1150,8 @@ class ConcurrentSessionServer:
             raise ReproError("the server is closed")
 
     def __repr__(self) -> str:
-        backend = "process" if self._workers is not None else "thread"
-        via = f", transport={self.transport!r}" if backend == "process" else ""
+        via = f", transport={self.transport!r}" if self.backend != "thread" else ""
         return (
-            f"ConcurrentSessionServer(backend={backend!r}{via}, "
+            f"ConcurrentSessionServer(backend={self.backend!r}{via}, "
             f"n_workers={self.n_workers}, stamp={self._stamp})"
         )

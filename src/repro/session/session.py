@@ -203,6 +203,9 @@ class MutationOutcome:
     #: falsified variables across warm-state repairs (the |AFF| proxy;
     #: deletions only)
     falsified: int
+    #: the fragmentation delta this mutation produced -- the sharded
+    #: backend routes it to owning/watching workers (None on legacy paths)
+    delta: Optional[MutationDelta] = None
 
 
 @dataclass
@@ -595,7 +598,7 @@ ConcurrentSessionServer` provides.
                 kind=delta.kind,
                 wall_seconds=time.perf_counter() - start,
                 cache_kept=0, cache_repaired=0, cache_evicted=evicted,
-                falsified=0,
+                falsified=0, delta=delta,
             )
 
         if self._deps is not None:
@@ -625,7 +628,7 @@ ConcurrentSessionServer` provides.
             kind=delta.kind,
             wall_seconds=time.perf_counter() - start,
             cache_kept=kept, cache_repaired=repaired, cache_evicted=evicted,
-            falsified=falsified,
+            falsified=falsified, delta=delta,
         )
 
     @staticmethod

@@ -1,0 +1,333 @@
+"""Fragment->worker ownership for the sharded serving backend.
+
+The paper's site model (Section 2.2) has every site hold a *subset* of the
+fragments; the ``process`` backend instead replicates the whole session per
+worker.  This module supplies the two coordinator-side ingredients of the
+true sharded deployment:
+
+* :class:`HashRing` -- a deterministic, bounded-load consistent-hash
+  assignment of fragment ids to worker slots.  Ownership is a pure function
+  of the (worker set, fragment set) pair -- independent of graph content,
+  engine, or partitioner -- so every replica of the coordinator agrees.
+  ``join``/``leave`` produce a new ring that moves at most
+  ``ceil(|F|/n) + 1`` fragments (``n`` the *new* worker count), so a ring
+  change re-ships only the migrated fragments.
+
+* :data:`SHARDED_PLANS` -- per-algorithm recipes telling the coordinator
+  how to drive a distributed run over shard workers: how each worker builds
+  its site programs (from a :class:`~repro.partition.fragmentation.FragmentShard`,
+  never the full fragmentation), which coordinator-inbox handler to run
+  centrally, any coordinator-side precheck (dGPMd's DAG short-circuit,
+  dGPMt's tree/connectivity requirements), and how to assemble the final
+  relation from RESULT messages.
+
+Everything here is deterministic by construction: hashing uses
+:mod:`hashlib` (stable across processes and ``PYTHONHASHSEED``), and no
+wall-clock or global RNG is touched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import FragmentationError, GraphError, PatternError
+from repro.graph import algorithms
+from repro.runtime.messages import Message
+from repro.simulation.matchrel import MatchRelation
+
+Slot = Hashable
+
+
+def _score(slot: Slot, fid: int) -> int:
+    """Stable 64-bit rendezvous score of (worker slot, fragment id)."""
+    digest = hashlib.blake2b(
+        f"{slot!r}|{fid!r}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _capacity(n_fragments: int, n_slots: int) -> int:
+    return -(-n_fragments // n_slots)  # ceil
+
+
+class HashRing:
+    """Bounded-load rendezvous hashing with minimal-movement rebalance.
+
+    A fresh ring assigns every fragment to its highest-scoring slot whose
+    load is below ``ceil(|F|/n)`` (highest-random-weight hashing with a
+    capacity bound), processing fragments in sorted order -- total,
+    deterministic, and balanced.  ``join``/``leave`` keep the existing
+    assignment and move only the fragments that must move, so migration
+    cost is bounded by the capacity of the *new* ring plus one.
+    """
+
+    __slots__ = ("workers", "fragments", "_owner")
+
+    def __init__(
+        self,
+        workers: Sequence[Slot],
+        fragments: Sequence[int],
+        _assignment: Optional[Mapping[int, Slot]] = None,
+    ) -> None:
+        if not workers:
+            raise ValueError("a HashRing needs at least one worker slot")
+        if len(set(workers)) != len(workers):
+            raise ValueError("worker slots must be unique")
+        self.workers: Tuple[Slot, ...] = tuple(sorted(workers, key=repr))
+        self.fragments: Tuple[int, ...] = tuple(sorted(fragments))
+        if _assignment is not None:
+            self._owner: Dict[int, Slot] = dict(_assignment)
+            return
+        cap = _capacity(len(self.fragments), len(self.workers))
+        load: Dict[Slot, int] = {w: 0 for w in self.workers}
+        owner: Dict[int, Slot] = {}
+        for fid in self.fragments:
+            ranked = sorted(self.workers, key=lambda w: (-_score(w, fid), repr(w)))
+            chosen = next((w for w in ranked if load[w] < cap), ranked[0])
+            owner[fid] = chosen
+            load[chosen] += 1
+        self._owner = owner
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Load bound used for fresh assignment: ``ceil(|F|/n)``."""
+        return _capacity(len(self.fragments), len(self.workers))
+
+    def owner_of(self, fid: int) -> Slot:
+        """The slot owning ``fid`` (total: raises KeyError only off-ring)."""
+        return self._owner[fid]
+
+    def fragments_of(self, slot: Slot) -> Tuple[int, ...]:
+        """All fragments owned by ``slot``, sorted."""
+        return tuple(f for f in self.fragments if self._owner[f] == slot)
+
+    def assignment(self) -> Dict[int, Slot]:
+        """A copy of the full fid -> slot map."""
+        return dict(self._owner)
+
+    def loads(self) -> Dict[Slot, int]:
+        """Fragment count per slot (0 for idle slots)."""
+        out: Dict[Slot, int] = {w: 0 for w in self.workers}
+        for slot in self._owner.values():
+            out[slot] += 1
+        return out
+
+    # ------------------------------------------------------------------
+    def join(self, slot: Slot) -> "HashRing":
+        """A new ring with ``slot`` added; moves at most ``floor(|F|/n')``.
+
+        The joiner steals exactly its fair share -- the ``floor(|F|/n')``
+        fragments that score it highest -- so movement stays within the
+        ``ceil(|F|/n') + 1`` contract and every move lands on the joiner.
+        """
+        if slot in self.workers:
+            raise ValueError(f"slot {slot!r} is already on the ring")
+        workers = self.workers + (slot,)
+        share = len(self.fragments) // len(workers)
+        by_preference = sorted(
+            self.fragments, key=lambda f: (-_score(slot, f), f)
+        )
+        owner = dict(self._owner)
+        for fid in by_preference[:share]:
+            owner[fid] = slot
+        return HashRing(workers, self.fragments, _assignment=owner)
+
+    def leave(self, slot: Slot) -> "HashRing":
+        """A new ring without ``slot``; only the leaver's fragments move.
+
+        Orphans rendezvous-hash onto the survivors under the new capacity
+        bound (falling back to the least-loaded survivor if history has
+        every preferred slot full), so movement equals the leaver's load --
+        itself within ``ceil(|F|/n') + 1`` of the shrunken ring.
+        """
+        if slot not in self.workers:
+            raise ValueError(f"slot {slot!r} is not on the ring")
+        survivors = tuple(w for w in self.workers if w != slot)
+        if not survivors:
+            raise ValueError("cannot remove the last worker slot")
+        cap = _capacity(len(self.fragments), len(survivors))
+        owner = dict(self._owner)
+        load: Dict[Slot, int] = {w: 0 for w in survivors}
+        for fid, w in owner.items():
+            if w != slot:
+                load[w] += 1
+        for fid in self.fragments_of(slot):
+            ranked = sorted(survivors, key=lambda w: (-_score(w, fid), repr(w)))
+            chosen = next((w for w in ranked if load[w] < cap), None)
+            if chosen is None:
+                chosen = min(survivors, key=lambda w: (load[w], repr(w)))
+            owner[fid] = chosen
+            load[chosen] += 1
+        return HashRing(survivors, self.fragments, _assignment=owner)
+
+    def moved(self, new: "HashRing") -> Dict[int, Tuple[Slot, Slot]]:
+        """Fragments whose owner differs between ``self`` and ``new``."""
+        out: Dict[int, Tuple[Slot, Slot]] = {}
+        for fid in self.fragments:
+            before, after = self._owner[fid], new._owner.get(fid)
+            if after is not None and before != after:
+                out[fid] = (before, after)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HashRing(workers={len(self.workers)}, "
+            f"fragments={len(self.fragments)}, loads={self.loads()})"
+        )
+
+
+# ----------------------------------------------------------------------
+# per-algorithm sharded execution plans
+# ----------------------------------------------------------------------
+
+#: precheck(query, fragmentation, config) -> None to proceed, or
+#: (relation, extras) to short-circuit without touching the workers.
+Precheck = Callable[..., Optional[Tuple[MatchRelation, Dict[str, float]]]]
+
+
+@dataclass(frozen=True)
+class ShardedPlan:
+    """How the coordinator drives one algorithm over shard workers.
+
+    ``build_program`` runs *worker-side* (looked up from this module-level
+    registry, so nothing here is ever pickled): it receives the worker's
+    :class:`~repro.partition.fragmentation.FragmentShard` -- site programs
+    only ever index their own fragment out of it.  ``make_coordinator``,
+    ``precheck`` and ``assemble`` run coordinator-side with the full
+    fragmentation.
+    """
+
+    algorithm: str
+    display_name: str
+    #: (fid, shard, query, deps, config) -> SiteProgram
+    build_program: Callable[..., object]
+    #: (query, List[Message]) -> MatchRelation
+    assemble: Callable[[object, List[Message]], MatchRelation]
+    #: (fragmentation, query, cost) -> coordinator inbox handler, or None
+    make_coordinator: Optional[Callable[..., object]] = None
+    precheck: Optional[Precheck] = None
+
+
+def _dgpm_program(fid, shard, query, deps, config):
+    from repro.core.dgpm import DgpmSiteProgram
+
+    return DgpmSiteProgram(fid, shard, query, deps, config)
+
+
+def _dgpmd_program(fid, shard, query, deps, config):
+    from repro.core.dgpmd import DgpmdSiteProgram
+
+    return DgpmdSiteProgram(fid, shard, query, deps, config)
+
+
+def _dgpmt_program(fid, shard, query, deps, config):
+    from repro.core.dgpmt import DgpmtSiteProgram
+
+    return DgpmtSiteProgram(fid, shard, query, config)
+
+
+def _dmes_program(fid, shard, query, deps, config):
+    from repro.baselines.dmes import DmesSiteProgram
+
+    return DmesSiteProgram(fid, shard, query, deps, config)
+
+
+def _assemble_union(query, results):
+    from repro.core.dgpm import assemble_result
+
+    return assemble_result(query, results)
+
+
+def _assemble_merge(query, results):
+    # dGPMt sites each report their share of the final relation directly.
+    merged: Dict[object, Set[object]] = {u: set() for u in query.nodes()}
+    for message in results:
+        for u, vs in message.payload.items():
+            merged[u] |= vs
+    return MatchRelation(query.nodes(), merged)
+
+
+def _dgpmd_precheck(query, fragmentation, config):
+    # Mirrors execute_dgpmd: a cyclic pattern over a DAG graph has an empty
+    # answer (Theorem 3's possibility case); a cyclic pattern over a cyclic
+    # graph is outside dGPMd's contract.
+    if query.is_dag():
+        return None
+    if algorithms.is_dag(fragmentation.graph):
+        return MatchRelation(query.nodes(), {u: set() for u in query.nodes()}), {
+            "short_circuit": 1.0
+        }
+    raise PatternError(
+        "dGPMd requires a DAG pattern (or a DAG data graph for the "
+        "empty-answer short circuit)"
+    )
+
+
+def _dgpmt_precheck(query, fragmentation, config):
+    # Mirrors execute_dgpmt's entry requirements.
+    if not algorithms.is_tree(fragmentation.graph):
+        raise GraphError("dGPMt requires a tree-shaped data graph")
+    if not fragmentation.has_connected_fragments():
+        raise FragmentationError("dGPMt requires connected fragments")
+    return None
+
+
+def _tree_coordinator(fragmentation, query, cost):
+    from repro.core.dgpmt import _TreeCoordinator
+
+    return _TreeCoordinator(fragmentation, query, cost)
+
+
+def _dmes_coordinator(fragmentation, query, cost):
+    from repro.baselines.dmes import _DmesCoordinator
+
+    return _DmesCoordinator(fragmentation.n_fragments, cost)
+
+
+#: algorithms the sharded backend can run distributed; anything else a
+#: session serves is evaluated coordinator-locally (the centralized
+#: baselines ship the whole graph to one site by design, so a local run is
+#: faithful to their cost model).
+SHARDED_PLANS: Dict[str, ShardedPlan] = {
+    "dgpm": ShardedPlan(
+        algorithm="dgpm",
+        display_name="dGPM/sharded",
+        build_program=_dgpm_program,
+        assemble=_assemble_union,
+    ),
+    "dgpmd": ShardedPlan(
+        algorithm="dgpmd",
+        display_name="dGPMd/sharded",
+        build_program=_dgpmd_program,
+        assemble=_assemble_union,
+        precheck=_dgpmd_precheck,
+    ),
+    "dgpmt": ShardedPlan(
+        algorithm="dgpmt",
+        display_name="dGPMt/sharded",
+        build_program=_dgpmt_program,
+        assemble=_assemble_merge,
+        make_coordinator=_tree_coordinator,
+        precheck=_dgpmt_precheck,
+    ),
+    "dmes": ShardedPlan(
+        algorithm="dmes",
+        display_name="dMes/sharded",
+        build_program=_dmes_program,
+        assemble=_assemble_union,
+        make_coordinator=_dmes_coordinator,
+    ),
+}

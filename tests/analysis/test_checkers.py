@@ -11,7 +11,10 @@ from repro.analysis.checkers.drivers import DriverRegistryChecker
 from repro.analysis.checkers.frozen import CrossingType, FrozenCrossingChecker
 from repro.analysis.checkers.lazynumpy import LazyNumpyChecker
 from repro.analysis.checkers.locks import GuardSpec, LockDisciplineChecker
-from repro.analysis.checkers.protocol import ProtocolExhaustivenessChecker
+from repro.analysis.checkers.protocol import (
+    ProtocolExhaustivenessChecker,
+    ShardCommandChecker,
+)
 from repro.analysis.project import Project
 from repro.analysis.runner import run_analysis
 
@@ -108,6 +111,31 @@ class TestLockDiscipline:
         )
         findings = check(LockDisciplineChecker(guarded=spec), {"m.py": src})
         assert [f.symbol for f in findings] == ["Stats.bump"]
+
+    def test_production_registry_guards_the_sharded_pool(self):
+        """The coordinator/ring state registered by ISSUE 8 stays covered:
+        an unguarded write to any of it is flagged by the default checker."""
+        from repro.analysis.checkers.locks import GUARDED
+
+        spec = next(s for s in GUARDED if "_shards" in s.attrs)
+        assert {"_ring", "_respawns"} <= set(spec.attrs)
+        assert spec.locks == ("self._pool_lock",)
+        seeded = (
+            "class ConcurrentSessionServer:\n"
+            "    def evict(self, handle):\n"
+            "        self._shards.remove(handle)\n"
+            "        self._ring = None\n"
+            "        self._respawns += 1\n"
+        )
+        findings = check(LockDisciplineChecker(), {"m.py": seeded})
+        assert {f.detail for f in findings} == {"_shards", "_ring", "_respawns"}
+        clean = seeded.replace(
+            "    def evict(self, handle):\n        ",
+            "    def evict(self, handle):\n        with self._pool_lock:\n            ",
+        ).replace("\n        self._ring", "\n            self._ring").replace(
+            "\n        self._respawns", "\n            self._respawns"
+        )
+        assert check(LockDisciplineChecker(), {"m.py": clean}) == []
 
 
 class TestFrozenCrossing:
@@ -245,6 +273,73 @@ class TestProtocolExhaustiveness:
 
     def test_absent_protocol_module_is_not_checked(self):
         assert check(ProtocolExhaustivenessChecker(), {"other.py": "x = 1\n"}) == []
+
+
+class TestShardCommands:
+    MP = (
+        'SHARD_COMMANDS = ("ping", "stop")\n'
+        "def worker(transport):\n"
+        "    command, payload = transport.recv()\n"
+        '    if command == "ping":\n'
+        '        transport.send(("ok", None))\n'
+        '    elif command == "stop":\n'
+        "        return\n"
+    )
+    COORDINATOR = (
+        "def drive(handle):\n"
+        '    handle.request("ping", None)\n'
+        '    handle.post("stop", None)\n'
+    )
+
+    def _full_tree(self):
+        return {
+            "runtime/mp.py": self.MP,
+            "session/concurrent.py": self.COORDINATOR,
+        }
+
+    def test_wired_inventory_clean(self):
+        assert check(ShardCommandChecker(), self._full_tree()) == []
+
+    def test_missing_dispatch_arm_flagged(self):
+        tree = self._full_tree()
+        tree["runtime/mp.py"] = (
+            'SHARD_COMMANDS = ("ping", "stop")\n'
+            "def worker(transport):\n"
+            "    command, payload = transport.recv()\n"
+            '    if command == "ping":\n'
+            '        transport.send(("ok", None))\n'
+        )
+        findings = check(ShardCommandChecker(), tree)
+        assert any(
+            "no dispatch arm" in f.message and f.detail == "stop"
+            for f in findings
+        )
+
+    def test_missing_sender_flagged(self):
+        tree = self._full_tree()
+        tree["session/concurrent.py"] = (
+            'def drive(handle):\n    handle.request("ping", None)\n'
+        )
+        findings = check(ShardCommandChecker(), tree)
+        assert any(
+            "never sent" in f.message and f.detail == "stop" for f in findings
+        )
+
+    def test_inventory_literals_do_not_count_as_dispatch(self):
+        """The inventory tuple itself must not satisfy the dispatch arm."""
+        tree = self._full_tree()
+        tree["runtime/mp.py"] = 'SHARD_COMMANDS = ("ping", "stop")\n'
+        findings = check(ShardCommandChecker(), tree)
+        assert {f.detail for f in findings} == {"ping", "stop"}
+
+    def test_missing_inventory_flagged(self):
+        tree = self._full_tree()
+        tree["runtime/mp.py"] = "def worker(transport):\n    pass\n"
+        findings = check(ShardCommandChecker(), tree)
+        assert [f.detail for f in findings] == ["SHARD_COMMANDS"]
+
+    def test_absent_mp_module_is_not_checked(self):
+        assert check(ShardCommandChecker(), {"other.py": "x = 1\n"}) == []
 
 
 class TestDeterminism:

@@ -162,6 +162,80 @@ class TestSyncClient:
                 client.run(queries[0])
 
 
+class TestReconnectPolicy:
+    def test_bounded_retry_restores_service_after_restart(self, instance):
+        """The dead-peer fix: with ``reconnect=``, a server restart costs
+        one failed request, then bounded redial restores service."""
+        from repro.runtime.transport import RetryPolicy
+
+        graph, frag, queries = instance
+        srv = serve_in_thread(frag, backend="thread", n_workers=2)
+        host, port = srv.address
+        client = SessionClient(
+            host, port, timeout=60.0,
+            reconnect=RetryPolicy(attempts=5, backoff_s=0.05),
+        )
+        try:
+            before = client.run(queries[0], algorithm="dgpm")
+            srv.close()
+            # the request the break struck still fails (its reply can no
+            # longer be trusted to pair up) ...
+            with pytest.raises(TransportError):
+                client.run(queries[0], algorithm="dgpm")
+            srv = serve_in_thread(frag, backend="thread", n_workers=2, port=port)
+            # ... but the next one redials and serves
+            after = client.run(queries[0], algorithm="dgpm")
+            assert after.relation == before.relation
+            assert after.stamp == 0
+        finally:
+            client.close()
+            srv.close()
+
+    def test_redial_exhaustion_is_bounded(self, instance):
+        """With nothing listening, the redial gives up after the policy's
+        attempts instead of spinning forever."""
+        from repro.runtime.transport import RetryPolicy
+
+        graph, frag, queries = instance
+        srv = serve_in_thread(frag, backend="thread", n_workers=2)
+        host, port = srv.address
+        client = SessionClient(
+            host, port, timeout=60.0,
+            reconnect=RetryPolicy(attempts=2, backoff_s=0.01),
+        )
+        try:
+            client.run(queries[0], algorithm="dgpm")
+            srv.close()
+            with pytest.raises(TransportError):
+                client.run(queries[0], algorithm="dgpm")
+            with pytest.raises(TransportError, match="2 attempts"):
+                client.run(queries[0], algorithm="dgpm")
+            # a later restart still rescues the client: not permanently broken
+            srv = serve_in_thread(frag, backend="thread", n_workers=2, port=port)
+            assert client.run(queries[0], algorithm="dgpm").stamp == 0
+        finally:
+            client.close()
+            srv.close()
+
+    def test_without_policy_break_is_permanent(self, instance):
+        """The original conservative semantics are unchanged by default."""
+        graph, frag, queries = instance
+        srv = serve_in_thread(frag, backend="thread", n_workers=2)
+        host, port = srv.address
+        client = SessionClient(host, port, timeout=60.0)
+        try:
+            client.run(queries[0], algorithm="dgpm")
+            srv.close()
+            with pytest.raises(TransportError):
+                client.run(queries[0], algorithm="dgpm")
+            srv = serve_in_thread(frag, backend="thread", n_workers=2, port=port)
+            with pytest.raises(TransportError, match="closed"):
+                client.run(queries[0], algorithm="dgpm")
+        finally:
+            client.close()
+            srv.close()
+
+
 class TestAsyncClient:
     def test_pipelined_parity(self, instance):
         graph, frag, queries = instance

@@ -22,9 +22,10 @@ from repro.graph.examples import figure1
 from repro.graph.generators import random_labeled_graph
 from repro.graph.pattern import Pattern
 from repro.partition import random_partition
-from repro.runtime.mp import run_dgpm_multiprocess
+from repro.runtime.mp import _shard_worker, respawn_worker, run_dgpm_multiprocess
 from repro.runtime.transport import (
     PipeTransport,
+    RetryPolicy,
     SocketListener,
     connect_worker,
     open_worker_transport,
@@ -247,3 +248,114 @@ class TestTransportPrimitives:
     def test_connect_worker_unreachable(self):
         with pytest.raises(TransportError, match="cannot reach parent"):
             connect_worker(("127.0.0.1", 1), SocketListener.fresh_token(), timeout=0.5)
+
+
+# ----------------------------------------------------------------------
+# the reconnect/respawn policy: identical semantics on both transports
+# ----------------------------------------------------------------------
+def _doa_worker(channel, init=None):
+    """A worker that dies on arrival: never handshakes, never serves."""
+    return
+
+
+#: the policies every respawn scenario must behave identically under
+RETRY_POLICIES = {
+    "single-shot": RetryPolicy(attempts=1, backoff_s=0.0),
+    "backoff": RetryPolicy(attempts=3, backoff_s=0.01, multiplier=1.5),
+}
+
+
+@pytest.fixture(params=sorted(RETRY_POLICIES))
+def retry_policy(request) -> RetryPolicy:
+    return RETRY_POLICIES[request.param]
+
+
+class TestRespawnPolicy:
+    def _shard_init(self):
+        graph = web_graph(40, 120, n_labels=3, seed=9)
+        frag = partition(graph, 4, seed=9)
+        from repro.core.depgraph import DependencyGraphs
+
+        return (frag.extract_shard((0, 2)), DependencyGraphs(frag))
+
+    def test_respawn_probes_a_live_worker(self, transport, retry_policy):
+        """A fresh spawn under any policy serves the probe immediately."""
+        init = self._shard_init()
+        proc, link = respawn_worker(_shard_worker, init, transport, retry_policy)
+        try:
+            link.send(("stats", None))
+            status, stats = link.recv()
+            assert status == "ok"
+            assert stats["fids"] == (0, 2)
+        finally:
+            link.send(("stop", None))
+            proc.join(timeout=10)
+            link.close()
+
+    def test_respawn_after_kill_restores_service(self, transport, retry_policy):
+        """Kill -> respawn yields a worker with the same shard, either
+        channel: the reconnect semantics are transport-independent."""
+        init = self._shard_init()
+        proc, link = respawn_worker(_shard_worker, init, transport, retry_policy)
+        proc.terminate()
+        proc.join(timeout=10)
+        link.close()
+        proc2, link2 = respawn_worker(_shard_worker, init, transport, retry_policy)
+        try:
+            link2.send(("stats", None))
+            status, stats = link2.recv()
+            assert status == "ok"
+            assert stats["fids"] == (0, 2)
+        finally:
+            link2.send(("stop", None))
+            proc2.join(timeout=10)
+            link2.close()
+
+    def test_tcp_respawn_mints_a_fresh_token(self, monkeypatch, retry_policy):
+        """Every TCP respawn re-authenticates: the token is minted per
+        attempt, never reused from the dead worker's listener."""
+        minted = []
+        original = SocketListener.fresh_token
+
+        def recording():
+            token = original()
+            minted.append(token)
+            return token
+
+        monkeypatch.setattr(
+            SocketListener, "fresh_token", staticmethod(recording)
+        )
+        init = self._shard_init()
+        for round_no in range(2):
+            before = len(minted)
+            proc, link = respawn_worker(_shard_worker, init, "tcp", retry_policy)
+            assert len(minted) == before + 1
+            link.send(("stop", None))
+            proc.join(timeout=10)
+            link.close()
+        assert len(set(minted)) == len(minted), "a token was reused"
+
+    def test_exhausted_policy_raises_with_attempt_count(
+        self, transport, retry_policy
+    ):
+        """A dead-on-arrival worker exhausts the policy on both channels:
+        the pipe path dies at the probe, the TCP path at the handshake."""
+        init = self._shard_init()
+        with pytest.raises(ProtocolError, match=f"{retry_policy.attempts} attempt"):
+            respawn_worker(
+                _doa_worker,
+                init,
+                transport,
+                retry_policy,
+                handshake_timeout=0.5,
+            )
+
+    def test_delays_grow_and_cap(self):
+        policy = RetryPolicy(
+            attempts=5, backoff_s=0.1, multiplier=2.0, max_backoff_s=0.3
+        )
+        assert list(policy.delays()) == [0.1, 0.2, 0.3, 0.3, 0.3]
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)

@@ -1,0 +1,296 @@
+"""The consistent-hash ring and the sharded serving backend.
+
+Two layers, matching the two halves of ``session/sharding.py``:
+
+* **Ring properties** (Hypothesis): assignment is a total, deterministic,
+  balanced function of the (worker set, fragment set) pair alone; a join or
+  leave moves at most ``ceil(|F|/n) + 1`` fragments (``n`` the new worker
+  count) and every move involves the changed slot.
+* **Serving parity**: ``backend="sharded"`` answers every registered driver
+  exactly like a from-scratch simulation, including under a mutation feed
+  checked per stamp against the replay oracle, and agrees with the other
+  backends on ownership-independent answers.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ConcurrentSessionServer,
+    citation_dag,
+    hash_partition,
+    random_partition,
+    random_tree,
+    simulation,
+    tree_partition,
+    web_graph,
+)
+from repro.bench.workloads import cyclic_pattern, dag_pattern, tree_pattern
+from repro.errors import ReproError
+from repro.session.session import SimulationSession
+from repro.session.sharding import SHARDED_PLANS, HashRing
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.session.test_concurrent_stress import _mutation_ops, _replay
+
+
+# ----------------------------------------------------------------------
+# ring properties
+# ----------------------------------------------------------------------
+
+def _ceil(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+@st.composite
+def ring_inputs(draw):
+    """A worker-slot set (ints and/or strings) plus a fragment-id set."""
+    n_workers = draw(st.integers(min_value=1, max_value=8))
+    workers = draw(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=99),
+                st.text("abcdef", min_size=1, max_size=4),
+            ),
+            min_size=n_workers,
+            max_size=n_workers,
+            unique=True,
+        )
+    )
+    n_fragments = draw(st.integers(min_value=0, max_value=40))
+    fragments = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=500),
+            min_size=n_fragments,
+            max_size=n_fragments,
+            unique=True,
+        )
+    )
+    return workers, fragments
+
+
+@settings(max_examples=100, deadline=None)
+@given(ring_inputs())
+def test_assignment_total_and_deterministic(inputs):
+    workers, fragments = inputs
+    ring = HashRing(workers, fragments)
+    again = HashRing(list(reversed(workers)), list(reversed(fragments)))
+    assert ring.assignment() == again.assignment()
+    assert set(ring.assignment()) == set(fragments)
+    assert set(ring.assignment().values()) <= set(workers)
+    for fid in fragments:
+        assert ring.owner_of(fid) == ring.assignment()[fid]
+
+
+@settings(max_examples=100, deadline=None)
+@given(ring_inputs())
+def test_fresh_ring_is_balanced(inputs):
+    workers, fragments = inputs
+    ring = HashRing(workers, fragments)
+    assert ring.capacity == _ceil(max(len(fragments), 0), len(workers))
+    for slot, load in ring.loads().items():
+        assert load <= ring.capacity
+    assert sum(ring.loads().values()) == len(fragments)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ring_inputs(), st.integers(min_value=100, max_value=199))
+def test_join_moves_at_most_fair_share(inputs, joiner):
+    workers, fragments = inputs
+    ring = HashRing(workers, fragments)
+    grown = ring.join(joiner)
+    moved = ring.moved(grown)
+    bound = _ceil(len(fragments), len(grown.workers)) + 1
+    assert len(moved) <= bound
+    # every move lands on the joiner, nothing shuffles between survivors
+    assert all(after == joiner for _, after in moved.values())
+    assert set(grown.assignment()) == set(fragments)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ring_inputs())
+def test_leave_moves_only_the_leavers_load(inputs):
+    workers, fragments = inputs
+    if len(workers) < 2:
+        return  # leave() correctly refuses to empty the ring
+    ring = HashRing(workers, fragments)
+    leaver = sorted(workers, key=repr)[0]
+    shrunk = ring.leave(leaver)
+    moved = ring.moved(shrunk)
+    assert set(moved) == set(ring.fragments_of(leaver))
+    assert len(moved) <= _ceil(len(fragments), len(shrunk.workers)) + 1
+    assert leaver not in shrunk.workers
+    assert set(shrunk.assignment().values()) <= set(shrunk.workers)
+
+
+def test_ring_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        HashRing([], [0, 1])
+    with pytest.raises(ValueError):
+        HashRing([0, 0], [1])
+    ring = HashRing([0, 1], [0, 1, 2])
+    with pytest.raises(ValueError):
+        ring.join(1)
+    with pytest.raises(ValueError):
+        ring.leave(7)
+    with pytest.raises(ValueError):
+        HashRing([0], [1]).leave(0)
+
+
+def test_ownership_agrees_across_partitioners_and_engines(rng_seed):
+    """The ring is a function of fragment *ids* only: any stack producing
+    the same fragment count agrees on ownership."""
+    seed = rng_seed % 1000
+    graph = web_graph(60, 200, seed=seed)
+    stacks = [
+        hash_partition(graph, 6, seed=seed),
+        random_partition(graph, 6, seed=seed + 1),
+    ]
+    rings = [
+        HashRing(range(3), tuple(f.fid for f in frag)) for frag in stacks
+    ]
+    assert rings[0].assignment() == rings[1].assignment()
+    servers = [
+        ConcurrentSessionServer(frag, backend="sharded", n_workers=3)
+        for frag in stacks
+    ]
+    try:
+        assert (
+            servers[0].ring.assignment() == servers[1].ring.assignment()
+        )
+    finally:
+        for server in servers:
+            server.close()
+
+
+# ----------------------------------------------------------------------
+# sharded serving parity
+# ----------------------------------------------------------------------
+
+def test_sharded_serves_every_general_driver(rng_seed):
+    seed = rng_seed % 1000
+    graph = web_graph(120, 420, n_labels=4, seed=seed)
+    frag = hash_partition(graph, 6, seed=seed)
+    query = cyclic_pattern(graph, 3, 4, seed=seed)
+    oracle = simulation(query, graph)
+    with ConcurrentSessionServer(frag, backend="sharded", n_workers=3) as server:
+        for algorithm in ("dgpm", "dgpmnopt", "dmes", "dishhk", "match", "auto"):
+            result = server.run(query, algorithm=algorithm)
+            assert result.relation == oracle, algorithm
+            assert result.stamp == 0
+        # distributed drivers report their sharded display names + ring width
+        dist = server.run(query, algorithm="dgpm")
+        assert dist.metrics.algorithm == "dGPM/sharded"
+        assert dist.metrics.extras["sharded_workers"] == 3.0
+
+
+def test_sharded_dgpmd_on_dag(rng_seed):
+    seed = rng_seed % 1000
+    graph = citation_dag(100, 320, seed=seed)
+    frag = hash_partition(graph, 4, seed=seed)
+    query = dag_pattern(graph, 3, seed=seed)
+    with ConcurrentSessionServer(frag, backend="sharded", n_workers=2) as server:
+        result = server.run(query, algorithm="dgpmd")
+        assert result.relation == simulation(query, graph)
+        assert result.metrics.algorithm == "dGPMd/sharded"
+
+
+def test_sharded_dgpmt_on_tree(rng_seed):
+    seed = rng_seed % 1000
+    tree = random_tree(90, seed=seed)
+    frag = tree_partition(tree, 4)
+    query = tree_pattern(tree, seed=seed)
+    with ConcurrentSessionServer(frag, backend="sharded", n_workers=2) as server:
+        result = server.run(query, algorithm="dgpmt")
+        assert result.relation == simulation(query, tree)
+        assert result.metrics.algorithm == "dGPMt/sharded"
+
+
+def test_sharded_rounds_match_the_inprocess_engine(rng_seed):
+    """The coordinator mirrors SyncEngine's superstep count exactly."""
+    seed = rng_seed % 1000
+    graph = web_graph(90, 300, n_labels=4, seed=seed)
+    frag = hash_partition(graph, 4, seed=seed)
+    query = cyclic_pattern(graph, 3, 4, seed=seed)
+    base = SimulationSession(hash_partition(graph, 4, seed=seed))
+    with ConcurrentSessionServer(frag, backend="sharded", n_workers=3) as server:
+        for algorithm in SHARDED_PLANS:
+            if algorithm in ("dgpmd", "dgpmt"):
+                continue  # shape-restricted; covered by dedicated tests
+            sharded = server.run(query, algorithm=algorithm).metrics
+            local = base.run(query, algorithm=algorithm).metrics
+            assert sharded.n_rounds == local.n_rounds, algorithm
+
+
+def test_sharded_mutation_feed_matches_replay_oracle(rng, rng_seed):
+    """Every stamped answer equals the from-scratch oracle at its stamp --
+    the linearizability contract under a serial mutation feed."""
+    seed = rng_seed % 1000
+    graph = web_graph(50, 190, n_labels=4, seed=seed)
+    initial = graph.copy()
+    frag = hash_partition(graph, 5, seed=seed)
+    query = cyclic_pattern(graph, 3, 4, seed=seed)
+    ops = _mutation_ops(graph, 12, rng)
+    with ConcurrentSessionServer(frag, backend="sharded", n_workers=3) as server:
+        for start in range(0, len(ops), 3):
+            outcomes = server.apply(ops[start:start + 3])
+            stamp = outcomes[-1].stamp
+            result = server.run(query, algorithm="dgpm")
+            assert result.stamp == stamp
+            oracle = simulation(query, _replay(initial, ops, stamp))
+            assert result.relation == oracle, f"stamp {stamp} (seed {seed})"
+        assert server.stamp == len(ops)
+
+
+def test_sharded_concurrent_readers_vs_writer(rng, rng_seed):
+    """Threaded readers against a writer keep snapshot semantics on the
+    sharded backend (reuses the stress harness's oracle check)."""
+    from tests.session.test_concurrent_stress import _check_snapshots, _stress
+
+    seed = rng_seed % 1000
+    graph = web_graph(40, 160, n_labels=4, seed=seed)
+    initial = graph.copy()
+    frag = hash_partition(graph, 4, seed=seed)
+    queries = [cyclic_pattern(graph, 3, 4, seed=seed)]
+    ops = _mutation_ops(graph, 6, rng)
+    with ConcurrentSessionServer(frag, backend="sharded", n_workers=2) as server:
+        results = _stress(server, queries, ops, "dgpm", seed, n_readers=2,
+                          reads_per_reader=4)
+    _check_snapshots(initial, queries, ops, results)
+
+
+# ----------------------------------------------------------------------
+# argument validation
+# ----------------------------------------------------------------------
+
+def test_sharded_rejects_array_engine_sessions():
+    graph = web_graph(30, 90, seed=0)
+    frag = hash_partition(graph, 3)
+    session = SimulationSession(frag, engine="array")
+    with pytest.raises(ReproError, match="dict-engine"):
+        ConcurrentSessionServer(session, backend="sharded")
+
+
+def test_fault_plan_requires_sharded_backend():
+    from repro.runtime.transport import FaultPlan
+
+    graph = web_graph(30, 90, seed=0)
+    frag = hash_partition(graph, 3)
+    with pytest.raises(ReproError, match="sharded"):
+        ConcurrentSessionServer(
+            frag, backend="thread", fault_plan=FaultPlan(kills={0: 1})
+        )
+
+
+def test_shard_stats_and_repr(rng_seed):
+    graph = web_graph(40, 120, seed=rng_seed % 1000)
+    frag = hash_partition(graph, 4)
+    with ConcurrentSessionServer(frag, backend="sharded", n_workers=2) as server:
+        stats = server.shard_stats()
+        assert len(stats) == 2
+        assert sorted(fid for s in stats for fid in s["fids"]) == [0, 1, 2, 3]
+        assert all(s["peak_rss_kb"] > 0 for s in stats)
+        assert "sharded" in repr(server)
+    with pytest.raises(ReproError):
+        ConcurrentSessionServer(frag, backend="thread").shard_stats()
