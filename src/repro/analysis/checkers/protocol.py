@@ -8,13 +8,19 @@ derives the kind inventory from the enum itself and demands, for every
 member:
 
 * a ``FrameKind.<KIND>: <FrameClass>`` entry in ``FRAME_CLASSES`` (the
-  codec's decode table), and
+  decode table), and
 * a ``FrameKind.<KIND>`` reference in the server module (dispatch arm), and
-* a ``FrameKind.<KIND>`` reference in the client module (request/reply arm).
+* a ``FrameKind.<KIND>`` reference in the client module (request/reply arm),
+  and
+* (when the tree has ``net/codec.py``) the frame's class name registered in
+  the safe codec's ``FRAME_STRUCTS`` dict -- the protocol-v2 encode split
+  means a frame class missing there is unencodable for every v2 peer even
+  though the pickle path still carries it at v1.
 
 ``OBJ`` is the deliberate exception: it is the worker transport's opaque
 pickle frame, never decoded via ``FRAME_CLASSES`` nor served by the TCP
-front door -- it must instead be referenced by the transport module, so a
+front door (and pickle-exempt at every version, so the codec registry does
+not list it) -- it must instead be referenced by the transport module, so a
 renamed/retired transport surfaces here too.
 """
 
@@ -30,6 +36,7 @@ PROTOCOL_MODULE = "net/protocol.py"
 SERVER_MODULE = "net/server.py"
 CLIENT_MODULE = "net/client.py"
 TRANSPORT_MODULE = "runtime/transport.py"
+CODEC_MODULE = "net/codec.py"
 
 #: kinds excluded from codec/dispatch arms -> the module that must use them
 EXEMPT_KINDS: Dict[str, str] = {"OBJ": TRANSPORT_MODULE}
@@ -38,8 +45,9 @@ EXEMPT_KINDS: Dict[str, str] = {"OBJ": TRANSPORT_MODULE}
 class ProtocolExhaustivenessChecker:
     rule = "protocol-exhaustive"
     description = (
-        "every FrameKind member has a FRAME_CLASSES entry plus server and "
-        "client arms (OBJ: used by the worker transport)"
+        "every FrameKind member has a FRAME_CLASSES entry, server and "
+        "client arms, and a v2 codec registration (OBJ: used by the worker "
+        "transport, pickle-exempt)"
     )
 
     def __init__(
@@ -47,11 +55,13 @@ class ProtocolExhaustivenessChecker:
         protocol_module: str = PROTOCOL_MODULE,
         server_module: str = SERVER_MODULE,
         client_module: str = CLIENT_MODULE,
+        codec_module: str = CODEC_MODULE,
         exempt_kinds: Dict[str, str] = EXEMPT_KINDS,
     ) -> None:
         self.protocol_module = protocol_module
         self.server_module = server_module
         self.client_module = client_module
+        self.codec_module = codec_module
         self.exempt_kinds = dict(exempt_kinds)
 
     def check(self, project: Project) -> Iterable[Finding]:
@@ -65,15 +75,19 @@ class ProtocolExhaustivenessChecker:
                 f"no FrameKind enum found in {self.protocol_module}",
             )
             return
-        codec_keys = _frame_class_keys(protocol)
+        frame_classes = _frame_class_map(protocol)
         server_refs = _kind_references(project.module(self.server_module))
         client_refs = _kind_references(project.module(self.client_module))
+        codec = project.module(self.codec_module)
+        codec_structs = (
+            None if codec is None else _dict_string_keys(codec, "FRAME_STRUCTS")
+        )
 
         for kind, node in kinds:
             if kind in self.exempt_kinds:
                 yield from self._check_exempt(project, protocol, kind, node)
                 continue
-            if kind not in codec_keys:
+            if kind not in frame_classes:
                 yield self._finding(
                     protocol, node, kind,
                     f"FrameKind.{kind} has no FRAME_CLASSES entry: the codec "
@@ -91,6 +105,18 @@ class ProtocolExhaustivenessChecker:
                     protocol, node, kind,
                     f"FrameKind.{kind} is never referenced in "
                     f"{self.client_module}: no client sends or handles it",
+                )
+            frame_cls = frame_classes.get(kind)
+            if (
+                codec_structs is not None
+                and frame_cls is not None
+                and frame_cls not in codec_structs
+            ):
+                yield self._finding(
+                    protocol, node, kind,
+                    f"frame class {frame_cls} (FrameKind.{kind}) is not "
+                    f"registered in {self.codec_module}'s FRAME_STRUCTS: "
+                    "v2 peers cannot encode it",
                 )
 
     def _check_exempt(
@@ -260,9 +286,10 @@ def _enum_members(
     return []
 
 
-def _frame_class_keys(module: ParsedModule) -> Set[str]:
-    """FrameKind member names used as keys of the ``FRAME_CLASSES`` dict."""
-    keys: Set[str] = set()
+def _frame_class_map(module: ParsedModule) -> Dict[str, str]:
+    """``FrameKind member -> frame class name`` from the ``FRAME_CLASSES``
+    dict literal (entries whose value is not a plain name map to ``""``)."""
+    out: Dict[str, str] = {}
     for node in module.walk():
         if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict)):
             continue
@@ -270,13 +297,36 @@ def _frame_class_keys(module: ParsedModule) -> Set[str]:
             isinstance(t, ast.Name) and t.id == "FRAME_CLASSES" for t in node.targets
         ):
             continue
-        for key in node.value.keys:
+        for key, value in zip(node.value.keys, node.value.values):
             if (
                 isinstance(key, ast.Attribute)
                 and isinstance(key.value, ast.Name)
                 and key.value.id == "FrameKind"
             ):
-                keys.add(key.attr)
+                out[key.attr] = value.id if isinstance(value, ast.Name) else ""
+    return out
+
+
+def _dict_string_keys(module: ParsedModule, name: str) -> Set[str]:
+    """The string-literal keys of the dict literal assigned to ``name``."""
+    keys: Set[str] = set()
+    for node in module.walk():
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == name for t in targets):
+            continue
+        value = node.value
+        if isinstance(value, ast.Dict):
+            keys.update(
+                k.value
+                for k in value.keys
+                if isinstance(k, ast.Constant) and isinstance(k.value, str)
+            )
     return keys
 
 

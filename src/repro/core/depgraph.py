@@ -50,8 +50,15 @@ class DependencyGraphs:
         Only boundary transitions matter: a crossing edge whose source
         fragment stops (starts) holding ``v`` as a virtual node removes
         (adds) one watcher entry.  Local edges, and crossing edges that leave
-        ``Fi.O`` membership unchanged, are no-ops here.
+        ``Fi.O`` membership unchanged, are no-ops here.  Composite deltas
+        (``remove_node``) replay their cascade of edge deletions; the node
+        drop itself moves no boundary metadata (the node is isolated by
+        then).
         """
+        if delta.cascade:
+            for edge_delta in delta.cascade:
+                self.apply_delta(edge_delta)
+            return
         self.version += 1
         if delta.virtual_dropped:
             self.owners[delta.source_fid].pop(delta.v, None)

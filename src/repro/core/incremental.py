@@ -12,11 +12,19 @@ updates:
   messages the affected boundary variables require -- deleting an edge no
   match depends on costs nothing and ships nothing.
 * **edge insertion** can revive matches, which the falsification-only
-  protocol cannot express; affected queries fall back to a full
-  re-evaluation (the honest cost, clearly reported in the update metrics).
+  protocol cannot express; affected queries are repaired with a *targeted
+  re-seed*: only the reverse-reachable region of the insertion source can
+  change truth value (witness chains run forward, so a node that cannot
+  reach the new edge keeps its value), so those nodes -- and only those --
+  are reset to label-optimistic candidates, their counters recomputed
+  against the surrounding fixed values, and the falsification fixpoint
+  rerun inside the region (:meth:`IncrementalMatchState.apply_insert`).
   Insertions that *cannot* change the answer -- no query edge carries the
   inserted edge's label pair -- are absorbed by patching the one successor
   counter they feed.
+* **node removal** is a cascade of edge deletions (each repaired natively)
+  followed by scrubbing the now-isolated node from the candidate sets and
+  counter tables (:meth:`IncrementalMatchState.absorb_remove_node`).
 
 Two layers:
 
@@ -43,7 +51,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.config import DgpmConfig
 from repro.core.depgraph import DependencyGraphs
@@ -52,7 +60,7 @@ from repro.core.state import VarKey
 from repro.errors import ReproError
 from repro.graph.digraph import Label, Node
 from repro.graph.pattern import Pattern
-from repro.partition.fragmentation import Fragmentation, fragment_graph
+from repro.partition.fragmentation import Fragmentation, MutationDelta, fragment_graph
 from repro.runtime.engine import SyncEngine
 from repro.runtime.messages import COORDINATOR
 from repro.runtime.network import Network
@@ -67,7 +75,8 @@ class UpdateMetrics:
     layer, and an immutable snapshot can never be observed half-updated.
     """
 
-    kind: str                 # "delete" or "insert(recompute)"
+    kind: str                 # "delete", "insert(targeted)", "insert(recompute)",
+                              # "insert(absorbed)", or "remove_node"
     n_messages: int           # protocol data messages shipped
     ds_bytes: int             # protocol data bytes shipped
     n_rounds: int             # message rounds to re-quiescence
@@ -88,6 +97,8 @@ class RepairCost:
     n_messages: int
     ds_bytes: int
     n_rounds: int
+    #: which repair path ran: "" (surgery), "bootstrap", or "targeted"
+    strategy: str = ""
 
 
 def edge_update_may_change_answer(query: Pattern, u_label: Label, v_label: Label) -> bool:
@@ -168,6 +179,7 @@ class IncrementalMatchState:
             n_messages=network.data_message_count,
             ds_bytes=network.data_bytes,
             n_rounds=engine.n_rounds,
+            strategy="bootstrap",
         )
 
     def relation(self) -> MatchRelation:
@@ -181,15 +193,18 @@ class IncrementalMatchState:
     # ------------------------------------------------------------------
     # deletion: native O(|AFF|) repair
     # ------------------------------------------------------------------
-    def apply_delete(self, u: Node, v: Node, v_label: Label) -> RepairCost:
+    def apply_delete(
+        self, u: Node, v: Node, v_label: Label, fid: Optional[int] = None
+    ) -> RepairCost:
         """Repair after edge ``(u, v)`` was removed from the (shared) graphs.
 
         Counter surgery at the owner site, then message rounds to
         quiescence.  ``n_falsified`` sums the locally falsified variables of
         *every* site touched by the cascade -- zero means the answer is
-        untouched.
+        untouched.  ``fid`` overrides the owner lookup for cascade edges of
+        a ``remove_node`` (the node has already left the owner map).
         """
-        owner = self.fragmentation.owner(u)
+        owner = self.fragmentation.owner(u) if fid is None else fid
         program = self.programs[owner]
         falsified = self._delete_surgery(program, u, v, v_label)
         n_falsified = len(falsified)
@@ -278,6 +293,208 @@ class IncrementalMatchState:
             state.count[(node, u_child)] = 0
         return changed
 
+    # ------------------------------------------------------------------
+    # insertion: targeted region repair
+    # ------------------------------------------------------------------
+    def apply_insert(self, delta: MutationDelta) -> RepairCost:
+        """Repair after a *relevant* edge insertion, re-seeding only the
+        affected region.
+
+        An insertion can only revive nodes that reach its source: a witness
+        chain for ``X(u, v)`` runs forward from ``v``, so the truth value of
+        any node that cannot reach ``delta.u`` is untouched by the new edge.
+        The reverse-reachable closure of ``delta.u`` is therefore reset to
+        label-optimistic candidates (clearing the shipped/known-false
+        bookkeeping so re-falsifications travel again), its counters are
+        recomputed against the surrounding fixed values, and the
+        falsification fixpoint reruns -- it cannot escape the region because
+        every predecessor of a region node is itself in the region.  Regions
+        a quarter of the graph or larger fall back to :meth:`bootstrap`
+        (the re-seed would approach a full re-evaluation anyway).
+        """
+        graph = self.fragmentation.graph
+        region: Set[Node] = {delta.u}
+        stack = [delta.u]
+        while stack:
+            w = stack.pop()
+            for p in graph.predecessors(w):
+                if p not in region:
+                    region.add(p)
+                    stack.append(p)
+        if 4 * len(region) >= graph.n_nodes:
+            return self.bootstrap()
+
+        query = self.query
+        # A brand-new virtual copy of the target starts optimistically true,
+        # exactly as a bootstrap would have seeded it.
+        if delta.virtual_added:
+            state = self.programs[delta.source_fid].state
+            for q in query.nodes():
+                if query.label(q) == delta.v_label:
+                    state.sim[q].add(delta.v)
+        # Reset every copy (owner and watchers) of every region node to a
+        # label-optimistic candidate.  Shipped falsifications are un-marked
+        # on the sender and forgotten on the receivers, so a re-derived
+        # falsification ships -- and is accepted -- again.
+        for program in self.programs.values():
+            state = program.state
+            frag_graph = state.fragment.graph
+            for q in query.nodes():
+                label = query.label(q)
+                bucket = state.sim[q]
+                for w in region:
+                    if w in frag_graph and frag_graph.label(w) == label:
+                        bucket.add(w)
+                        program.shipped.discard((q, w))
+                        program.known_false_virtual.discard((q, w))
+        # Recompute the counters of region-local nodes against the current
+        # candidate sets (predecessors of region nodes are region nodes, so
+        # no counter outside this sweep references a reset candidate).
+        for program in self.programs.values():
+            state = program.state
+            frag_graph = state.fragment.graph
+            local = state.fragment.local_nodes
+            for w in region:
+                if w not in local:
+                    continue
+                succs = list(frag_graph.successors(w))
+                for u_child in self._parented:
+                    targets = state.sim[u_child]
+                    state.count[(w, u_child)] = sum(
+                        1 for x in succs if x in targets
+                    )
+
+        seeded: List = []
+        n_falsified = 0
+        # Reconcile a brand-new virtual copy with its owner's current truth:
+        # the target may lie outside the region, so the region fixpoint
+        # would never correct the copy's optimism on its own.
+        if delta.virtual_added:
+            owner_state = self.programs[delta.target_fid].state
+            source = self.programs[delta.source_fid]
+            dead = [
+                (q, delta.v)
+                for q in query.nodes()
+                if query.label(q) == delta.v_label
+                and not owner_state.is_candidate(q, delta.v)
+            ]
+            if dead:
+                falsified = source.state.falsify_virtual(dead)
+                n_falsified += len(falsified)
+                seeded.extend(source._messages_for(falsified))
+        # Restricted run_initial: falsify region-local violations and let the
+        # worklist run to the local fixpoint.
+        for program in self.programs.values():
+            state = program.state
+            local = state.fragment.local_nodes
+            for q in query.nodes():
+                children = query.children(q)
+                if not children:
+                    continue
+                bucket = state.sim[q]
+                for w in region:
+                    if (
+                        w in local
+                        and w in bucket
+                        and any(state.count[(w, qc)] == 0 for qc in children)
+                    ):
+                        bucket.discard(w)
+                        state._worklist.append((q, w))
+                        state._newly_false.append((q, w))
+            state._propagate()
+            falsified = state.drain_newly_false()
+            n_falsified += len(falsified)
+            seeded.extend(program._messages_for(falsified))
+        # Ship across sites and iterate to quiescence, as after a deletion.
+        network = Network(self.config.cost)
+        network.send_all(seeded)
+        rounds = 0
+        while network.has_pending:
+            rounds += 1
+            inboxes = network.deliver()
+            inboxes.pop(COORDINATOR, None)
+            for fid, inbox in inboxes.items():
+                result = self.programs[fid].on_tick(rounds, inbox)
+                n_falsified += result.n_falsified
+                network.send_all(result.messages)
+        return RepairCost(
+            n_falsified=n_falsified,
+            n_messages=network.data_message_count,
+            ds_bytes=network.data_bytes,
+            n_rounds=rounds,
+            strategy="targeted",
+        )
+
+    # ------------------------------------------------------------------
+    # node removal: scrub after the cascade
+    # ------------------------------------------------------------------
+    def apply_remove_node(self, delta) -> Tuple[bool, RepairCost]:
+        """Full repair for a node removal: the cascade, then the scrub.
+
+        Returns ``(answer may have changed, aggregated cost)``.  The flag
+        cannot be derived from the cascade's falsification counts alone: the
+        fragmentation has already dropped the node from its owner's local
+        set, so a candidacy the cascade kills is no longer counted as a
+        *local* falsification -- the node's pre-cascade candidacy is the
+        truth.  (Conservative: a candidacy held only by virtual copies was
+        never answer-visible, but callers diff relations before rewriting.)
+        """
+        was_candidate = any(
+            delta.u in program.state.sim.get(q, ())
+            for program in self.programs.values()
+            for q in self.query.nodes()
+        )
+        n_messages = ds_bytes = n_rounds = n_falsified = 0
+        for edge_delta in delta.cascade:
+            cost = self.apply_delete(
+                edge_delta.u,
+                edge_delta.v,
+                edge_delta.v_label,
+                fid=edge_delta.source_fid,
+            )
+            n_messages += cost.n_messages
+            ds_bytes += cost.ds_bytes
+            n_rounds += cost.n_rounds
+            n_falsified += cost.n_falsified
+        scrubbed = self.absorb_remove_node(
+            delta.u, delta.u_label, delta.source_fid
+        )
+        changed = was_candidate or scrubbed or n_falsified > 0
+        return changed, RepairCost(
+            n_falsified=n_falsified,
+            n_messages=n_messages,
+            ds_bytes=ds_bytes,
+            n_rounds=n_rounds,
+        )
+
+    def absorb_remove_node(self, node: Node, label: Label, fid: int) -> bool:
+        """Scrub a removed (already isolated) node from the warm state.
+
+        The cascade of edge deletions has been repaired via
+        :meth:`apply_delete`; what remains is the node's own candidacy.  It
+        is dropped from every candidate set still holding it (the owner's,
+        plus any stale virtual copies -- those were already invisible to
+        :meth:`relation`, which filters by local nodes) and from the counter
+        table.  No propagation is needed: the cascade removed every incident
+        edge, so no counter counts the node as a successor anymore.  Returns
+        True iff the node was still a candidate somewhere, i.e. the answer
+        may have changed.
+        """
+        changed = False
+        for program in self.programs.values():
+            state = program.state
+            for q in self.query.nodes():
+                bucket = state.sim.get(q)
+                if bucket is not None and node in bucket:
+                    bucket.discard(node)
+                    changed = True
+            for u_child in self._parented:
+                state.count.pop((node, u_child), None)
+            for q in self.query.nodes():
+                program.shipped.discard((q, node))
+                program.known_false_virtual.discard((q, node))
+        return changed
+
 
 class IncrementalDgpmSession:
     """A long-lived single-query dGPM evaluation that absorbs graph updates.
@@ -340,22 +557,53 @@ class IncrementalDgpmSession:
         )
 
     def insert_edge(self, u: Node, v: Node) -> UpdateMetrics:
-        """Add edge ``(u, v)``; falls back to full re-evaluation.
+        """Add edge ``(u, v)`` and repair the match in place.
 
         Insertions can revive previously falsified matches, which the
-        monotone falsification protocol cannot undo -- the session rebuilds
-        every site's state and reruns the fixpoint (metrics reflect it).
-        The fragmentation itself is still patched in place.
+        monotone falsification protocol cannot undo on its own; the session
+        re-seeds the reverse-reachable region of ``u`` and reruns the
+        fixpoint inside it (:meth:`IncrementalMatchState.apply_insert`),
+        falling back to a full re-evaluation when the region covers most of
+        the graph.  Label-irrelevant insertions are absorbed by patching the
+        one counter they feed.
         """
         start = time.perf_counter()
         delta = self.fragmentation.insert_edge(u, v)
         self._deps.apply_delta(delta)
-        cost = self._state.bootstrap()
+        if edge_update_may_change_answer(self.query, delta.u_label, delta.v_label):
+            cost = self._state.apply_insert(delta)
+            targeted = cost.strategy == "targeted"
+            kind = "insert(targeted)" if targeted else "insert(recompute)"
+        else:
+            self._state.absorb_irrelevant_insert(u, v, delta.v_label)
+            cost = RepairCost(0, 0, 0, 0)
+            kind = "insert(absorbed)"
         return UpdateMetrics(
-            kind="insert(recompute)",
+            kind=kind,
             n_messages=cost.n_messages,
             ds_bytes=cost.ds_bytes,
             n_rounds=cost.n_rounds,
             wall_seconds=time.perf_counter() - start,
-            falsified_local=0,
+            falsified_local=cost.n_falsified,
+        )
+
+    def remove_node(self, node: Node) -> UpdateMetrics:
+        """Remove ``node`` with all incident edges; repair incrementally.
+
+        The fragmentation turns the removal into a cascade of edge
+        deletions (each repaired natively, in cascade order) followed by
+        dropping the then-isolated node, which only needs its candidate and
+        counter entries scrubbed.
+        """
+        start = time.perf_counter()
+        delta = self.fragmentation.remove_node(node)
+        self._deps.apply_delta(delta)
+        _changed, cost = self._state.apply_remove_node(delta)
+        return UpdateMetrics(
+            kind="remove_node",
+            n_messages=cost.n_messages,
+            ds_bytes=cost.ds_bytes,
+            n_rounds=cost.n_rounds,
+            wall_seconds=time.perf_counter() - start,
+            falsified_local=cost.n_falsified,
         )

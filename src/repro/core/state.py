@@ -130,6 +130,11 @@ class LocalEvalState:
         local = self.fragment.local_nodes
         while self._worklist:
             u_rm, v_rm = self._worklist.popleft()
+            if v_rm not in graph:
+                # A remove_node cascade already detached v_rm from this
+                # fragment; its predecessors' counters were adjusted by the
+                # cascade's own edge deletions (in-edges repair first).
+                continue
             for v_pred in graph.predecessors(v_rm):
                 # All predecessors are local: fragments never store
                 # out-edges of virtual nodes.

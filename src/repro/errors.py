@@ -58,11 +58,12 @@ class MutationBatchError(ReproError):
     ``applied`` carries the stamped outcomes of the updates that succeeded
     before the failure (their stamps are in effect -- there is no rollback:
     node additions have no inverse in the mutation API), ``failed_op`` the
-    update that raised, and ``__cause__`` the underlying error.
+    (normalized :class:`~repro.graph.mutations.MutationOp`) update that
+    raised, and ``__cause__`` the underlying error.
     """
 
     def __init__(
-        self, message: str, applied: Sequence[object], failed_op: Tuple
+        self, message: str, applied: Sequence[object], failed_op: object
     ) -> None:
         super().__init__(message)
         self.applied = applied

@@ -12,10 +12,15 @@ every run lived inside one OS process.  ``repro.net`` is the system boundary:
   feeds :meth:`ConcurrentSessionServer.submit`, preserving the
   snapshot/stamp contract end-to-end, with graceful shutdown that drains
   in-flight work;
+* :mod:`repro.net.codec` -- protocol v2's tagged safe body encoding (no
+  pickle on the client-facing wire);
 * :mod:`repro.net.client` -- a blocking :class:`SessionClient` and a
-  pipelining :class:`AsyncSessionClient` speaking the same protocol.
+  pipelining :class:`AsyncSessionClient` sharing one request core; build
+  either through :func:`connect`, which also negotiates the protocol
+  version and unlocks standing queries (:meth:`subscribe`).
 
 ``examples/network_query_server.py`` runs the full topology on localhost;
+``examples/subscription_server.py`` demonstrates standing queries;
 ``benchmarks/bench_net.py`` gates the TCP ingress's throughput against the
 in-process thread backend.
 """
@@ -26,7 +31,10 @@ in-process thread backend.
 # half-built ``repro.session.concurrent`` module.
 _EXPORTS = {
     "AsyncSessionClient": "repro.net.client",
+    "AsyncSubscription": "repro.net.client",
     "SessionClient": "repro.net.client",
+    "Subscription": "repro.net.client",
+    "connect": "repro.net.client",
     "NetworkSessionServer": "repro.net.server",
     "ThreadedNetworkServer": "repro.net.server",
     "serve_in_thread": "repro.net.server",
@@ -34,7 +42,14 @@ _EXPORTS = {
     "encode": "repro.net.protocol",
     "decode": "repro.net.protocol",
     "PROTOCOL_VERSION": "repro.net.protocol",
+    "PROTOCOL_V1": "repro.net.protocol",
+    "SUPPORTED_VERSIONS": "repro.net.protocol",
     "DEFAULT_MAX_FRAME": "repro.net.protocol",
+    "AddNode": "repro.graph.mutations",
+    "DeleteEdge": "repro.graph.mutations",
+    "InsertEdge": "repro.graph.mutations",
+    "MutationOp": "repro.graph.mutations",
+    "RemoveNode": "repro.graph.mutations",
 }
 
 
@@ -55,7 +70,10 @@ def __dir__() -> list:
 
 __all__ = [
     "AsyncSessionClient",
+    "AsyncSubscription",
     "SessionClient",
+    "Subscription",
+    "connect",
     "NetworkSessionServer",
     "ThreadedNetworkServer",
     "serve_in_thread",
@@ -63,5 +81,12 @@ __all__ = [
     "encode",
     "decode",
     "PROTOCOL_VERSION",
+    "PROTOCOL_V1",
+    "SUPPORTED_VERSIONS",
     "DEFAULT_MAX_FRAME",
+    "AddNode",
+    "DeleteEdge",
+    "InsertEdge",
+    "MutationOp",
+    "RemoveNode",
 ]

@@ -1,0 +1,394 @@
+"""The protocol-v2 safe body codec: tagged values, no pickle, no surprises.
+
+Pickle made protocol v1 easy but confined it to trusted links: a pickled
+body can execute arbitrary code on load.  v2 bodies instead use this closed
+tagged encoding -- a small vocabulary of primitives and containers plus an
+explicit registry of the typed dataclasses that legitimately cross the
+client-facing wire.  Decoding never constructs anything outside that
+vocabulary, so the ingress can face untrusted clients.
+
+Format: every value is one tag byte followed by a tag-specific payload;
+lengths and counts are unsigned LEB128 varints.  Registered structs encode
+as ``STRUCT tag, struct id, field count, field values`` with the fields in
+registration order, and are rebuilt through their registered constructor --
+not ``__reduce__``, not ``__setstate__``.
+
+The registry is the source of truth for *what may cross the v2 wire*:
+:data:`FRAME_STRUCTS` lists every protocol frame class (the
+``protocol-exhaustive`` analyzer checker cross-references it against
+``FrameKind``; a frame kind must appear here or carry an explicit
+worker-only pickle exemption), and :data:`VALUE_STRUCTS` the payload types
+those frames carry.  Encoding is deterministic: sets and frozensets are
+serialized in sorted-bytes order, so equal values produce equal bytes.
+
+Everything raises :class:`~repro.errors.WireFormatError` -- on unknown
+tags, unknown struct ids, truncation, trailing bytes, arity drift, absurd
+nesting, or an attempt to encode an unregistered type.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.errors import WireFormatError
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03  # 8-byte signed big-endian
+_T_BIGINT = 0x04  # varint length + signed big-endian bytes
+_T_FLOAT = 0x05  # 8-byte IEEE-754 big-endian
+_T_STR = 0x06  # varint length + utf-8
+_T_BYTES = 0x07  # varint length + raw
+_T_TUPLE = 0x08  # varint count + values
+_T_LIST = 0x09
+_T_DICT = 0x0A  # varint count + key/value pairs
+_T_SET = 0x0B  # varint count + values (sorted-bytes order)
+_T_FROZENSET = 0x0C
+_T_STRUCT = 0x0E  # varint struct id + varint field count + field values
+
+_INT64 = struct.Struct(">q")
+_FLOAT64 = struct.Struct(">d")
+_INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
+
+#: nesting bound: no legitimate frame is anywhere near this deep, and a
+#: crafted deep body must not be able to exhaust the decoder's stack
+MAX_DEPTH = 64
+
+# ----------------------------------------------------------------------
+# struct registry
+# ----------------------------------------------------------------------
+
+#: protocol frame classes (net/protocol.py) -> struct id.  Every FrameKind's
+#: body class must appear here (or be pickle-exempt for the worker
+#: transport); the protocol-exhaustive checker enforces it.
+FRAME_STRUCTS: Dict[str, int] = {
+    "Hello": 1,
+    "RunRequest": 2,
+    "MutateRequest": 3,
+    "StatsRequest": 4,
+    "Bye": 5,
+    "RunReply": 6,
+    "MutateReply": 7,
+    "StatsReply": 8,
+    "ErrorReply": 9,
+    "SubscribeRequest": 10,
+    "SubscribeReply": 11,
+    "UnsubscribeRequest": 12,
+    "PushDelta": 13,
+    "ResultChunk": 14,
+}
+
+#: payload types carried inside frames -> struct id
+VALUE_STRUCTS: Dict[str, int] = {
+    "Pattern": 32,
+    "MatchRelation": 33,
+    "RunMetrics": 34,
+    "DgpmConfig": 35,
+    "CostModel": 36,
+    "SessionStats": 37,
+    "MutationOutcome": 38,
+    "MutationDelta": 39,
+    "StampedOutcome": 40,
+    "InsertEdge": 41,
+    "DeleteEdge": 42,
+    "AddNode": 43,
+    "RemoveNode": 44,
+}
+
+#: extract(obj) -> field tuple; build(*fields) -> obj
+_Extract = Callable[[Any], Tuple[Any, ...]]
+_Build = Callable[..., Any]
+
+
+class _StructSpec:
+    __slots__ = ("sid", "cls", "extract", "build")
+
+    def __init__(self, sid: int, cls: type, extract: _Extract, build: _Build):
+        self.sid = sid
+        self.cls = cls
+        self.extract = extract
+        self.build = build
+
+
+_BY_ID: Dict[int, _StructSpec] = {}
+_BY_CLASS: Dict[type, _StructSpec] = {}
+
+
+def _register(sid: int, cls: type, fields: Tuple[str, ...]) -> None:
+    def extract(obj: Any, _fields: Tuple[str, ...] = fields) -> Tuple[Any, ...]:
+        return tuple(getattr(obj, name) for name in _fields)
+
+    _register_custom(sid, cls, extract, cls)
+
+
+def _register_custom(sid: int, cls: type, extract: _Extract, build: _Build) -> None:
+    spec = _StructSpec(sid, cls, extract, build)
+    _BY_ID[sid] = spec
+    _BY_CLASS[cls] = spec
+
+
+def _extract_pattern(obj: Any) -> Tuple[Any, ...]:
+    return ({u: obj.label(u) for u in obj.nodes()}, tuple(obj.edges()))
+
+
+def _extract_relation(obj: Any) -> Tuple[Any, ...]:
+    nodes = tuple(obj.query_nodes())
+    return (nodes, {u: obj.raw_matches_of(u) for u in nodes})
+
+
+def _build_stats(*counters: int) -> Any:
+    from repro.session.session import SessionStats
+
+    return SessionStats(*counters)
+
+
+def _ensure_registered() -> None:
+    """Populate the registry on first use.
+
+    Imports live here, not at module top: the protocol module is imported by
+    the worker transport while heavier packages (session, simulation) may
+    still be mid-initialization, and v2 bodies are only ever encoded once
+    the world is fully imported.
+    """
+    if _BY_ID:
+        return
+    from dataclasses import fields as dc_fields
+
+    from repro.core.config import DgpmConfig
+    from repro.graph.mutations import AddNode, DeleteEdge, InsertEdge, RemoveNode
+    from repro.graph.pattern import Pattern
+    from repro.net import protocol
+    from repro.partition.fragmentation import MutationDelta
+    from repro.runtime.costmodel import CostModel
+    from repro.runtime.metrics import RunMetrics
+    from repro.session.concurrent import StampedOutcome
+    from repro.session.session import MutationOutcome, SessionStats
+
+    def auto(sid: int, cls: type) -> None:
+        _register(sid, cls, tuple(f.name for f in dc_fields(cls)))
+
+    for name, sid in FRAME_STRUCTS.items():
+        auto(sid, getattr(protocol, name))
+    auto(VALUE_STRUCTS["RunMetrics"], RunMetrics)
+    auto(VALUE_STRUCTS["DgpmConfig"], DgpmConfig)
+    auto(VALUE_STRUCTS["CostModel"], CostModel)
+    auto(VALUE_STRUCTS["MutationOutcome"], MutationOutcome)
+    auto(VALUE_STRUCTS["MutationDelta"], MutationDelta)
+    auto(VALUE_STRUCTS["StampedOutcome"], StampedOutcome)
+    auto(VALUE_STRUCTS["InsertEdge"], InsertEdge)
+    auto(VALUE_STRUCTS["DeleteEdge"], DeleteEdge)
+    auto(VALUE_STRUCTS["AddNode"], AddNode)
+    auto(VALUE_STRUCTS["RemoveNode"], RemoveNode)
+    _register_custom(
+        VALUE_STRUCTS["Pattern"], Pattern, _extract_pattern, Pattern
+    )
+    from repro.simulation.matchrel import MatchRelation
+
+    _register_custom(
+        VALUE_STRUCTS["MatchRelation"],
+        MatchRelation,
+        _extract_relation,
+        MatchRelation,
+    )
+    _register_custom(
+        VALUE_STRUCTS["SessionStats"],
+        SessionStats,
+        lambda s: tuple(getattr(s, f.name) for f in dc_fields(SessionStats)),
+        _build_stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def _write_varint(out: bytearray, n: int) -> None:
+    while True:
+        byte = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _encode_value(out: bytearray, obj: Any, depth: int) -> None:
+    if depth > MAX_DEPTH:
+        raise WireFormatError(f"value nesting exceeds {MAX_DEPTH} levels")
+    if obj is None:
+        out.append(_T_NONE)
+    elif obj is True:
+        out.append(_T_TRUE)
+    elif obj is False:
+        out.append(_T_FALSE)
+    elif type(obj) is int:
+        if _INT64_MIN <= obj <= _INT64_MAX:
+            out.append(_T_INT)
+            out += _INT64.pack(obj)
+        else:
+            raw = obj.to_bytes((obj.bit_length() + 8) // 8, "big", signed=True)
+            out.append(_T_BIGINT)
+            _write_varint(out, len(raw))
+            out += raw
+    elif type(obj) is float:
+        out.append(_T_FLOAT)
+        out += _FLOAT64.pack(obj)
+    elif type(obj) is str:
+        raw = obj.encode("utf-8")
+        out.append(_T_STR)
+        _write_varint(out, len(raw))
+        out += raw
+    elif type(obj) is bytes:
+        out.append(_T_BYTES)
+        _write_varint(out, len(obj))
+        out += obj
+    elif type(obj) is tuple or type(obj) is list:
+        out.append(_T_TUPLE if type(obj) is tuple else _T_LIST)
+        _write_varint(out, len(obj))
+        for item in obj:
+            _encode_value(out, item, depth + 1)
+    elif type(obj) is dict:
+        out.append(_T_DICT)
+        _write_varint(out, len(obj))
+        for key, value in obj.items():
+            _encode_value(out, key, depth + 1)
+            _encode_value(out, value, depth + 1)
+    elif type(obj) is set or type(obj) is frozenset:
+        out.append(_T_SET if type(obj) is set else _T_FROZENSET)
+        _write_varint(out, len(obj))
+        encoded: List[bytes] = []
+        for item in obj:
+            buf = bytearray()
+            _encode_value(buf, item, depth + 1)
+            encoded.append(bytes(buf))
+        for raw in sorted(encoded):
+            out += raw
+    else:
+        spec = _BY_CLASS.get(type(obj))
+        if spec is None:
+            raise WireFormatError(
+                f"{type(obj).__name__} is not encodable on the v2 wire "
+                "(not a registered struct)"
+            )
+        fields = spec.extract(obj)
+        out.append(_T_STRUCT)
+        _write_varint(out, spec.sid)
+        _write_varint(out, len(fields))
+        for item in fields:
+            _encode_value(out, item, depth + 1)
+
+
+def encode(obj: Any) -> bytes:
+    """Encode one value (typically a protocol frame) to v2 wire bytes."""
+    _ensure_registered()
+    out = bytearray()
+    _encode_value(out, obj, 0)
+    return bytes(out)
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self.pos + n > len(self.data):
+            raise WireFormatError(
+                f"truncated value: need {n} bytes at offset {self.pos}, "
+                f"have {len(self.data) - self.pos}"
+            )
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def varint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            if self.pos >= len(self.data):
+                raise WireFormatError("truncated varint")
+            byte = self.data[self.pos]
+            self.pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 63:
+                raise WireFormatError("varint too long")
+
+
+def _decode_value(reader: _Reader, depth: int) -> Any:
+    if depth > MAX_DEPTH:
+        raise WireFormatError(f"value nesting exceeds {MAX_DEPTH} levels")
+    tag = reader.take(1)[0]
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_INT:
+        return _INT64.unpack(reader.take(8))[0]
+    if tag == _T_BIGINT:
+        raw = reader.take(reader.varint())
+        return int.from_bytes(raw, "big", signed=True)
+    if tag == _T_FLOAT:
+        return _FLOAT64.unpack(reader.take(8))[0]
+    if tag == _T_STR:
+        raw = reader.take(reader.varint())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"invalid utf-8 in string value: {exc}") from exc
+    if tag == _T_BYTES:
+        return reader.take(reader.varint())
+    if tag in (_T_TUPLE, _T_LIST):
+        count = reader.varint()
+        items = [_decode_value(reader, depth + 1) for _ in range(count)]
+        return tuple(items) if tag == _T_TUPLE else items
+    if tag == _T_DICT:
+        count = reader.varint()
+        out: Dict[Any, Any] = {}
+        for _ in range(count):
+            key = _decode_value(reader, depth + 1)
+            out[key] = _decode_value(reader, depth + 1)
+        return out
+    if tag in (_T_SET, _T_FROZENSET):
+        count = reader.varint()
+        items = [_decode_value(reader, depth + 1) for _ in range(count)]
+        return set(items) if tag == _T_SET else frozenset(items)
+    if tag == _T_STRUCT:
+        sid = reader.varint()
+        spec = _BY_ID.get(sid)
+        if spec is None:
+            raise WireFormatError(f"unknown struct id {sid}")
+        count = reader.varint()
+        fields = [_decode_value(reader, depth + 1) for _ in range(count)]
+        try:
+            return spec.build(*fields)
+        except WireFormatError:
+            raise
+        except Exception as exc:
+            raise WireFormatError(
+                f"cannot rebuild {spec.cls.__name__} from wire fields: {exc!r}"
+            ) from exc
+    raise WireFormatError(f"unknown value tag {tag:#04x}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode one value from v2 wire bytes (trailing bytes are rejected)."""
+    _ensure_registered()
+    reader = _Reader(data)
+    value = _decode_value(reader, 0)
+    if reader.pos != len(data):
+        raise WireFormatError(
+            f"{len(data) - reader.pos} stray bytes after a v2 value"
+        )
+    return value

@@ -20,16 +20,30 @@ header fails any of these checks -- or whose body is truncated, oversized,
 undecodable, or of the wrong type for its kind -- is rejected with
 :class:`~repro.errors.WireFormatError` before any payload object is touched.
 
-Bodies are pickled Python objects: the request/response dataclasses below
-carry :class:`~repro.graph.pattern.Pattern`,
-:class:`~repro.simulation.matchrel.MatchRelation`, mutation outcomes, and
-session stats verbatim, so a client sees exactly the objects an in-process
-caller would.  Pickle implies the usual trust boundary: this protocol is for
-localhost and trusted-cluster links, the paper's coordinator/site setting --
-not for the open internet.
+Two body encodings coexist, keyed by the header's ``version`` byte:
 
-The encode -> decode round-trip is the identity for every frame type
-(property-tested in ``tests/net/test_protocol.py``).
+* **v1** bodies are pickled Python objects -- the original encoding, kept
+  verbatim so old peers interoperate.  Pickle implies the usual trust
+  boundary: v1 is for localhost and trusted-cluster links only.
+* **v2** bodies use the tagged safe codec of :mod:`repro.net.codec`: a
+  closed value vocabulary (primitives, containers, and the registered frame
+  dataclasses) that never constructs arbitrary objects, so the ingress can
+  face untrusted clients.  v2 also adds the standing-query frames
+  (``SUBSCRIBE`` / ``SUBSCRIBED`` / ``UNSUBSCRIBE`` / ``PUSH``) and chunked
+  ``RESULT`` bodies (``RESULT_CHUNK``) for large relations.
+
+The one exception is :attr:`FrameKind.OBJ` -- the worker transport's raw
+command tuples -- which stays pickled at every version: that link is
+token-authenticated and parent-spawned (see :mod:`repro.runtime.transport`).
+
+Versions are negotiated in ``HELLO``: a client opens at v1 announcing
+``Hello.versions`` and upgrades iff the server's reply announces v2; servers
+always reply in the version the request arrived in, so an un-negotiated v1
+peer keeps working unchanged.
+
+The encode -> decode round-trip is the identity for every frame type at
+both versions (property-tested in ``tests/net/test_protocol.py`` and
+``tests/net/test_codec.py``).
 """
 
 from __future__ import annotations
@@ -47,7 +61,12 @@ from repro.runtime.metrics import RunMetrics
 from repro.simulation.matchrel import MatchRelation
 
 MAGIC = b"RGSP"
-PROTOCOL_VERSION = 1
+#: highest protocol version this build speaks (and the default for frames
+#: whose version is not chosen by negotiation, e.g. the worker transport)
+PROTOCOL_VERSION = 2
+#: the legacy pickle encoding, still accepted and emitted for old peers
+PROTOCOL_V1 = 1
+SUPPORTED_VERSIONS = frozenset({PROTOCOL_V1, PROTOCOL_VERSION})
 
 #: 64 MiB -- generous for any relation this library produces, small enough
 #: that a garbled length field cannot make a peer allocate the moon
@@ -70,14 +89,25 @@ class FrameKind(enum.IntEnum):
     STATS_REPLY = 8  # server -> client: the counters
     ERROR = 9  # server -> client: the request raised
     OBJ = 10  # raw payload (the worker transport's command tuples)
+    SUBSCRIBE = 11  # client -> server: register a standing query (v2)
+    UNSUBSCRIBE = 12  # client -> server: cancel a standing query (v2)
+    PUSH = 13  # server -> client: stamped match delta for a subscription (v2)
+    SUBSCRIBED = 14  # server -> client: subscription ack (initial snapshot)
+    RESULT_CHUNK = 15  # server -> client: one slice of a chunked reply (v2)
 
 
 @dataclass(frozen=True)
 class Hello:
-    """Connection opener: who is speaking, and (for workers) their token."""
+    """Connection opener: who is speaking, and (for workers) their token.
+
+    ``versions`` announces every protocol version the sender can speak; the
+    field defaults to ``(1,)`` so a pickled v1 ``Hello`` from an old peer
+    decodes into an honest announcement.
+    """
 
     role: str
     token: bytes = b""
+    versions: Tuple[int, ...] = (PROTOCOL_V1,)
 
 
 @dataclass(frozen=True)
@@ -93,9 +123,14 @@ class RunRequest:
 @dataclass(frozen=True)
 class MutateRequest:
     """Apply ``ops`` as one atomic batch (syntax of
-    :meth:`SimulationSession.apply`)."""
+    :meth:`SimulationSession.apply`).
 
-    ops: Tuple[Tuple, ...]
+    Ops are :class:`~repro.graph.mutations.MutationOp` instances; the legacy
+    bare-tuple spelling is still accepted by the session layer (with a
+    :class:`DeprecationWarning`) and therefore on the wire too.
+    """
+
+    ops: Tuple[Any, ...]
 
 
 @dataclass(frozen=True)
@@ -167,6 +202,79 @@ class ErrorReply:
         return TransportError(f"server error ({self.kind}): {self.message}")
 
 
+@dataclass(frozen=True)
+class SubscribeRequest:
+    """Register a standing query: PUSH a stamped delta after every mutation
+    batch that changes its match set.
+
+    ``buffer`` bounds the server-side delta queue for this subscription; a
+    subscriber that falls further behind than that is *lapsed* (it receives
+    one final ``PushDelta(lapsed=True)`` and must re-subscribe).
+    """
+
+    query: Pattern
+    algorithm: str = "auto"
+    config: Optional[DgpmConfig] = None
+    buffer: int = 256
+
+
+@dataclass(frozen=True)
+class SubscribeReply:
+    """Subscription ack: the id, the baseline stamp, and the full relation
+    at that stamp (``None`` when acking an ``UNSUBSCRIBE``).
+
+    Deltas pushed later apply on top of ``relation``; their stamps are
+    strictly increasing and start above ``stamp``.
+    """
+
+    sub_id: int
+    stamp: int
+    relation: Optional[MatchRelation] = None
+
+
+@dataclass(frozen=True)
+class UnsubscribeRequest:
+    """Cancel the standing query ``sub_id`` (acked with a
+    :class:`SubscribeReply` carrying ``relation=None``)."""
+
+    sub_id: int
+
+
+@dataclass(frozen=True)
+class PushDelta:
+    """One stamped match delta for a subscription.
+
+    ``added`` / ``removed`` are ``(query node, data node)`` pairs relative
+    to the subscriber's previous view (the baseline relation plus every
+    earlier delta), sorted for determinism.  ``lapsed=True`` is the final
+    frame of an overflowed subscription: the server dropped it and the
+    subscriber's view can no longer be trusted.
+    """
+
+    sub_id: int
+    stamp: int
+    added: Tuple[Tuple[Any, Any], ...] = ()
+    removed: Tuple[Tuple[Any, Any], ...] = ()
+    lapsed: bool = False
+
+
+@dataclass(frozen=True)
+class ResultChunk:
+    """One slice of a chunked reply (v2 only).
+
+    A reply whose encoded size exceeds the chunk threshold is sent as
+    ``total`` consecutive ``RESULT_CHUNK`` frames sharing the request's
+    ``seq``; concatenating the payloads yields one complete encoded frame
+    (header included), which the client decodes as the real reply.  Chunking
+    keeps every wire frame small, so one huge relation cannot monopolize a
+    pipelined connection.
+    """
+
+    index: int
+    total: int
+    payload: bytes
+
+
 FRAME_CLASSES = {
     FrameKind.HELLO: Hello,
     FrameKind.RUN: RunRequest,
@@ -177,47 +285,85 @@ FRAME_CLASSES = {
     FrameKind.OUTCOMES: MutateReply,
     FrameKind.STATS_REPLY: StatsReply,
     FrameKind.ERROR: ErrorReply,
+    FrameKind.SUBSCRIBE: SubscribeRequest,
+    FrameKind.UNSUBSCRIBE: UnsubscribeRequest,
+    FrameKind.PUSH: PushDelta,
+    FrameKind.SUBSCRIBED: SubscribeReply,
+    FrameKind.RESULT_CHUNK: ResultChunk,
 }
 _KIND_OF = {cls: kind for kind, cls in FRAME_CLASSES.items()}
+
+
+def kind_of(frame: Any) -> FrameKind:
+    """The :class:`FrameKind` a typed frame travels as."""
+    kind = _KIND_OF.get(type(frame))
+    if kind is None:
+        raise WireFormatError(f"{type(frame).__name__} is not a protocol frame type")
+    return kind
+
+#: kinds whose bodies stay pickled at *every* version: the worker transport's
+#: raw command tuples never face an untrusted peer (token-authenticated,
+#: parent-spawned links only), and their payloads are arbitrary objects the
+#: closed v2 vocabulary intentionally cannot express.
+PICKLE_KINDS = frozenset({FrameKind.OBJ})
 
 
 # ----------------------------------------------------------------------
 # encoding
 # ----------------------------------------------------------------------
+def _encode_body(kind: FrameKind, payload: Any, version: int) -> bytes:
+    """Encode one body with the codec its version mandates."""
+    if version not in SUPPORTED_VERSIONS:
+        raise WireFormatError(
+            f"cannot encode protocol version {version} "
+            f"(this side speaks {sorted(SUPPORTED_VERSIONS)})"
+        )
+    if version == PROTOCOL_V1 or kind in PICKLE_KINDS:
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    from repro.net import codec
+
+    return codec.encode(payload)
+
+
 def encode_payload(
     kind: FrameKind,
     payload: Any,
     seq: int = 0,
     max_frame: int = DEFAULT_MAX_FRAME,
+    version: int = PROTOCOL_VERSION,
 ) -> bytes:
     """One wire-ready frame around an arbitrary payload object."""
-    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    body = _encode_body(FrameKind(kind), payload, version)
     if len(body) > max_frame:
         raise WireFormatError(
             f"refusing to send a {len(body)}-byte {FrameKind(kind).name} "
             f"frame (max {max_frame})"
         )
     header = _HEADER.pack(
-        MAGIC, PROTOCOL_VERSION, int(kind), 0, seq & 0xFFFFFFFF, len(body)
+        MAGIC, version, int(kind), 0, seq & 0xFFFFFFFF, len(body)
     )
     return header + body
 
 
-def encode(frame: Any, seq: int = 0, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+def encode(
+    frame: Any,
+    seq: int = 0,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
     """Encode one typed frame (kind inferred from the dataclass type)."""
-    kind = _KIND_OF.get(type(frame))
-    if kind is None:
-        raise WireFormatError(f"{type(frame).__name__} is not a protocol frame type")
-    return encode_payload(kind, frame, seq=seq, max_frame=max_frame)
+    return encode_payload(
+        kind_of(frame), frame, seq=seq, max_frame=max_frame, version=version
+    )
 
 
 # ----------------------------------------------------------------------
 # decoding
 # ----------------------------------------------------------------------
-def decode_header(
+def decode_header_ex(
     header: bytes, max_frame: int = DEFAULT_MAX_FRAME
-) -> Tuple[FrameKind, int, int]:
-    """Validate a 16-byte header; returns ``(kind, seq, body_length)``."""
+) -> Tuple[int, FrameKind, int, int]:
+    """Validate a 16-byte header; returns ``(version, kind, seq, length)``."""
     if len(header) != HEADER_SIZE:
         raise WireFormatError(
             f"truncated header: {len(header)} bytes (need {HEADER_SIZE})"
@@ -225,9 +371,10 @@ def decode_header(
     magic, version, kind, reserved, seq, length = _HEADER.unpack(header)
     if magic != MAGIC:
         raise WireFormatError(f"bad magic {magic!r} (not a repro peer?)")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise WireFormatError(
-            f"protocol version {version} (this side speaks {PROTOCOL_VERSION})"
+            f"protocol version {version} "
+            f"(this side speaks {sorted(SUPPORTED_VERSIONS)})"
         )
     try:
         kind = FrameKind(kind)
@@ -239,15 +386,31 @@ def decode_header(
         raise WireFormatError(
             f"oversized frame: {length} bytes declared (max {max_frame})"
         )
+    return version, kind, seq, length
+
+
+def decode_header(
+    header: bytes, max_frame: int = DEFAULT_MAX_FRAME
+) -> Tuple[FrameKind, int, int]:
+    """Validate a 16-byte header; returns ``(kind, seq, body_length)``."""
+    _, kind, seq, length = decode_header_ex(header, max_frame)
     return kind, seq, length
 
 
-def decode_body(kind: FrameKind, body: bytes) -> Any:
-    """Unpickle a frame body and check its type against ``kind``."""
-    try:
-        payload = pickle.loads(body)
-    except Exception as exc:
-        raise WireFormatError(f"undecodable {kind.name} body: {exc!r}") from exc
+def decode_body(kind: FrameKind, body: bytes, version: int = PROTOCOL_V1) -> Any:
+    """Decode a frame body (per its version) and type-check it for ``kind``."""
+    if version == PROTOCOL_V1 or kind in PICKLE_KINDS:
+        try:
+            payload = pickle.loads(body)
+        except Exception as exc:
+            raise WireFormatError(f"undecodable {kind.name} body: {exc!r}") from exc
+    else:
+        from repro.net import codec
+
+        try:
+            payload = codec.decode(body)
+        except WireFormatError as exc:
+            raise WireFormatError(f"undecodable {kind.name} body: {exc}") from exc
     expected = FRAME_CLASSES.get(kind)
     if expected is not None and not isinstance(payload, expected):
         raise WireFormatError(
@@ -263,7 +426,7 @@ def decode(data: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> Tuple[Any, int]:
     Trailing bytes beyond the declared length are rejected (stream framing
     never produces them; their presence means the framing is lost).
     """
-    kind, seq, length = decode_header(data[:HEADER_SIZE], max_frame)
+    version, kind, seq, length = decode_header_ex(data[:HEADER_SIZE], max_frame)
     body = data[HEADER_SIZE:]
     if len(body) < length:
         raise WireFormatError(
@@ -273,7 +436,7 @@ def decode(data: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> Tuple[Any, int]:
         raise WireFormatError(
             f"{len(body) - length} stray bytes after a {kind.name} frame"
         )
-    return decode_body(kind, body), seq
+    return decode_body(kind, body, version), seq
 
 
 # ----------------------------------------------------------------------
@@ -299,11 +462,21 @@ def _recv_exactly(sock, n: int) -> bytes:
     return b"".join(chunks)
 
 
+def read_frame_ex(
+    sock, max_frame: int = DEFAULT_MAX_FRAME
+) -> Tuple[int, FrameKind, int, Any]:
+    """Read one frame from a blocking socket: ``(version, kind, seq, payload)``."""
+    version, kind, seq, length = decode_header_ex(
+        _recv_exactly(sock, HEADER_SIZE), max_frame
+    )
+    body = _recv_exactly(sock, length) if length else b""
+    return version, kind, seq, decode_body(kind, body, version)
+
+
 def read_frame(sock, max_frame: int = DEFAULT_MAX_FRAME) -> Tuple[FrameKind, int, Any]:
     """Read one frame from a blocking socket: ``(kind, seq, payload)``."""
-    kind, seq, length = decode_header(_recv_exactly(sock, HEADER_SIZE), max_frame)
-    body = _recv_exactly(sock, length) if length else b""
-    return kind, seq, decode_body(kind, body)
+    _, kind, seq, payload = read_frame_ex(sock, max_frame)
+    return kind, seq, payload
 
 
 def write_frame(
@@ -312,15 +485,18 @@ def write_frame(
     payload: Any,
     seq: int = 0,
     max_frame: int = DEFAULT_MAX_FRAME,
+    version: int = PROTOCOL_VERSION,
 ) -> None:
     """Send one frame on a blocking socket."""
-    sock.sendall(encode_payload(kind, payload, seq=seq, max_frame=max_frame))
+    sock.sendall(
+        encode_payload(kind, payload, seq=seq, max_frame=max_frame, version=version)
+    )
 
 
-async def read_frame_async(
+async def read_frame_async_ex(
     reader, max_frame: int = DEFAULT_MAX_FRAME
-) -> Tuple[FrameKind, int, Any]:
-    """Read one frame from an :class:`asyncio.StreamReader`.
+) -> Tuple[int, FrameKind, int, Any]:
+    """Read one frame from an :class:`asyncio.StreamReader` (with version).
 
     Raises :class:`EOFError` on a clean close between frames and
     :class:`TransportError` on a close mid-frame, like :func:`read_frame`.
@@ -336,7 +512,7 @@ async def read_frame_async(
             f"peer closed mid-header ({len(exc.partial)} of {HEADER_SIZE} "
             "bytes read)"
         ) from exc
-    kind, seq, length = decode_header(header, max_frame)
+    version, kind, seq, length = decode_header_ex(header, max_frame)
     if length:
         try:
             body = await reader.readexactly(length)
@@ -347,4 +523,16 @@ async def read_frame_async(
             ) from exc
     else:
         body = b""
-    return kind, seq, decode_body(kind, body)
+    return version, kind, seq, decode_body(kind, body, version)
+
+
+async def read_frame_async(
+    reader, max_frame: int = DEFAULT_MAX_FRAME
+) -> Tuple[FrameKind, int, Any]:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Raises :class:`EOFError` on a clean close between frames and
+    :class:`TransportError` on a close mid-frame, like :func:`read_frame`.
+    """
+    _, kind, seq, payload = await read_frame_async_ex(reader, max_frame)
+    return kind, seq, payload

@@ -25,6 +25,21 @@ Concurrency model
   magic, oversized length...) hangs up, because byte-stream framing cannot
   be resynchronized.
 
+Standing queries (protocol v2)
+------------------------------
+
+A ``SUBSCRIBE`` frame registers its query with the serving stack's
+subscription registry (:meth:`ConcurrentSessionServer.subscribe`).  The
+registry fires its callback at each batch's quiescent point (writer
+thread, write lock held); the callback hands the delta to the event loop
+with ``call_soon_threadsafe``, where it lands on a bounded per-subscription
+queue drained by a dedicated writer task into ``PUSH`` frames that share
+the ``SUBSCRIBE`` frame's ``seq``.  A subscriber that falls further behind
+than its declared buffer is *lapsed*: dropped from the registry, with one
+final ``PushDelta(lapsed=True)``.  Closing the connection unsubscribes
+everything it registered.  Replies on v2 connections whose encoded size
+exceeds :data:`CHUNK_SIZE` travel as consecutive ``RESULT_CHUNK`` slices.
+
 Graceful shutdown: :meth:`aclose` stops accepting, lets every in-flight
 request finish and flush its reply (bounded by ``drain_timeout``), then
 closes connections -- a client that got its request in gets its answer.
@@ -39,12 +54,36 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import threading
-from typing import Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import ReproError, TransportError, WireFormatError
 from repro.net import protocol
 from repro.net.protocol import DEFAULT_MAX_FRAME, FrameKind
 from repro.session.concurrent import ConcurrentSessionServer
+
+#: replies whose encoded frame exceeds this are sliced into RESULT_CHUNK
+#: frames (v2 connections only; v1 has no chunk kind)
+CHUNK_SIZE = 512 * 1024
+
+
+class _SubState:
+    """Server-side per-connection state of one standing query.
+
+    The registry callback (writer thread, write lock held) hands deltas to
+    the event loop with ``call_soon_threadsafe``; the loop enqueues them on
+    the bounded ``queue`` and a dedicated writer task drains it into PUSH
+    frames.  An overflowing queue *lapses* the subscription: it is dropped
+    from the registry and the final frame carries ``lapsed=True``.
+    """
+
+    __slots__ = ("sub_id", "seq", "queue", "task", "lapsed")
+
+    def __init__(self, seq: int, buffer: int) -> None:
+        self.sub_id = -1
+        self.seq = seq
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=max(1, buffer))
+        self.task: Optional[asyncio.Task] = None
+        self.lapsed = False
 
 
 class NetworkSessionServer:
@@ -172,16 +211,19 @@ class NetworkSessionServer:
         self._writers.add(writer)
         write_lock = asyncio.Lock()  # replies from parallel tasks interleave
         inflight: Set[asyncio.Task] = set()
+        subs: Dict[int, _SubState] = {}
         try:
             while True:
                 try:
-                    kind, seq, frame = await protocol.read_frame_async(
+                    version, kind, seq, frame = await protocol.read_frame_async_ex(
                         reader, self._max_frame
                     )
                 except (EOFError, ConnectionError):
                     break
                 except (WireFormatError, TransportError) as exc:
-                    # Framing is lost; report once (seq 0) and hang up.
+                    # Framing is lost; report once (seq 0, v1: the safe
+                    # guess when the bad header's version is unreadable)
+                    # and hang up.
                     with contextlib.suppress(Exception):
                         await self._reply(
                             writer,
@@ -189,12 +231,15 @@ class NetworkSessionServer:
                             0,
                             FrameKind.ERROR,
                             protocol.ErrorReply.from_exception(exc),
+                            protocol.PROTOCOL_V1,
                         )
                     break
                 if kind == FrameKind.BYE:
                     break
                 task = asyncio.create_task(
-                    self._dispatch(kind, seq, frame, writer, write_lock)
+                    self._dispatch(
+                        version, kind, seq, frame, writer, write_lock, subs
+                    )
                 )
                 inflight.add(task)
                 self._requests.add(task)
@@ -205,6 +250,12 @@ class NetworkSessionServer:
                 # and flush their replies before hanging up.
                 await asyncio.wait(inflight)
         finally:
+            for state in list(subs.values()):
+                if state.sub_id >= 0:
+                    self._server.unsubscribe(state.sub_id)
+                if state.task is not None:
+                    state.task.cancel()
+            subs.clear()
             self._writers.discard(writer)
             writer.close()
             with contextlib.suppress(Exception):
@@ -217,14 +268,45 @@ class NetworkSessionServer:
         seq: int,
         kind: FrameKind,
         frame,
+        version: int,
     ) -> None:
-        data = protocol.encode_payload(kind, frame, seq=seq, max_frame=self._max_frame)
+        data = protocol.encode_payload(
+            kind, frame, seq=seq, max_frame=self._max_frame, version=version
+        )
+        if version != protocol.PROTOCOL_V1 and len(data) > CHUNK_SIZE:
+            # Slice the complete encoded frame (header included) into
+            # consecutive RESULT_CHUNK frames sharing the request's seq;
+            # the write lock spans the whole set so chunks never interleave
+            # with other replies.
+            slices = [
+                data[i : i + CHUNK_SIZE] for i in range(0, len(data), CHUNK_SIZE)
+            ]
+            async with write_lock:
+                for index, payload in enumerate(slices):
+                    writer.write(
+                        protocol.encode_payload(
+                            FrameKind.RESULT_CHUNK,
+                            protocol.ResultChunk(index, len(slices), payload),
+                            seq=seq,
+                            max_frame=self._max_frame,
+                            version=version,
+                        )
+                    )
+                    await writer.drain()
+            return
         async with write_lock:
             writer.write(data)
             await writer.drain()
 
     async def _dispatch(
-        self, kind: FrameKind, seq: int, frame, writer, write_lock
+        self,
+        version: int,
+        kind: FrameKind,
+        seq: int,
+        frame,
+        writer,
+        write_lock,
+        subs: Dict[int, _SubState],
     ) -> None:
         loop = asyncio.get_running_loop()
         try:
@@ -256,14 +338,39 @@ class NetworkSessionServer:
                 )
             elif kind == FrameKind.HELLO:
                 reply_kind = FrameKind.HELLO
-                reply = protocol.Hello(role="server")
+                reply = protocol.Hello(
+                    role="server",
+                    versions=tuple(sorted(protocol.SUPPORTED_VERSIONS)),
+                )
+            elif kind == FrameKind.SUBSCRIBE:
+                if version == protocol.PROTOCOL_V1:
+                    raise WireFormatError(
+                        "SUBSCRIBE requires protocol v2 (negotiate in HELLO)"
+                    )
+                reply_kind = FrameKind.SUBSCRIBED
+                reply = await self._subscribe(
+                    loop, seq, frame, writer, write_lock, subs, version
+                )
+            elif kind == FrameKind.UNSUBSCRIBE:
+                if version == protocol.PROTOCOL_V1:
+                    raise WireFormatError(
+                        "UNSUBSCRIBE requires protocol v2 (negotiate in HELLO)"
+                    )
+                self._server.unsubscribe(frame.sub_id)
+                state = subs.pop(frame.sub_id, None)
+                if state is not None and state.task is not None:
+                    state.task.cancel()
+                reply_kind = FrameKind.SUBSCRIBED
+                reply = protocol.SubscribeReply(
+                    sub_id=frame.sub_id, stamp=self._server.stamp, relation=None
+                )
             else:
                 raise WireFormatError(f"clients may not send {kind.name} frames")
         except Exception as exc:
             reply_kind = FrameKind.ERROR
             reply = protocol.ErrorReply.from_exception(exc)
         try:
-            await self._reply(writer, write_lock, seq, reply_kind, reply)
+            await self._reply(writer, write_lock, seq, reply_kind, reply, version)
         except WireFormatError as exc:
             # The reply itself would not frame (e.g. oversized relation):
             # tell the client *why* instead of leaving its future pending.
@@ -274,9 +381,98 @@ class NetworkSessionServer:
                     seq,
                     FrameKind.ERROR,
                     protocol.ErrorReply.from_exception(exc),
+                    version,
                 )
         except (ConnectionError, OSError):
             pass  # client left before its answer; nothing to tell it
+
+    # ------------------------------------------------------------------
+    # standing queries
+    # ------------------------------------------------------------------
+    async def _subscribe(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        seq: int,
+        frame: "protocol.SubscribeRequest",
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        subs: Dict[int, _SubState],
+        version: int,
+    ) -> "protocol.SubscribeReply":
+        """Register with the serving stack and wire up the push pipeline."""
+        state = _SubState(seq, frame.buffer)
+
+        def deliver(sub_id: int, stamp: int, added: Tuple, removed: Tuple) -> None:
+            # Writer thread, write lock held: must not block.  The loop
+            # enqueues in call order, so deltas stay stamp-ordered.
+            loop.call_soon_threadsafe(
+                self._enqueue_push, state, sub_id, stamp, added, removed
+            )
+
+        sub_id, baseline = await loop.run_in_executor(
+            None,
+            lambda: self._server.subscribe(
+                frame.query, deliver, algorithm=frame.algorithm, config=frame.config
+            ),
+        )
+        state.sub_id = sub_id
+        subs[sub_id] = state
+        state.task = asyncio.create_task(
+            self._push_writer(state, writer, write_lock, version)
+        )
+        self._requests.add(state.task)
+        state.task.add_done_callback(self._requests.discard)
+        return protocol.SubscribeReply(
+            sub_id=sub_id, stamp=baseline.stamp, relation=baseline.relation
+        )
+
+    def _enqueue_push(
+        self, state: _SubState, sub_id: int, stamp: int, added: Tuple, removed: Tuple
+    ) -> None:
+        """Event-loop side of the registry callback: queue one PUSH."""
+        if state.lapsed:
+            return  # a snapshot race may deliver one delta past the lapse
+        try:
+            state.queue.put_nowait(
+                protocol.PushDelta(
+                    sub_id=sub_id, stamp=stamp, added=added, removed=removed
+                )
+            )
+        except asyncio.QueueFull:
+            # The subscriber fell behind its declared buffer: lapse it.
+            # Pending deltas are void (the final frame says so), which
+            # frees a slot for the lapse marker.
+            state.lapsed = True
+            self._server.unsubscribe(sub_id)
+            while True:
+                try:
+                    state.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+            state.queue.put_nowait(
+                protocol.PushDelta(sub_id=sub_id, stamp=stamp, lapsed=True)
+            )
+
+    async def _push_writer(
+        self,
+        state: _SubState,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        version: int,
+    ) -> None:
+        """Drain one subscription's delta queue into PUSH frames."""
+        try:
+            while True:
+                delta = await state.queue.get()
+                await self._reply(
+                    writer, write_lock, state.seq, FrameKind.PUSH, delta, version
+                )
+                if delta.lapsed:
+                    break
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            self._server.unsubscribe(state.sub_id)
 
 
 class ThreadedNetworkServer:

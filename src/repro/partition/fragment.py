@@ -103,6 +103,15 @@ class Fragment:
         """Unmark ``node``: no other fragment points at it anymore."""
         self.in_nodes = self.in_nodes - {node}
 
+    def _drop_local_node(self, node: Node) -> None:
+        """Shrink ``Vi`` by one (already isolated) node.
+
+        The caller (``Fragmentation.remove_node``) has deleted every incident
+        edge first, so the node is neither virtual anywhere nor an in-node
+        here; only the ``Vi`` membership remains to clear.
+        """
+        self.local_nodes = self.local_nodes - {node}
+
     def crossing_edges(self) -> List[Tuple[Node, Node]]:
         """Edges from a local node to a virtual node (this fragment's share of ``Ef``)."""
         return [

@@ -40,7 +40,7 @@ class MutationDelta:
     the graph again.
     """
 
-    kind: str  # "delete" | "insert" | "add_node"
+    kind: str  # "delete" | "insert" | "add_node" | "remove_node"
     u: Node
     v: Node
     source_fid: int
@@ -55,6 +55,9 @@ class MutationDelta:
     in_dropped: bool = False
     #: v entered target fragment's Fi.I
     in_added: bool = False
+    #: for composite kinds (``remove_node``): the constituent edge deletions,
+    #: in application order -- consumers replay these, then the node drop
+    cascade: Tuple["MutationDelta", ...] = ()
 
     @property
     def crossing(self) -> bool:
@@ -249,6 +252,46 @@ class Fragmentation:
             kind="add_node", u=node, v=node,
             source_fid=fid, target_fid=fid,
             u_label=label, v_label=label,
+        )
+
+    def remove_node(self, node: Node) -> MutationDelta:
+        """Remove ``node`` and every incident edge, everywhere.
+
+        A composite update: each incident edge is deleted through
+        :meth:`delete_edge` (so all boundary metadata transitions are
+        recorded as a ``cascade`` of ordinary deletion deltas), then the
+        now-isolated node leaves the base graph, its fragment's stored
+        subgraph, and the owner map.  :meth:`validate` holds afterwards.
+        A fragment may end up empty; :meth:`add_node` (default placement:
+        smallest fragment) will repopulate it first.
+
+        Cascade order is load-bearing for the incremental repair layer:
+        in-edges go first (a self-loop counts as an out-edge), so warm
+        states replaying the cascade adjust every predecessor's counter
+        while the node is still an optimistic candidate, and only then see
+        the node's own falsifications -- whose propagation stops at the
+        already-detached node.
+        """
+        if node not in self.graph:
+            raise GraphError(f"node {node!r} is not in the graph")
+        fid = self.owner(node)
+        label = self.graph.label(node)
+        cascade: List[MutationDelta] = []
+        for p in list(self.graph.predecessors(node)):
+            if p != node:
+                cascade.append(self.delete_edge(p, node))
+        for v in list(self.graph.successors(node)):
+            cascade.append(self.delete_edge(node, v))
+        self.graph.remove_node(node)
+        fragment = self.fragments[fid]
+        fragment.graph.remove_node(node)
+        fragment._drop_local_node(node)
+        del self._owner[node]
+        return MutationDelta(
+            kind="remove_node", u=node, v=node,
+            source_fid=fid, target_fid=fid,
+            u_label=label, v_label=label,
+            cascade=tuple(cascade),
         )
 
     # ------------------------------------------------------------------
@@ -484,6 +527,14 @@ class FragmentShard:
                     source.graph.remove_node(delta.v)
             if target is not None and delta.crossing and delta.in_dropped:
                 target._drop_in_node(delta.v)
+            return
+        if delta.kind == "remove_node":
+            for edge_delta in delta.cascade:
+                self.apply_delta(edge_delta)
+            owner = self._fragments.get(delta.source_fid)
+            if owner is not None:
+                owner.graph.remove_node(delta.u)
+                owner._drop_local_node(delta.u)
             return
         raise FragmentationError(f"unknown mutation kind {delta.kind!r}")
 

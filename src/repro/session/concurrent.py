@@ -68,7 +68,7 @@ from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import DgpmConfig
 from repro.errors import (
@@ -78,6 +78,15 @@ from repro.errors import (
     TransportError,
 )
 from repro.graph.digraph import Label, Node
+from repro.graph.mutations import (
+    AddNode,
+    DeleteEdge,
+    InsertEdge,
+    MutationOp,
+    OpLike,
+    RemoveNode,
+    normalize_ops,
+)
 from repro.graph.pattern import Pattern
 from repro.partition.fragmentation import Fragmentation, MutationDelta
 from repro.runtime.messages import COORDINATOR, Message, MessageKind
@@ -172,11 +181,30 @@ class _WriteTicket:
 
     __slots__ = ("ops", "results", "error", "done")
 
-    def __init__(self, ops: List[Tuple]) -> None:
+    def __init__(self, ops: List[MutationOp]) -> None:
         self.ops = ops
         self.results: Optional[List[StampedOutcome]] = None
         self.error: Optional[BaseException] = None
         self.done = False
+
+
+class _Subscription:
+    """One standing query: its baseline answer plus the delta callback.
+
+    ``last`` is the flat ``{query node: matches}`` snapshot the subscriber
+    has seen; each committed batch diffs the repaired answer against it
+    under the server's write lock, so deltas are exact per stamp.
+    """
+
+    __slots__ = ("sub_id", "query", "algorithm", "config", "callback", "last")
+
+    def __init__(self, sub_id, query, algorithm, config, callback, last) -> None:
+        self.sub_id = sub_id
+        self.query = query
+        self.algorithm = algorithm
+        self.config = config
+        self.callback = callback
+        self.last = last
 
 
 class _WorkerHandle:
@@ -386,6 +414,12 @@ class ConcurrentSessionServer:
         self._shards: Optional[List[_ShardHandle]] = None
         self._ring: Optional[HashRing] = None
         self._respawns = 0
+        #: standing queries; guarded by its own lock so registration never
+        #: holds the reader-writer lock (notify runs write-locked and takes
+        #: this lock second -- the one sanctioned ordering)
+        self._sub_lock = threading.Lock()
+        self._subs: Dict[int, _Subscription] = {}
+        self._next_sub_id = 1
         if backend == "process":
             self._workers = self._spawn_workers()
         elif backend == "sharded":
@@ -955,14 +989,18 @@ class ConcurrentSessionServer:
             live = {h.slot: h for h in self._shards if not h.dead}
             per_slot: dict = {}
             for delta in deltas:
-                if delta.virtual_added or delta.virtual_dropped:
+                # A composite delta (remove_node) routes by the union of its
+                # cascade parts plus the dropped node's own fragment.
+                parts = (delta, *delta.cascade)
+                if any(p.virtual_added or p.virtual_dropped for p in parts):
                     slots = set(live)
                 else:
                     slots = set()
-                    for fid in (delta.source_fid, delta.target_fid):
-                        slot = self._ring.owner_of(fid)
-                        if slot in live:
-                            slots.add(slot)
+                    for part in parts:
+                        for fid in (part.source_fid, part.target_fid):
+                            slot = self._ring.owner_of(fid)
+                            if slot in live:
+                                slots.add(slot)
                 for slot in slots:
                     per_slot.setdefault(slot, []).append(delta)
             outstanding: List[_ShardHandle] = []
@@ -983,24 +1021,130 @@ class ConcurrentSessionServer:
                     handle.dead = True
 
     # ------------------------------------------------------------------
+    # standing queries (subscriptions)
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        query: Pattern,
+        callback: Callable[[int, int, Tuple, Tuple], None],
+        algorithm: str = "auto",
+        config: Optional[DgpmConfig] = None,
+    ) -> Tuple[int, StampedResult]:
+        """Register a standing query; returns ``(sub_id, baseline result)``.
+
+        After every committed mutation batch that changes the query's
+        answer, ``callback(sub_id, stamp, added, removed)`` fires from the
+        writer's thread, inside the batch's quiescent point -- ``added`` and
+        ``removed`` are tuples of ``(query node, data node)`` pairs and the
+        stamp identifies exactly the graph version they describe.  The
+        callback must not block (hand off to a queue) and must not call
+        back into this server (the write lock is held).  Batches that leave
+        the answer unchanged push nothing.
+
+        The baseline is raced against concurrent writers: registration only
+        commits when no batch intervened between evaluating the query and
+        inserting the subscription, so the first push can never describe a
+        change the baseline already contained (nor skip one it did not).
+        """
+        self._check_open()
+        result = None
+        for _ in range(16):
+            with self._rw.read_locked():
+                stamp = self._stamp
+                result = self._session.run(
+                    query, algorithm=algorithm, config=config
+                )
+            with self._sub_lock:
+                if self._stamp == stamp:
+                    sub_id = self._register_locked(
+                        query, algorithm, config, callback,
+                        result.relation.as_dict(),
+                    )
+                    return sub_id, StampedResult(
+                        relation=result.relation,
+                        metrics=result.metrics,
+                        stamp=stamp,
+                    )
+        # A sustained write stream kept committing between evaluation and
+        # registration.  Register with the last baseline anyway: the stream
+        # that caused the races is still flowing, and its next batch diffs
+        # against this baseline, closing the gap.
+        with self._sub_lock:
+            sub_id = self._register_locked(
+                query, algorithm, config, callback, result.relation.as_dict()
+            )
+        return sub_id, StampedResult(
+            relation=result.relation, metrics=result.metrics, stamp=stamp
+        )
+
+    def _register_locked(self, query, algorithm, config, callback, last) -> int:
+        sub_id = self._next_sub_id
+        self._next_sub_id += 1
+        self._subs[sub_id] = _Subscription(
+            sub_id, query, algorithm, config, callback, last
+        )
+        return sub_id
+
+    def unsubscribe(self, sub_id: int) -> bool:
+        """Drop a standing query; False if it was already gone."""
+        with self._sub_lock:
+            return self._subs.pop(sub_id, None) is not None
+
+    def _notify_subscribers_locked(self) -> None:
+        """Diff every standing query against the just-committed graph.
+
+        Runs under the write lock (readers are drained), so the parent
+        session can be queried directly; answers come from its maintained
+        cache, so an unchanged hot query costs a cache hit, not a protocol
+        run.  A callback that raises retires its subscription -- the
+        serving layer's callbacks never raise, so this only catches broken
+        direct registrations.
+        """
+        with self._sub_lock:
+            subs = list(self._subs.values())
+        stamp = self._stamp
+        for sub in subs:
+            result = self._session.run(
+                sub.query, algorithm=sub.algorithm, config=sub.config
+            )
+            new = result.relation.as_dict()
+            added: List[Tuple] = []
+            removed: List[Tuple] = []
+            for q in sorted(set(sub.last) | set(new), key=repr):
+                before = sub.last.get(q, set())
+                after = new.get(q, set())
+                added.extend((q, v) for v in sorted(after - before, key=repr))
+                removed.extend((q, v) for v in sorted(before - after, key=repr))
+            if not added and not removed:
+                continue
+            sub.last = new
+            try:
+                sub.callback(sub.sub_id, stamp, tuple(added), tuple(removed))
+            except Exception:
+                self.unsubscribe(sub.sub_id)
+
+    # ------------------------------------------------------------------
     # writes (serialized, coalesced, applied at quiescent points)
     # ------------------------------------------------------------------
     def delete_edge(self, u: Node, v: Node) -> StampedOutcome:
         """Delete edge ``(u, v)``; blocks until applied, returns its stamp."""
-        return self._mutate([("delete", u, v)])[0]
+        return self._mutate([DeleteEdge(u, v)])[0]
 
     def insert_edge(self, u: Node, v: Node) -> StampedOutcome:
         """Insert edge ``(u, v)``; blocks until applied, returns its stamp."""
-        return self._mutate([("insert", u, v)])[0]
+        return self._mutate([InsertEdge(u, v)])[0]
 
     def add_node(
         self, node: Node, label: Label, fid: Optional[int] = None
     ) -> StampedOutcome:
         """Add an isolated labeled node; blocks until applied."""
-        op = ("add_node", node, label) if fid is None else ("add_node", node, label, fid)
-        return self._mutate([op])[0]
+        return self._mutate([AddNode(node, label, fid)])[0]
 
-    def apply(self, updates: Sequence[Tuple]) -> List[StampedOutcome]:
+    def remove_node(self, node: Node) -> StampedOutcome:
+        """Remove ``node`` with every incident edge; blocks until applied."""
+        return self._mutate([RemoveNode(node)])[0]
+
+    def apply(self, updates: Sequence[OpLike]) -> List[StampedOutcome]:
         """Apply a batch of updates in one quiescent point.
 
         While the batch applies, no query runs -- a successful batch is
@@ -1011,11 +1155,13 @@ class ConcurrentSessionServer:
         no rollback) and a :class:`~repro.errors.MutationBatchError` reports
         the failing update plus the stamped outcomes of the applied prefix;
         readers then observe the prefix state.  Update syntax matches
-        :meth:`SimulationSession.apply`.
+        :meth:`SimulationSession.apply`: typed
+        :class:`~repro.graph.mutations.MutationOp` values, with legacy
+        tuples accepted under a :class:`DeprecationWarning`.
         """
-        return self._mutate(list(updates))
+        return self._mutate(normalize_ops(updates))
 
-    def _mutate(self, ops: List[Tuple]) -> List[StampedOutcome]:
+    def _mutate(self, ops: List[MutationOp]) -> List[StampedOutcome]:
         if not ops:
             return []
         ticket = _WriteTicket(ops)
@@ -1082,7 +1228,7 @@ class ConcurrentSessionServer:
         broadcast ships exactly the updates the parent session accepted.
         """
         with self._rw.write_locked():
-            applied: List[Tuple] = []
+            applied: List[MutationOp] = []
             applied_deltas: List[MutationDelta] = []
             for ticket in batch:
                 results: List[StampedOutcome] = []
@@ -1143,6 +1289,11 @@ class ConcurrentSessionServer:
                 # marked dead and its respawn re-extracts from the parent
                 # fragmentation (which already holds this batch).
                 self._broadcast_deltas_locked(applied_deltas)
+            if applied and self._subs:
+                # Still inside the quiescent point: the diffs below observe
+                # exactly the post-batch graph, so every pushed delta is
+                # stamped with the state it describes.
+                self._notify_subscribers_locked()
 
     # ------------------------------------------------------------------
     def _check_open(self) -> None:

@@ -25,8 +25,11 @@ Mutation API and its invariant contract
 ---------------------------------------
 
 The session is the write path for a graph that changes while being served:
-:meth:`delete_edge`, :meth:`insert_edge`, :meth:`add_node`, and the batched
-:meth:`apply` patch the resident fragmentation **in place** through
+:meth:`delete_edge`, :meth:`insert_edge`, :meth:`add_node`,
+:meth:`remove_node`, and the batched :meth:`apply` (typed
+:class:`~repro.graph.mutations.MutationOp` values; legacy tuples keep
+working under a :class:`DeprecationWarning`) patch the resident
+fragmentation **in place** through
 :meth:`Fragmentation.delete_edge` and friends, which maintain the
 Section-2.2 invariants (``Fi.O``/``Fi.I`` membership, induced fragment
 subgraphs) per update -- ``fragmentation.validate()`` holds after any
@@ -85,6 +88,14 @@ from repro.core.incremental import (
 )
 from repro.errors import ReproError
 from repro.graph.digraph import Label, Node
+from repro.graph.mutations import (
+    AddNode,
+    DeleteEdge,
+    InsertEdge,
+    OpLike,
+    RemoveNode,
+    normalize_op,
+)
 from repro.graph.pattern import Pattern
 from repro.partition.fragmentation import Fragmentation, MutationDelta
 from repro.runtime.metrics import RunResult
@@ -192,7 +203,7 @@ class MutationOutcome:
     Frozen: outcomes are handed across threads by the concurrent front-end.
     """
 
-    kind: str            # "delete" | "insert" | "add_node"
+    kind: str            # "delete" | "insert" | "add_node" | "remove_node"
     wall_seconds: float
     #: cached results untouched (answer provably or verifiably unchanged)
     cache_kept: int
@@ -558,26 +569,50 @@ ConcurrentSessionServer` provides.
         delta = self.fragmentation.add_node(node, label, fid)
         return self._absorb(delta, start)
 
-    def apply(self, updates: Sequence[Tuple]) -> List[MutationOutcome]:
+    def remove_node(self, node: Node) -> MutationOutcome:
+        """Remove ``node`` with every incident edge, maintaining caches.
+
+        The fragmentation turns the removal into a cascade of ordinary edge
+        deletions (warm entries repair each one natively, in cascade order)
+        followed by scrubbing the then-isolated node from candidate sets and
+        counters.
+        """
+        start = time.perf_counter()
+        self._refresh_if_stale()
+        delta = self.fragmentation.remove_node(node)
+        return self._absorb(delta, start)
+
+    def apply_op(self, op: OpLike) -> MutationOutcome:
+        """Apply one typed :class:`~repro.graph.mutations.MutationOp`.
+
+        Legacy tuples (``("delete", u, v)`` and friends) are still accepted,
+        with a :class:`DeprecationWarning`.
+        """
+        op = normalize_op(op)
+        if isinstance(op, DeleteEdge):
+            return self.delete_edge(op.u, op.v)
+        if isinstance(op, InsertEdge):
+            return self.insert_edge(op.u, op.v)
+        if isinstance(op, AddNode):
+            return self.add_node(op.node, op.label, op.fid)
+        if isinstance(op, RemoveNode):
+            return self.remove_node(op.node)
+        raise ReproError(
+            f"unknown update kind {op.kind!r} "
+            "(known: delete, insert, add_node, remove_node)"
+        )
+
+    def apply(self, updates: Sequence[OpLike]) -> List[MutationOutcome]:
         """Apply a batch of updates in order; one outcome per update.
 
-        Each update is ``("delete", u, v)``, ``("insert", u, v)``, or
-        ``("add_node", node, label[, fid])``.
+        Each update is a :class:`~repro.graph.mutations.MutationOp`
+        (:class:`~repro.graph.mutations.InsertEdge`,
+        :class:`~repro.graph.mutations.DeleteEdge`,
+        :class:`~repro.graph.mutations.AddNode`, or
+        :class:`~repro.graph.mutations.RemoveNode`); the pre-typed tuple
+        spellings remain accepted under a :class:`DeprecationWarning`.
         """
-        out: List[MutationOutcome] = []
-        for update in updates:
-            kind = update[0]
-            if kind == "delete":
-                out.append(self.delete_edge(update[1], update[2]))
-            elif kind == "insert":
-                out.append(self.insert_edge(update[1], update[2]))
-            elif kind == "add_node":
-                out.append(self.add_node(*update[1:]))
-            else:
-                raise ReproError(
-                    f"unknown update kind {kind!r} (known: delete, insert, add_node)"
-                )
-        return out
+        return [self.apply_op(update) for update in updates]
 
     # ------------------------------------------------------------------
     # maintenance internals
@@ -635,6 +670,15 @@ ConcurrentSessionServer` provides.
     def _may_change_answer(query: Pattern, delta: MutationDelta) -> bool:
         if delta.kind == "add_node":
             return node_update_may_change_answer(query, delta.u_label)
+        if delta.kind == "remove_node":
+            # The node itself was a potential match iff its label appears in
+            # the query; otherwise only its (cascaded) edges could matter.
+            return any(
+                query.label(q) == delta.u_label for q in query.nodes()
+            ) or any(
+                edge_update_may_change_answer(query, d.u_label, d.v_label)
+                for d in delta.cascade
+            )
         return edge_update_may_change_answer(query, delta.u_label, delta.v_label)
 
     def _repair_warm(
@@ -646,10 +690,13 @@ ConcurrentSessionServer` provides.
             return cost.n_falsified > 0, cost.n_falsified
         if delta.kind == "insert":
             if edge_update_may_change_answer(warm.query, delta.u_label, delta.v_label):
-                warm.bootstrap()
-                return True, 0
+                cost = warm.apply_insert(delta)
+                return True, cost.n_falsified
             warm.absorb_irrelevant_insert(delta.u, delta.v, delta.v_label)
             return False, 0
+        if delta.kind == "remove_node":
+            changed, cost = warm.apply_remove_node(delta)
+            return changed, cost.n_falsified
         return warm.absorb_add_node(delta.u, delta.u_label, delta.source_fid), 0
 
     def _rewrite_entry(self, key: Tuple, warm: IncrementalMatchState) -> bool:

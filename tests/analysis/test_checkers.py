@@ -274,6 +274,41 @@ class TestProtocolExhaustiveness:
     def test_absent_protocol_module_is_not_checked(self):
         assert check(ProtocolExhaustivenessChecker(), {"other.py": "x = 1\n"}) == []
 
+    CODEC = (
+        "FRAME_STRUCTS = {\n"
+        '    "Hello": 1,\n'
+        '    "RunRequest": 2,\n'
+        "}\n"
+    )
+
+    def test_codec_registered_frames_clean(self):
+        tree = self._full_tree()
+        tree["net/codec.py"] = self.CODEC
+        assert check(ProtocolExhaustivenessChecker(), tree) == []
+
+    def test_unregistered_frame_class_flagged(self):
+        tree = self._full_tree()
+        tree["net/codec.py"] = self.CODEC.replace('    "RunRequest": 2,\n', "")
+        findings = check(ProtocolExhaustivenessChecker(), tree)
+        assert [f.detail for f in findings] == ["RUN"]
+        assert "FRAME_STRUCTS" in findings[0].message
+
+    def test_exempt_kind_needs_no_codec_registration(self):
+        # OBJ stays pickled at every version: its absence from the codec
+        # registry is the design, not a finding.
+        tree = self._full_tree()
+        tree["net/codec.py"] = self.CODEC
+        assert all(
+            f.detail != "OBJ"
+            for f in check(ProtocolExhaustivenessChecker(), tree)
+        )
+
+    def test_tree_without_codec_skips_the_split_check(self):
+        # Fixtures (and old trees) without net/codec.py predate the v2
+        # split; the three original arms are still enforced.
+        findings = check(ProtocolExhaustivenessChecker(), self._full_tree())
+        assert findings == []
+
 
 class TestShardCommands:
     MP = (

@@ -1,0 +1,555 @@
+"""Standing queries end to end: every PUSH audited against a replay oracle.
+
+The acceptance contract: a subscriber receives a stamped delta for every
+mutation batch that changes its query's match set and nothing otherwise,
+and applying the deltas on top of the baseline reproduces, at every stamp,
+exactly what a from-scratch centralized simulation computes on the graph
+replayed to that stamp -- across the thread, process, and sharded backends,
+with ``remove_node`` in the update stream.
+
+Also here: HELLO version negotiation (a v1-pinned client keeps working
+against a v2 server; SUBSCRIBE at v1 is refused), chunked v2 replies, and
+subscription lapse/teardown behavior.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+from typing import Dict, List, Set, Tuple
+
+import pytest
+
+from repro import ConcurrentSessionServer, partition, simulation, web_graph
+from repro.bench.workloads import cyclic_pattern
+from repro.errors import TransportError
+from repro.graph.digraph import DiGraph
+from repro.graph.mutations import DeleteEdge, InsertEdge, MutationOp, RemoveNode
+from repro.net import protocol
+from repro.net.client import SessionClient, connect
+from repro.net.protocol import FrameKind
+from repro.net.server import serve_in_thread
+
+JOIN_TIMEOUT = 60.0
+
+
+# ----------------------------------------------------------------------
+# oracle machinery
+# ----------------------------------------------------------------------
+def _replay(graph: DiGraph, ops: List[MutationOp], n: int) -> DiGraph:
+    """The graph after the first ``n`` updates (fresh copy each call)."""
+    replayed = graph.copy()
+    for op in ops[:n]:
+        kind = op.as_tuple()[0]
+        if kind == "delete":
+            replayed.remove_edge(op.u, op.v)
+        elif kind == "insert":
+            replayed.add_edge(op.u, op.v)
+        elif kind == "remove_node":
+            replayed.remove_node(op.node)
+        else:
+            replayed.add_node(op.node, op.label)
+    return replayed
+
+
+def _as_sets(relation) -> Dict[object, Set[object]]:
+    return {q: set(v) for q, v in relation.as_dict().items()}
+
+
+def _mutation_script(graph: DiGraph, n_ops: int, seed: int) -> List[MutationOp]:
+    """A mixed op stream (inserts, deletes, node removals), valid by
+    construction against a mirror of ``graph``."""
+    import random
+
+    rng = random.Random(seed)
+    mirror = graph.copy()
+    ops: List[MutationOp] = []
+    while len(ops) < n_ops:
+        roll = rng.random()
+        nodes = list(mirror.nodes())
+        if roll < 0.45:
+            edges = list(mirror.edges())
+            if not edges:
+                continue
+            u, v = edges[rng.randrange(len(edges))]
+            mirror.remove_edge(u, v)
+            ops.append(DeleteEdge(u, v))
+        elif roll < 0.8:
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            if u == v or mirror.has_edge(u, v):
+                continue
+            mirror.add_edge(u, v)
+            ops.append(InsertEdge(u, v))
+        else:
+            node = rng.choice(nodes)
+            mirror.remove_node(node)
+            ops.append(RemoveNode(node))
+    return ops
+
+
+def _audit(
+    graph: DiGraph,
+    query,
+    baseline: Dict[object, Set[object]],
+    ops: List[MutationOp],
+    deltas: List[protocol.PushDelta],
+) -> None:
+    """Replay-at-stamp oracle: deltas land exactly at the match-changing
+    stamps, and the evolving view matches the oracle at each one."""
+    view = {q: set(v) for q, v in baseline.items()}
+    stamps = [d.stamp for d in deltas]
+    assert stamps == sorted(set(stamps)), "delta stamps must strictly increase"
+    by_stamp = {d.stamp: d for d in deltas}
+    previous = {q: set(v) for q, v in baseline.items()}
+    for stamp in range(1, len(ops) + 1):
+        oracle = _as_sets(simulation(query, _replay(graph, ops, stamp)))
+        delta = by_stamp.get(stamp)
+        if oracle == previous:
+            assert delta is None, (
+                f"stamp {stamp}: delta pushed for a batch that left the "
+                "answer unchanged"
+            )
+        else:
+            assert delta is not None, (
+                f"stamp {stamp}: the answer changed but no delta arrived"
+            )
+            assert not delta.lapsed
+            assert delta.added or delta.removed
+            for qn, vn in delta.added:
+                view.setdefault(qn, set()).add(vn)
+            for qn, vn in delta.removed:
+                view[qn].discard(vn)
+            assert view == oracle, f"stamp {stamp}: view diverged from oracle"
+        previous = oracle
+
+
+def _last_change_stamp(
+    graph: DiGraph,
+    query,
+    baseline: Dict[object, Set[object]],
+    ops: List[MutationOp],
+) -> int:
+    """The highest stamp at which the query's answer changes (0 if never)."""
+    last = 0
+    previous = baseline
+    for stamp in range(1, len(ops) + 1):
+        oracle = _as_sets(simulation(query, _replay(graph, ops, stamp)))
+        if oracle != previous:
+            last = stamp
+        previous = oracle
+    return last
+
+
+def _collect_until(sub, target_stamp: int, out: List) -> None:
+    """Drain a blocking Subscription until a delta reaches ``target_stamp``."""
+    for delta in sub:
+        out.append(delta)
+        if delta.stamp >= target_stamp:
+            return
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def instance():
+    graph = web_graph(80, 280, n_labels=4, seed=11)
+    frag = partition(graph, 3, seed=11)
+    query = cyclic_pattern(graph, 3, 4, seed=2)
+    return graph, frag, query
+
+
+# ----------------------------------------------------------------------
+# negotiation
+# ----------------------------------------------------------------------
+class TestNegotiation:
+    def test_connect_negotiates_v2(self, instance):
+        graph, frag, query = instance
+        with serve_in_thread(frag, backend="thread") as srv:
+            with connect(srv.address, timeout=JOIN_TIMEOUT) as client:
+                assert client.protocol_version == protocol.PROTOCOL_VERSION
+                assert _as_sets(client.run(query).relation) == _as_sets(
+                    simulation(query, graph)
+                )
+
+    def test_v1_pinned_client_stays_v1_and_works(self, instance):
+        graph, frag, query = instance
+        with serve_in_thread(frag, backend="thread") as srv:
+            with connect(
+                srv.address, timeout=JOIN_TIMEOUT, versions=(1,)
+            ) as client:
+                assert client.protocol_version == protocol.PROTOCOL_V1
+                u, v = next(iter(graph.edges()))
+                assert client.delete_edge(u, v).stamp == 1
+                result = client.run(query)
+                assert result.stamp == 1
+                assert _as_sets(result.relation) == _as_sets(
+                    simulation(query, graph)
+                )
+
+    def test_un_negotiated_client_speaks_v1(self, instance):
+        """A client that never says HELLO is indistinguishable from an old
+        v1 peer; every reply mirrors the request's wire version."""
+        graph, frag, query = instance
+        with serve_in_thread(frag, backend="thread") as srv:
+            with SessionClient(*srv.address, timeout=JOIN_TIMEOUT) as client:
+                assert client.protocol_version == protocol.PROTOCOL_V1
+                assert _as_sets(client.run(query).relation) == _as_sets(
+                    simulation(query, graph)
+                )
+
+    def test_server_announces_both_versions(self, instance):
+        _graph, frag, _query = instance
+        with serve_in_thread(frag, backend="thread") as srv:
+            with SessionClient(*srv.address, timeout=JOIN_TIMEOUT) as client:
+                reply = client.hello()
+                assert set(reply.versions) == protocol.SUPPORTED_VERSIONS
+
+    def test_v1_pinned_client_cannot_subscribe(self, instance):
+        _graph, frag, query = instance
+        with serve_in_thread(frag, backend="thread") as srv:
+            with connect(
+                srv.address, timeout=JOIN_TIMEOUT, versions=(1,)
+            ) as client:
+                with pytest.raises(TransportError, match="protocol v2"):
+                    client.subscribe(query)
+
+    def test_subscribe_frame_at_v1_is_refused(self, instance):
+        """The server-side guard: a hand-rolled v1 SUBSCRIBE frame earns an
+        ERROR even though the kind is known."""
+        _graph, frag, query = instance
+        with serve_in_thread(frag, backend="thread") as srv:
+            sock = socket.create_connection(srv.address, timeout=JOIN_TIMEOUT)
+            try:
+                protocol.write_frame(
+                    sock,
+                    FrameKind.SUBSCRIBE,
+                    protocol.SubscribeRequest(query=query),
+                    seq=5,
+                    version=protocol.PROTOCOL_V1,
+                )
+                kind, seq, payload = protocol.read_frame(sock)
+                assert kind == FrameKind.ERROR
+                assert seq == 5
+                assert "protocol v2" in payload.message
+            finally:
+                sock.close()
+
+    def test_async_connect_negotiates_v2(self, instance):
+        graph, frag, query = instance
+
+        async def main():
+            with serve_in_thread(frag, backend="thread") as srv:
+                client = await connect(srv.address, async_=True)
+                try:
+                    assert client.protocol_version == protocol.PROTOCOL_VERSION
+                    result = await client.run(query)
+                    assert _as_sets(result.relation) == _as_sets(
+                        simulation(query, graph)
+                    )
+                finally:
+                    await client.aclose()
+
+        asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# the serving-stack registry (no sockets)
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_callback_fires_only_on_match_changes(self, instance):
+        graph, frag, query = instance
+        fired: List[Tuple[int, int, Tuple, Tuple]] = []
+        with ConcurrentSessionServer(frag, backend="thread") as server:
+            sub_id, baseline = server.subscribe(
+                query, lambda *args: fired.append(args)
+            )
+            assert baseline.stamp == 0
+            assert _as_sets(baseline.relation) == _as_sets(
+                simulation(query, graph)
+            )
+            # An edge between fresh, query-irrelevant nodes: no push.
+            server.add_node(10_001, "zz-unused")
+            server.add_node(10_002, "zz-unused")
+            server.insert_edge(10_001, 10_002)
+            assert fired == []
+            # Destroy every match by deleting every edge: pushes follow.
+            before = _as_sets(simulation(query, graph))
+            for u, v in list(graph.edges()):
+                server.delete_edge(u, v)
+            if any(before.values()):
+                assert fired, "match set emptied but no callback fired"
+                stamps = [stamp for _sub, stamp, _a, _r in fired]
+                assert stamps == sorted(set(stamps))
+                assert all(sub == sub_id for sub, *_ in fired)
+                assert stamps[-1] <= server.stamp
+                # Folding the deltas over the baseline empties the view.
+                view = {q: set(v) for q, v in before.items()}
+                for _sub, _stamp, added, removed in fired:
+                    for qn, vn in added:
+                        view.setdefault(qn, set()).add(vn)
+                    for qn, vn in removed:
+                        view[qn].discard(vn)
+                assert not any(view.values())
+            assert server.unsubscribe(sub_id)
+            assert not server.unsubscribe(sub_id)
+
+    def test_raising_callback_is_retired(self, instance):
+        graph, frag, query = instance
+
+        def boom(*_args):
+            raise RuntimeError("subscriber bug")
+
+        with ConcurrentSessionServer(frag, backend="thread") as server:
+            sub_id, _ = server.subscribe(query, boom)
+            for u, v in list(graph.edges()):
+                server.delete_edge(u, v)
+            # The first match-changing batch tripped the callback; the
+            # registry must have dropped it rather than poison the writer.
+            assert sub_id not in server._subs
+
+
+# ----------------------------------------------------------------------
+# end-to-end oracle, all backends
+# ----------------------------------------------------------------------
+class TestSubscriptionOracle:
+    @pytest.mark.parametrize("backend", ["thread", "process", "sharded"])
+    def test_every_push_matches_replay_oracle(self, backend):
+        graph = web_graph(60, 200, n_labels=3, seed=23)
+        # The thread backend serves this very object, mutating it in place:
+        # everything oracle-shaped must work from a pristine snapshot.
+        initial = graph.copy()
+        frag = partition(graph, 3, seed=23)
+        query = cyclic_pattern(graph, 3, 3, seed=5)
+        ops = _mutation_script(initial, 24, seed=41)
+        deltas: List[protocol.PushDelta] = []
+        with serve_in_thread(frag, backend=backend, n_workers=3) as srv:
+            with connect(srv.address, timeout=JOIN_TIMEOUT) as client:
+                sub = client.subscribe(query)
+                baseline = _as_sets(sub.relation)
+                assert sub.stamp == 0
+                assert baseline == _as_sets(simulation(query, initial))
+                collector = threading.Thread(
+                    target=_collect_until,
+                    args=(sub, len(ops), deltas),
+                    daemon=True,
+                )
+                collector.start()
+                for op in ops:
+                    client.apply([op])
+                last_change_stamp = _last_change_stamp(
+                    initial, query, baseline, ops
+                )
+                # Wait for the tail push (if any); the collector exits on
+                # reaching len(ops), so nudge it with a final no-op check.
+                deadline = time.time() + JOIN_TIMEOUT
+                while time.time() < deadline:
+                    if deltas and deltas[-1].stamp >= last_change_stamp:
+                        break
+                    if last_change_stamp == 0:
+                        break
+                    time.sleep(0.02)
+                sub.close()
+                collector.join(timeout=JOIN_TIMEOUT)
+        _audit(initial, query, baseline, ops, deltas)
+        assert deltas, "a 24-op mixed script should change the answer at least once"
+
+    def test_two_subscribers_one_mutating_client(self, instance):
+        """Independent subscriptions see independent, equally-correct
+        streams (PR-3 parity, now over PUSH)."""
+        graph, frag, query = instance
+        initial = graph.copy()
+        ops = _mutation_script(initial, 12, seed=7)
+        with serve_in_thread(frag, backend="thread") as srv:
+            with connect(srv.address, timeout=JOIN_TIMEOUT) as client:
+                sub_a = client.subscribe(query)
+                sub_b = client.subscribe(query)
+                base_a = _as_sets(sub_a.relation)
+                base_b = _as_sets(sub_b.relation)
+                assert base_a == base_b
+                got_a: List[protocol.PushDelta] = []
+                got_b: List[protocol.PushDelta] = []
+                ta = threading.Thread(
+                    target=_collect_until, args=(sub_a, len(ops), got_a), daemon=True
+                )
+                tb = threading.Thread(
+                    target=_collect_until, args=(sub_b, len(ops), got_b), daemon=True
+                )
+                ta.start()
+                tb.start()
+                for op in ops:
+                    client.apply([op])
+                last_change = _last_change_stamp(initial, query, base_a, ops)
+                deadline = time.time() + JOIN_TIMEOUT
+                while time.time() < deadline and last_change and not (
+                    got_a
+                    and got_b
+                    and got_a[-1].stamp >= last_change
+                    and got_b[-1].stamp >= last_change
+                ):
+                    time.sleep(0.02)
+                sub_a.close()
+                sub_b.close()
+        _audit(initial, query, base_a, ops, got_a)
+        _audit(initial, query, base_b, ops, got_b)
+
+
+def _applied(
+    baseline: Dict[object, Set[object]], deltas: List[protocol.PushDelta]
+) -> Dict[object, Set[object]]:
+    view = {q: set(v) for q, v in baseline.items()}
+    for d in list(deltas):
+        for qn, vn in d.added:
+            view.setdefault(qn, set()).add(vn)
+        for qn, vn in d.removed:
+            view[qn].discard(vn)
+    return view
+
+
+# ----------------------------------------------------------------------
+# async subscription + lapse + teardown
+# ----------------------------------------------------------------------
+class TestAsyncSubscription:
+    def test_async_stream_matches_oracle(self, instance):
+        graph, frag, query = instance
+        initial = graph.copy()
+        ops = _mutation_script(initial, 10, seed=13)
+
+        async def main():
+            with serve_in_thread(frag, backend="thread") as srv:
+                client = await connect(srv.address, async_=True)
+                try:
+                    sub = await client.subscribe(query)
+                    baseline = _as_sets(sub.relation)
+                    deltas: List[protocol.PushDelta] = []
+
+                    async def consume():
+                        async for d in sub:
+                            deltas.append(d)
+
+                    task = asyncio.create_task(consume())
+                    for op in ops:
+                        await client.apply([op])
+                    last_change = _last_change_stamp(
+                        initial, query, baseline, ops
+                    )
+                    deadline = time.time() + JOIN_TIMEOUT
+                    while time.time() < deadline and last_change:
+                        if deltas and deltas[-1].stamp >= last_change:
+                            break
+                        await asyncio.sleep(0.02)
+                    await sub.aclose()
+                    await asyncio.wait_for(task, timeout=JOIN_TIMEOUT)
+                    return baseline, deltas
+                finally:
+                    await client.aclose()
+
+        baseline, deltas = asyncio.run(main())
+        _audit(initial, query, baseline, ops, deltas)
+
+    def test_slow_consumer_lapses_locally(self, instance):
+        """A consumer that never drains past ``buffer`` deltas receives one
+        final lapsed marker and the server forgets the subscription."""
+        graph, frag, query = instance
+
+        async def main():
+            with serve_in_thread(frag, backend="thread") as srv:
+                client = await connect(srv.address, async_=True)
+                try:
+                    sub = await client.subscribe(query, buffer=1)
+                    # Not consuming: each edge deletion that changes the
+                    # answer lands in the size-1 queue; the second overflows.
+                    for u, v in list(graph.edges()):
+                        await client.delete_edge(u, v)
+                    deadline = time.time() + JOIN_TIMEOUT
+                    got: List[protocol.PushDelta] = []
+                    async for d in sub:
+                        got.append(d)
+                        if d.lapsed:
+                            break
+                        if time.time() > deadline:  # pragma: no cover
+                            pytest.fail("no lapse within the deadline")
+                    assert got[-1].lapsed
+                    # The fire-and-forget UNSUBSCRIBE reaches the registry.
+                    registry = srv.ingress.server
+                    while time.time() < deadline and registry._subs:
+                        await asyncio.sleep(0.02)
+                    assert not registry._subs
+                finally:
+                    await client.aclose()
+
+        asyncio.run(main())
+
+    def test_close_unsubscribes_server_side(self, instance):
+        graph, frag, query = instance
+        with serve_in_thread(frag, backend="thread") as srv:
+            with connect(srv.address, timeout=JOIN_TIMEOUT) as client:
+                sub = client.subscribe(query)
+                registry = srv.ingress.server
+                assert len(registry._subs) == 1
+                sub.close()
+                deadline = time.time() + JOIN_TIMEOUT
+                while time.time() < deadline and registry._subs:
+                    time.sleep(0.02)
+                assert not registry._subs
+
+    def test_disconnect_unsubscribes_server_side(self, instance):
+        """A vanished subscriber must not leak registry entries."""
+        graph, frag, query = instance
+        with serve_in_thread(frag, backend="thread") as srv:
+            client = connect(srv.address, timeout=JOIN_TIMEOUT)
+            sub = client.subscribe(query)
+            registry = srv.ingress.server
+            assert len(registry._subs) == 1
+            sub._sock.close()  # simulate a crash: no UNSUBSCRIBE, no BYE
+            client.close()
+            deadline = time.time() + JOIN_TIMEOUT
+            while time.time() < deadline and registry._subs:
+                time.sleep(0.02)
+            assert not registry._subs
+
+
+# ----------------------------------------------------------------------
+# chunked replies
+# ----------------------------------------------------------------------
+class TestChunkedReplies:
+    def test_large_v2_reply_is_chunked_and_reassembled(self, instance, monkeypatch):
+        graph, frag, query = instance
+        monkeypatch.setattr("repro.net.server.CHUNK_SIZE", 512)
+        with serve_in_thread(frag, backend="thread") as srv:
+            with connect(srv.address, timeout=JOIN_TIMEOUT) as client:
+                result = client.run(query)
+                assert _as_sets(result.relation) == _as_sets(
+                    simulation(query, graph)
+                )
+
+    def test_v1_replies_never_chunk(self, instance, monkeypatch):
+        graph, frag, query = instance
+        monkeypatch.setattr("repro.net.server.CHUNK_SIZE", 512)
+        with serve_in_thread(frag, backend="thread") as srv:
+            with connect(
+                srv.address, timeout=JOIN_TIMEOUT, versions=(1,)
+            ) as client:
+                result = client.run(query)
+                assert _as_sets(result.relation) == _as_sets(
+                    simulation(query, graph)
+                )
+
+    def test_async_chunk_reassembly(self, instance, monkeypatch):
+        graph, frag, query = instance
+        monkeypatch.setattr("repro.net.server.CHUNK_SIZE", 512)
+
+        async def main():
+            with serve_in_thread(frag, backend="thread") as srv:
+                client = await connect(srv.address, async_=True)
+                try:
+                    result = await client.run(query)
+                    assert _as_sets(result.relation) == _as_sets(
+                        simulation(query, graph)
+                    )
+                finally:
+                    await client.aclose()
+
+        asyncio.run(main())

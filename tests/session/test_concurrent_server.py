@@ -108,7 +108,7 @@ class TestThreadBackend:
                 server.apply(bad_batch)
             error = excinfo.value
             assert [o.stamp for o in error.applied] == [1]
-            assert error.failed_op == ("delete", *edges[0])
+            assert error.failed_op.as_tuple() == ("delete", *edges[0])
             assert isinstance(error.__cause__, GraphError)
             assert server.stamp == 1
             assert not graph.has_edge(*edges[0])
