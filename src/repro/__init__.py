@@ -72,17 +72,22 @@ from repro.graph.generators import (
 )
 from repro.partition import (
     Fragmentation,
+    PartitionStats,
     balanced_bfs_partition,
     fragment_graph,
     hash_partition,
+    min_cut_partition,
+    partition_stats,
     random_partition,
     refine_to_vf_ratio,
+    traffic_node_weights,
     tree_partition,
 )
 from repro.runtime import CostModel, RunMetrics, RunResult
 from repro.session import (
     ConcurrentSessionServer,
     MutationOutcome,
+    RebalanceOutcome,
     SessionStats,
     SimulationSession,
     StampedOutcome,
@@ -127,13 +132,15 @@ __all__ = [
     # fragmentation
     "Fragmentation", "fragment_graph", "partition",
     "hash_partition", "random_partition", "balanced_bfs_partition",
-    "refine_to_vf_ratio", "tree_partition",
+    "min_cut_partition", "refine_to_vf_ratio", "traffic_node_weights",
+    "tree_partition", "PartitionStats", "partition_stats",
     # distributed algorithms
     "DgpmConfig", "run_dgpm", "run_dgpmd", "run_dgpmt", "run_auto",
     # resident multi-query serving (incl. the in-place mutation API)
     "SimulationSession", "SessionStats", "MutationOutcome",
     # concurrent serving front-end
     "ConcurrentSessionServer", "StampedResult", "StampedOutcome",
+    "RebalanceOutcome",
     # baselines
     "run_match", "run_dishhk", "run_dmes",
     # runtime

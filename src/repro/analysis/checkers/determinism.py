@@ -14,6 +14,12 @@ canonical cache key all assume that evaluating a query is a pure function of
   (:data:`NO_WALLCLOCK_DIRS`); ``time.perf_counter``/``monotonic`` stay
   allowed (they only ever feed metrics/timeouts), and bench/ may timestamp
   its reports.
+* partition/ is held to the stricter bar (:data:`STRICT_NO_CLOCK_DIRS`):
+  *no* clock read at all, not even ``perf_counter``.  A partitioner is a
+  pure function of (graph, seed, weights) -- the online rebalancer replays
+  its output across processes and sessions, and partition/ has no metrics
+  to time, so any ``time.*`` call there is a determinism bug waiting to
+  happen.
 """
 
 from __future__ import annotations
@@ -27,25 +33,36 @@ from repro.analysis.project import ParsedModule, Project, symbol_of
 #: directories (relpath prefixes) where wall-clock reads are banned
 NO_WALLCLOCK_DIRS: Tuple[str, ...] = ("core/", "simulation/", "partition/")
 
+#: directories where *every* clock read is banned (perf_counter included):
+#: pure-function-of-inputs code with nothing to time
+STRICT_NO_CLOCK_DIRS: Tuple[str, ...] = ("partition/",)
+
 
 class DeterminismChecker:
     rule = "determinism"
     description = (
         "no module-global random.* use anywhere; no time.time() in "
-        "core/, simulation/, partition/"
+        "core/, simulation/, partition/; no clock read of any kind in "
+        "partition/"
     )
 
     def __init__(
-        self, no_wallclock_dirs: Tuple[str, ...] = NO_WALLCLOCK_DIRS
+        self,
+        no_wallclock_dirs: Tuple[str, ...] = NO_WALLCLOCK_DIRS,
+        strict_clock_dirs: Tuple[str, ...] = STRICT_NO_CLOCK_DIRS,
     ) -> None:
         self.no_wallclock_dirs = no_wallclock_dirs
+        self.strict_clock_dirs = strict_clock_dirs
 
     def check(self, project: Project) -> Iterable[Finding]:
         for module in project:
             wallclock_banned = module.relpath.startswith(self.no_wallclock_dirs)
+            clock_banned = module.relpath.startswith(self.strict_clock_dirs)
             for node in module.walk():
                 yield from self._check_random(module, node)
-                if wallclock_banned:
+                if clock_banned:
+                    yield from self._check_clock_strict(module, node)
+                elif wallclock_banned:
                     yield from self._check_wallclock(module, node)
 
     # ------------------------------------------------------------------
@@ -118,6 +135,34 @@ class DeterminismChecker:
                     "engine code may not read wall-clock",
                     detail="from-time",
                 )
+
+    def _check_clock_strict(
+        self, module: ParsedModule, node: ast.AST
+    ) -> Iterable[Finding]:
+        """The partition/ bar: no ``time.<anything>()`` call, no time import
+        of a callable -- partitioners are pure functions with nothing to
+        time, so every clock read is nondeterminism smuggled in."""
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "time"
+        ):
+            yield self._finding(
+                module, node,
+                f"time.{node.func.attr}() is a clock read; partition/ code "
+                "is a pure function of its inputs and may not read any "
+                "clock (not even perf_counter)",
+                detail=f"time.{node.func.attr}",
+            )
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            names = [a.name for a in node.names]
+            yield self._finding(
+                module, node,
+                f"`from time import {', '.join(names)}` imports a clock "
+                "into partition/; no clock read of any kind is allowed here",
+                detail="from-time-strict",
+            )
 
     def _finding(
         self, module: ParsedModule, node: ast.AST, message: str, detail: str

@@ -118,15 +118,21 @@ GUARDED: Tuple[GuardSpec, ...] = (
         class_name="ConcurrentSessionServer",
         attrs=("_stamp", "_desynced"),
         locks=("self._rw.write_locked()",),
-        why="stamp/desync flips happen only at quiescent points",
+        exempt_methods=("_rebalance_repartition_locked",),
+        why=(
+            "stamp/desync flips happen only at quiescent points; the "
+            "_locked rebalance helper runs inside the write lock its "
+            "caller rebalance() holds"
+        ),
     ),
     GuardSpec(
         class_name="ConcurrentSessionServer",
-        attrs=("_shards", "_ring", "_respawns"),
+        attrs=("_shards", "_ring", "_respawns", "_rebalances"),
         locks=("self._pool_lock",),
         why=(
-            "the sharded pool (worker handles, hash ring, respawn counter) "
-            "is repaired/rebalanced by whichever thread hits a dead worker"
+            "the sharded pool (worker handles, hash ring, respawn and "
+            "rebalance counters) is repaired/rebalanced by whichever "
+            "thread hits a dead worker or triggers a migration"
         ),
     ),
 )

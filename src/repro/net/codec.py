@@ -95,6 +95,7 @@ VALUE_STRUCTS: Dict[str, int] = {
     "DeleteEdge": 42,
     "AddNode": 43,
     "RemoveNode": 44,
+    "PartitionStats": 45,
 }
 
 #: extract(obj) -> field tuple; build(*fields) -> obj
@@ -161,6 +162,7 @@ def _ensure_registered() -> None:
     from repro.graph.pattern import Pattern
     from repro.net import protocol
     from repro.partition.fragmentation import MutationDelta
+    from repro.partition.metrics import PartitionStats
     from repro.runtime.costmodel import CostModel
     from repro.runtime.metrics import RunMetrics
     from repro.session.concurrent import StampedOutcome
@@ -181,6 +183,7 @@ def _ensure_registered() -> None:
     auto(VALUE_STRUCTS["DeleteEdge"], DeleteEdge)
     auto(VALUE_STRUCTS["AddNode"], AddNode)
     auto(VALUE_STRUCTS["RemoveNode"], RemoveNode)
+    auto(VALUE_STRUCTS["PartitionStats"], PartitionStats)
     _register_custom(
         VALUE_STRUCTS["Pattern"], Pattern, _extract_pattern, Pattern
     )

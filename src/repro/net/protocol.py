@@ -161,12 +161,18 @@ class MutateReply:
 
 @dataclass(frozen=True)
 class StatsReply:
-    """Serving counters plus the server's identity facts."""
+    """Serving counters plus the server's identity facts.
+
+    ``partition`` carries the cut-quality snapshot
+    (:class:`~repro.partition.metrics.PartitionStats`) of the currently
+    served fragmentation -- None only from pre-rebalance servers.
+    """
 
     stats: Any
     stamp: int
     backend: str
     n_workers: int
+    partition: Any = None
 
 
 @dataclass(frozen=True)

@@ -329,12 +329,19 @@ class NetworkSessionServer:
                 reply_kind = FrameKind.OUTCOMES
                 reply = protocol.MutateReply(outcomes=tuple(outcomes))
             elif kind == FrameKind.STATS:
+                # The cut-quality snapshot takes the server's read lock (it
+                # must not interleave with a mutation batch or a rebalance),
+                # so it runs off the event loop like every blocking call.
+                partition = await loop.run_in_executor(
+                    None, self._server.partition_snapshot
+                )
                 reply_kind = FrameKind.STATS_REPLY
                 reply = protocol.StatsReply(
                     stats=self._server.stats,
                     stamp=self._server.stamp,
                     backend=self._server.backend,
                     n_workers=self._server.n_workers,
+                    partition=partition,
                 )
             elif kind == FrameKind.HELLO:
                 reply_kind = FrameKind.HELLO

@@ -17,11 +17,14 @@ the experiments use, including swap-refinement to a target ``|Vf|/|V|`` ratio
 
 from repro.partition.fragment import Fragment
 from repro.partition.fragmentation import Fragmentation, fragment_graph
+from repro.partition.metrics import PartitionStats, partition_stats
 from repro.partition.partitioners import (
     balanced_bfs_partition,
     hash_partition,
+    min_cut_partition,
     random_partition,
     refine_to_vf_ratio,
+    traffic_node_weights,
     tree_partition,
 )
 
@@ -32,6 +35,10 @@ __all__ = [
     "hash_partition",
     "random_partition",
     "balanced_bfs_partition",
+    "min_cut_partition",
     "refine_to_vf_ratio",
+    "traffic_node_weights",
     "tree_partition",
+    "PartitionStats",
+    "partition_stats",
 ]

@@ -11,17 +11,28 @@ and then *swaps nodes between fragments* to drive ``|Vf|/|V|`` (or
 * :func:`refine_to_vf_ratio` -- greedy swap refinement toward a target
   ``|Vf|/|V|`` from either direction (moving a boundary node next to its
   neighbours lowers the ratio; tearing an interior node away raises it);
+* :func:`min_cut_partition` -- the cost-model partitioner: a
+  :func:`balanced_bfs_partition` seed refined by KL-style greedy boundary
+  moves that monotonically reduce (weighted) crossing-edge weight under a
+  balance constraint -- the paper's PT/DS costs (Section 6, Fig 6) scale
+  with ``|Fi.O| + |Fi.I|``, which this directly minimizes;
+* :func:`traffic_node_weights` -- turns a per-fragment traffic snapshot
+  (live :class:`~repro.session.session.SessionStats` counters, or any
+  fid -> count mapping) into the node weights :func:`min_cut_partition`
+  consumes, so observed hot fragments repel cuts and spread out;
 * :func:`tree_partition` -- splits a rooted tree into connected subtrees,
   the precondition of dGPMt (Section 5.2).
 
-All functions are deterministic given the ``seed``.
+All functions are deterministic given the ``seed``; every randomized one
+alternatively accepts a caller-owned seeded ``rng`` (one stream shared
+across many calls, like the workload generators).
 """
 
 from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Mapping, Optional, Set
 
 from repro.errors import FragmentationError
 from repro.graph import algorithms
@@ -174,6 +185,7 @@ def refine_to_vf_ratio(
     seed: int = 0,
     max_passes: int = 8,
     tolerance: float = 0.02,
+    rng: Optional[random.Random] = None,
 ) -> Fragmentation:
     """Move nodes between fragments until ``|Vf|/|V|`` is near ``target_ratio``.
 
@@ -184,11 +196,15 @@ def refine_to_vf_ratio(
     balance stays within a factor of two of the average.  Lowering a cut is
     only effective on locality-structured graphs (the realistic case; the
     paper relies on Ja-be-Ja [27] for the same reason).
+
+    Pass ``rng`` to draw from a caller-owned generator (one stream shared
+    across many calls, like the workload generators); otherwise a fresh
+    ``random.Random(seed)`` makes the call a pure function of its arguments.
     """
     graph = fragmentation.graph
     n = fragmentation.n_fragments
     assignment = {node: fragmentation.owner(node) for node in graph.nodes()}
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     avg = graph.n_nodes / n
     counts = [0] * n
     for fid in assignment.values():
@@ -236,6 +252,129 @@ def refine_to_vf_ratio(
                 counts[new_fid] -= 1
             else:
                 moved += 1
+        if moved == 0:
+            break
+    return fragment_graph(graph, assignment)
+
+
+def traffic_node_weights(
+    fragmentation: Fragmentation, traffic
+) -> Dict[Node, float]:
+    """Spread per-fragment traffic counters over each fragment's local nodes.
+
+    ``traffic`` is either a plain ``{fid: count}`` mapping or a live
+    :class:`~repro.session.session.SessionStats`-like object (anything with
+    ``fragment_queries`` / ``fragment_mutations`` mappings; queries and
+    mutations are summed).  Every node gets weight
+    ``1 + fragment_traffic / |Vi|``: a node in an untouched fragment weighs
+    1, nodes of hot fragments weigh proportionally more, so
+    :func:`min_cut_partition` both avoids cutting through hot regions and
+    spreads them across fragments under its balance constraint.  The
+    overflow key ``-1`` (counter-bound spill) is ignored -- it carries no
+    placement information.
+    """
+    queries = getattr(traffic, "fragment_queries", None)
+    if queries is not None:
+        merged: Dict[int, float] = dict(queries)
+        for fid, count in getattr(traffic, "fragment_mutations", {}).items():
+            merged[fid] = merged.get(fid, 0) + count
+        traffic = merged
+    weights: Dict[Node, float] = {}
+    for frag in fragmentation:
+        load = traffic.get(frag.fid, 0)
+        per_node = load / max(1, frag.n_local_nodes)
+        for node in frag.local_nodes:
+            weights[node] = 1.0 + per_node
+    return weights
+
+
+def min_cut_partition(
+    graph: DiGraph,
+    n_fragments: int,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+    balance: float = 1.25,
+    max_passes: int = 8,
+    node_weights: Optional[Mapping[Node, float]] = None,
+) -> Fragmentation:
+    """Cut-minimizing partition: a BFS seed plus KL-style local search.
+
+    Starts from :func:`balanced_bfs_partition` and then runs greedy
+    boundary-node moves in the style of Kernighan-Lin / Ja-be-Ja [27]: each
+    pass visits the boundary nodes in shuffled order and relocates a node to
+    the neighbouring fragment that maximally reduces the total weight of
+    crossing edges, subject to a balance constraint (no fragment's weighted
+    node mass may exceed ``balance`` times the average) and to every
+    fragment staying non-empty.  Only strictly improving moves are taken,
+    so the final cut is never worse than the BFS seed's.
+
+    ``node_weights`` (default: uniform) drives both the edge weights (an
+    edge weighs the mean of its endpoint weights) and the balance masses;
+    pass :func:`traffic_node_weights` of a live ``SessionStats`` snapshot
+    to make observed query/mutation traffic repel the cut -- hot fragments
+    spread out and their internal edges stop being severed.
+
+    ``rng`` overrides ``seed`` as in :func:`refine_to_vf_ratio`.
+    """
+    if balance <= 1.0:
+        raise FragmentationError("balance must be > 1.0 (1.0 leaves no slack to move)")
+    rng = rng if rng is not None else random.Random(seed)
+    seed_frag = balanced_bfs_partition(graph, n_fragments, seed=rng.randrange(2**31))
+    assignment = {node: seed_frag.owner(node) for node in graph.nodes()}
+
+    weights: Dict[Node, float] = (
+        {node: 1.0 for node in graph.nodes()}
+        if node_weights is None
+        else {node: float(node_weights.get(node, 1.0)) for node in graph.nodes()}
+    )
+    mass = [0.0] * n_fragments
+    counts = [0] * n_fragments
+    for node, fid in assignment.items():
+        mass[fid] += weights[node]
+        counts[fid] += 1
+    cap = balance * sum(mass) / n_fragments
+
+    def edge_weight(u: Node, v: Node) -> float:
+        return (weights[u] + weights[v]) / 2.0
+
+    nodes = sorted(graph.nodes(), key=repr)
+    for _ in range(max_passes):
+        rng.shuffle(nodes)
+        moved = 0
+        for node in nodes:
+            cur = assignment[node]
+            if counts[cur] <= 1:
+                continue
+            # Weight of edges (either direction) between `node` and each
+            # adjacent fragment; self-loops never cross, so they are skipped.
+            adjacent: Dict[int, float] = {}
+            for other in graph.successors(node):
+                if other != node:
+                    fid = assignment[other]
+                    adjacent[fid] = adjacent.get(fid, 0.0) + edge_weight(node, other)
+            for other in graph.predecessors(node):
+                if other != node:
+                    fid = assignment[other]
+                    adjacent[fid] = adjacent.get(fid, 0.0) + edge_weight(other, node)
+            internal = adjacent.get(cur, 0.0)
+            best_fid, best_external = cur, internal
+            for fid in sorted(adjacent):
+                if fid == cur:
+                    continue
+                if mass[fid] + weights[node] > cap:
+                    continue
+                external = adjacent[fid]
+                if external > best_external:
+                    best_fid, best_external = fid, external
+            if best_fid == cur:
+                continue
+            # Moving strictly reduces the weighted cut by external - internal.
+            assignment[node] = best_fid
+            mass[cur] -= weights[node]
+            mass[best_fid] += weights[node]
+            counts[cur] -= 1
+            counts[best_fid] += 1
+            moved += 1
         if moved == 0:
             break
     return fragment_graph(graph, assignment)

@@ -104,6 +104,8 @@ def _resident_session_worker(channel, init=None) -> None:
       ``("err", exception)``;
     * ``("mutate", updates)`` -- apply a batch through the replica's mutation
       API (keeps it in lockstep with the parent) -> ``("ok", n_applied)``;
+    * ``("rebalance", (fragmentation, deps))`` -- adopt a re-partitioning of
+      the same graph via ``session.swap_fragmentation`` -> ``("ok", |F|)``;
     * ``("stats", None)`` -> ``("ok", SessionStats)``;
     * ``("stop", None)`` -- close and exit.
 
@@ -131,6 +133,13 @@ def _resident_session_worker(channel, init=None) -> None:
                 reply = ("ok", len(session.apply(payload)))
             except Exception as exc:
                 reply = ("err", exc)
+        elif command == "rebalance":
+            try:
+                new_fragmentation, new_deps = payload
+                session.swap_fragmentation(new_fragmentation, deps=new_deps)
+                reply = ("ok", new_fragmentation.n_fragments)
+            except Exception as exc:
+                reply = ("err", exc)
         elif command == "stats":
             reply = ("ok", session.stats)
         elif command == "stop":
@@ -153,6 +162,7 @@ SHARD_COMMANDS: Tuple[str, ...] = (
     "q.collect",
     "mutate",
     "install",
+    "rebalance",
     "stats",
     "stop",
 )
@@ -201,6 +211,11 @@ def _shard_worker(channel, init=None) -> None:
       and watcher tables -> ``("ok", n_applied)``.
     * ``("install", (adds, drops))`` -- adopt/release fragment ownership on
       ring changes -> ``("ok", owned_fids)``.
+    * ``("rebalance", (shard, deps))`` -- replace the worker's whole shard
+      *and* watcher tables after an online re-partition (``install`` moves
+      fragments of the current partition; a re-partition changes fragment
+      contents and boundary tables, so everything re-ships) ->
+      ``("ok", owned_fids)``.  Any active query state is reset.
     * ``("stats", None)`` -> ``("ok", {...})`` incl. peak RSS.
     * ``("stop", None)`` -- close and exit.
     """
@@ -289,6 +304,15 @@ def _shard_worker(channel, init=None) -> None:
                     shard.drop(fid)
                 for fid, fragment in adds.items():
                     shard.install(fid, fragment)
+                reply = ("ok", shard.fids)
+            except Exception as exc:
+                reply = ("err", exc)
+        elif command == "rebalance":
+            try:
+                shard, deps = payload
+                programs = None
+                halted = {}
+                local_pending = []
                 reply = ("ok", shard.fids)
             except Exception as exc:
                 reply = ("err", exc)

@@ -34,6 +34,7 @@ from repro.session.cache import (
 )
 from repro.session.concurrent import (
     ConcurrentSessionServer,
+    RebalanceOutcome,
     StampedOutcome,
     StampedResult,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "ConcurrentSessionServer",
     "StampedResult",
     "StampedOutcome",
+    "RebalanceOutcome",
     "AlgorithmDriver",
     "DRIVERS",
     "LabelInterner",

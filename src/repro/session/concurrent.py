@@ -71,6 +71,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import DgpmConfig
+from repro.core.depgraph import DependencyGraphs
 from repro.errors import (
     MutationBatchError,
     ProtocolError,
@@ -89,6 +90,8 @@ from repro.graph.mutations import (
 )
 from repro.graph.pattern import Pattern
 from repro.partition.fragmentation import Fragmentation, MutationDelta
+from repro.partition.metrics import PartitionStats, partition_stats
+from repro.partition.partitioners import min_cut_partition, traffic_node_weights
 from repro.runtime.messages import COORDINATOR, Message, MessageKind
 from repro.runtime.metrics import RunMetrics, RunResult
 from repro.runtime.network import Network
@@ -126,6 +129,32 @@ class StampedOutcome:
 
     outcome: MutationOutcome
     stamp: int
+
+
+@dataclass(frozen=True)
+class RebalanceOutcome:
+    """What one online :meth:`ConcurrentSessionServer.rebalance` did.
+
+    The stamp does *not* advance: a rebalance changes placement, never the
+    graph, so answers before and after are identical (the per-stamp replay
+    oracle of ``tests/session/test_rebalance.py`` checks exactly this across
+    a live migration).
+    """
+
+    #: ``"repartition"`` (new fragmentation) or ``"place"`` (ring moves only)
+    mode: str
+    #: graph version the rebalance happened at (unchanged by it)
+    stamp: int
+    #: ``repartition``: nodes that changed fragment; ``place``: fragments
+    #: that changed worker
+    moved: int
+    #: crossing-edge count before/after (identical for ``place``)
+    cut_before: int
+    cut_after: int
+    #: ``Σ |Fi.O| + |Fi.I|`` before/after (identical for ``place``)
+    boundary_before: int
+    boundary_after: int
+    wall_seconds: float
 
 
 class _ReadWriteLock:
@@ -414,6 +443,7 @@ class ConcurrentSessionServer:
         self._shards: Optional[List[_ShardHandle]] = None
         self._ring: Optional[HashRing] = None
         self._respawns = 0
+        self._rebalances = 0
         #: standing queries; guarded by its own lock so registration never
         #: holds the reader-writer lock (notify runs write-locked and takes
         #: this lock second -- the one sanctioned ordering)
@@ -669,6 +699,22 @@ class ConcurrentSessionServer:
         """Workers respawned after a death (sharded backend)."""
         return self._respawns
 
+    @property
+    def rebalances(self) -> int:
+        """Online rebalances performed so far (any backend)."""
+        return self._rebalances
+
+    def partition_snapshot(self) -> PartitionStats:
+        """Cut-quality statistics of the currently served fragmentation.
+
+        Taken under the read lock, so the snapshot never interleaves with a
+        mutation batch or a rebalance; the v2 wire ``stats()`` reply carries
+        this object.
+        """
+        self._check_open()
+        with self._rw.read_locked():
+            return partition_stats(self._session.fragmentation)
+
     def shard_stats(self) -> List[dict]:
         """Per-shard-worker stats (owned fragments, resident size, peak RSS)."""
         if self._shards is None:
@@ -830,6 +876,12 @@ class ConcurrentSessionServer:
             self._abort_outstanding(outstanding)
             raise
         relation = plan.assemble(query, results)
+        # The parent session never ran this query, so attribute its traffic
+        # here -- the sharded backend is the headline consumer of the
+        # per-fragment window (rebalance() migrates by it).
+        session.stats.bump_fragment(
+            "fragment_queries", session._touched_fids(relation)
+        )
         wall = time.perf_counter() - start
         metrics = RunMetrics(
             algorithm=plan.display_name,
@@ -1019,6 +1071,208 @@ class ConcurrentSessionServer:
                     # In-worker apply failure: its shard may have diverged.
                     # Retire it; the respawn re-extracts the current state.
                     handle.dead = True
+
+    # ------------------------------------------------------------------
+    # online repartitioning
+    # ------------------------------------------------------------------
+    def rebalance(
+        self,
+        mode: str = "repartition",
+        traffic: Optional[Dict[int, int]] = None,
+        balance: float = 1.25,
+        seed: int = 0,
+        max_passes: int = 8,
+    ) -> RebalanceOutcome:
+        """Re-place the served graph by observed traffic, at a quiescent point.
+
+        Two modes, both answer-invariant (they change *where* data lives,
+        never *what* the data is -- every protocol computes the same maximum
+        simulation on any placement, so the mutation stamp does not move):
+
+        * ``"repartition"`` -- compute a fresh cut-minimizing fragmentation
+          with :func:`~repro.partition.partitioners.min_cut_partition`,
+          weighting nodes by the per-fragment traffic window (hot fragments
+          get heavy nodes, so the partitioner both avoids cutting hot
+          regions and spreads them), rebuild the watcher tables once, and
+          swap every serving layer over: the parent session
+          (:meth:`SimulationSession.swap_fragmentation`), process-backend
+          replicas (a ``rebalance`` broadcast), and sharded workers (each
+          re-ships its slot's freshly extracted shard).  Works on all three
+          backends.
+        * ``"place"`` -- sharded backend only: keep the fragmentation, move
+          whole fragments between workers along a traffic-balanced ring
+          (:meth:`HashRing.rebalanced`) using the existing ``install``
+          machinery; only moved fragments re-ship.
+
+        ``traffic`` overrides the gathered ``{fid: count}`` window (the
+        parent session's counters, merged with every live replica's on the
+        process backend).  The write lock is held throughout -- readers see
+        the old placement or the new one, never an intermediate -- and the
+        traffic window resets afterwards so the next rebalance sees fresh
+        counters.  Worker failures mid-rebalance follow each backend's
+        existing contract: shard workers are marked dead and heal from the
+        (already swapped) parent; a failed replica broadcast desyncs the
+        process pool.
+        """
+        if mode not in ("repartition", "place"):
+            raise ReproError(
+                f"unknown rebalance mode {mode!r} (known: repartition, place)"
+            )
+        if mode == "place" and self._shards is None:
+            raise ReproError(
+                "mode='place' moves fragments between shard workers; it "
+                "requires backend='sharded'"
+            )
+        self._check_open()
+        start = time.perf_counter()
+        with self._rw.write_locked():
+            if traffic is None:
+                traffic = self._gather_traffic_locked()
+            before = partition_stats(self._session.fragmentation)
+            if mode == "place":
+                moved = self._rebalance_placement_locked(traffic)
+                after = before
+            else:
+                moved = self._rebalance_repartition_locked(
+                    traffic, balance, seed, max_passes
+                )
+                after = partition_stats(self._session.fragmentation)
+            with self._pool_lock:
+                self._rebalances += 1
+        return RebalanceOutcome(
+            mode=mode,
+            stamp=self._stamp,
+            moved=moved,
+            cut_before=before.n_crossing_edges,
+            cut_after=after.n_crossing_edges,
+            boundary_before=before.total_boundary,
+            boundary_after=after.total_boundary,
+            wall_seconds=time.perf_counter() - start,
+        )
+
+    def _gather_traffic_locked(self) -> Dict[int, int]:
+        """Merge the per-fragment traffic windows of every serving layer.
+
+        The parent session always contributes (thread backend: all traffic;
+        sharded: coordinator-attributed queries plus mutations); process
+        replicas each serve a slice of the query stream, so their counters
+        are summed in too.
+        """
+        merged = self._session.stats.traffic_snapshot()
+        if self._workers is not None and not self._desynced:
+            for handle in self._workers:
+                if handle.dead:
+                    continue
+                try:
+                    stats = handle.request("stats", None)
+                except ProtocolError:
+                    continue  # a dead replica's window is lost, not fatal
+                for fid, count in stats.traffic_snapshot().items():
+                    merged[fid] = merged.get(fid, 0) + count
+        merged.pop(-1, None)  # the overflow key carries no placement signal
+        return merged
+
+    def _rebalance_repartition_locked(
+        self, traffic: Dict[int, int], balance: float, seed: int, max_passes: int
+    ) -> int:
+        session = self._session
+        old = session.fragmentation
+        new_frag = min_cut_partition(
+            old.graph,
+            old.n_fragments,
+            seed=seed,
+            balance=balance,
+            max_passes=max_passes,
+            node_weights=traffic_node_weights(old, traffic),
+        )
+        moved = sum(
+            1 for v in old.graph.nodes() if old.owner(v) != new_frag.owner(v)
+        )
+        deps = DependencyGraphs(new_frag)
+        # Parent first: it is the authoritative copy every shard respawn
+        # re-extracts from, so a worker that fails below heals onto the
+        # *new* partition, never the old one.
+        session.swap_fragmentation(new_frag, deps=deps)
+        if self._workers is not None:
+            if self._desynced:
+                raise ProtocolError(
+                    "a replica failed mid-mutation; the worker pool is out "
+                    "of sync with the parent session -- rebuild the server"
+                )
+            try:
+                live = [h for h in self._workers if not h.dead]
+                for handle in live:
+                    handle.post("rebalance", (new_frag, deps))
+                for handle in live:
+                    handle.collect("rebalance")
+            except BaseException:
+                # Some replicas swapped, some did not: same contract as a
+                # failed mutation broadcast.
+                self._desynced = True
+                raise
+        if self._shards is not None:
+            with self._pool_lock:
+                self._heal_pool_locked()
+                outstanding: List[_ShardHandle] = []
+                for handle in self._shards:
+                    if handle.dead:
+                        continue
+                    payload = (
+                        new_frag.extract_shard(
+                            self._ring.fragments_of(handle.slot)
+                        ),
+                        deps,
+                    )
+                    try:
+                        handle.post("rebalance", payload)
+                    except ProtocolError:
+                        handle.dead = True  # heal re-extracts the new state
+                        continue
+                    outstanding.append(handle)
+                for handle in list(outstanding):
+                    try:
+                        handle.collect("rebalance")
+                    except ProtocolError:
+                        handle.dead = True  # heal re-extracts the new state
+                    except Exception:
+                        # In-worker swap failure: its shard may have
+                        # diverged; retire it the same way.
+                        handle.dead = True
+        return moved
+
+    def _rebalance_placement_locked(self, traffic: Dict[int, int]) -> int:
+        session = self._session
+        with self._pool_lock:
+            self._heal_pool_locked()
+            new_ring = self._ring.rebalanced(traffic)
+            moved = self._ring.moved(new_ring)
+            live = {h.slot: h for h in self._shards if not h.dead}
+            adds_per_slot: Dict = {}
+            drops_per_slot: Dict = {}
+            for fid, (losing, gaining) in moved.items():
+                adds_per_slot.setdefault(gaining, {})[fid] = (
+                    session.fragmentation[fid]
+                )
+                drops_per_slot.setdefault(losing, []).append(fid)
+            for slot in sorted(set(adds_per_slot) | set(drops_per_slot), key=repr):
+                handle = live.get(slot)
+                if handle is None:
+                    continue  # its respawn extracts from the new ring
+                try:
+                    handle.request(
+                        "install",
+                        (
+                            adds_per_slot.get(slot, {}),
+                            sorted(drops_per_slot.get(slot, [])),
+                        ),
+                    )
+                except ProtocolError:
+                    # Dead or diverged either way: retire it; its respawn
+                    # re-extracts from the parent under the new ring.
+                    handle.dead = True
+            self._ring = new_ring
+        session.stats.reset_fragment_traffic()
+        return len(moved)
 
     # ------------------------------------------------------------------
     # standing queries (subscriptions)

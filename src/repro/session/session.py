@@ -76,7 +76,7 @@ import threading
 import time
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import DgpmConfig
@@ -162,6 +162,19 @@ class SessionStats:
     entries_repaired: int = 0
     #: cache entries evicted because a mutation may have changed them
     entries_evicted: int = 0
+    #: per-fragment query traffic: fid -> queries whose answer touched the
+    #: fragment (matched nodes owned by it); feeds traffic-weighted
+    #: repartitioning.  Bounded to :data:`MAX_FRAGMENT_KEYS` keys -- spill
+    #: folds into the overflow key ``-1`` so totals stay exact.
+    fragment_queries: Dict[int, int] = field(default_factory=dict)
+    #: per-fragment mutation traffic: fid -> mutations whose delta touched
+    #: the fragment (source/target owners, cascade included); same bound.
+    fragment_mutations: Dict[int, int] = field(default_factory=dict)
+
+    #: cap on distinct fids tracked per traffic counter (a rebalancing
+    #: stream of add_node/remove_node cycles must not grow the dicts
+    #: forever); far above any realistic |F|
+    MAX_FRAGMENT_KEYS = 4096
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -189,6 +202,42 @@ class SessionStats:
         with self._lock:
             if value > self.cache_evictions:
                 self.cache_evictions = value
+
+    def bump_fragment(self, counter: str, fids: Iterable[int], n: int = 1) -> None:
+        """Atomically add ``n`` to a traffic counter for every fid in ``fids``.
+
+        ``counter`` is ``"fragment_queries"`` or ``"fragment_mutations"``.
+        Bounded: once a dict holds :data:`MAX_FRAGMENT_KEYS` distinct fids,
+        further *new* fids fold into the overflow key ``-1`` -- totals stay
+        exact while attribution degrades gracefully instead of the counters
+        growing without bound under node-churn workloads.
+        """
+        with self._lock:
+            table: Dict[int, int] = getattr(self, counter)
+            for fid in fids:
+                if fid not in table and len(table) >= self.MAX_FRAGMENT_KEYS:
+                    fid = -1
+                table[fid] = table.get(fid, 0) + n
+
+    def traffic_snapshot(self) -> Dict[int, int]:
+        """One consistent ``fid -> load`` copy merging queries + mutations.
+
+        This is the input :func:`~repro.partition.partitioners.\
+traffic_node_weights` consumes when the rebalancer re-partitions by
+        observed load.
+        """
+        with self._lock:
+            merged = dict(self.fragment_queries)
+            for fid, count in self.fragment_mutations.items():
+                merged[fid] = merged.get(fid, 0) + count
+        return merged
+
+    def reset_fragment_traffic(self) -> None:
+        """Open a fresh traffic window (after a rebalance the old fids are
+        meaningless -- they name fragments that no longer exist)."""
+        with self._lock:
+            self.fragment_queries.clear()
+            self.fragment_mutations.clear()
 
     @property
     def hit_rate(self) -> float:
@@ -231,6 +280,10 @@ class _CacheEntryMeta:
     #: through position-wise correspondence of the two orders
     order: Tuple = ()
     hits: int = 0
+    #: fragments owning the entry's matched nodes, computed once on the
+    #: miss -- hits attribute per-fragment traffic from this tuple instead
+    #: of re-walking the (possibly huge) relation
+    fids: Tuple[int, ...] = ()
 
 
 class SimulationSession:
@@ -399,6 +452,50 @@ class SimulationSession:
         self._version = self.fragmentation.version
         self.stats.bump("invalidations")
 
+    def swap_fragmentation(
+        self,
+        fragmentation: Fragmentation,
+        deps: Optional[DependencyGraphs] = None,
+    ) -> None:
+        """Atomically adopt a re-partitioning of the same graph.
+
+        The online-rebalance hand-off: answers are partition-independent
+        (the protocols compute the unique maximum simulation on *any*
+        fragmentation of ``G``), so only partition-*derived* state goes --
+        the boundary/watcher tables (replaced by ``deps``, or rebuilt lazily
+        when omitted), the compiled CSR snapshots, the result cache and warm
+        states (their repair states embed fragment structure), and the
+        per-fragment traffic window (the old fids name fragments that no
+        longer exist).  Callers must hold write exclusion; the concurrent
+        front-end's ``rebalance()`` runs this at a quiescent point.
+        """
+        old = self.fragmentation
+        if (
+            fragmentation.graph.n_nodes != old.graph.n_nodes
+            or fragmentation.graph.n_edges != old.graph.n_edges
+        ):
+            raise ReproError(
+                "swap_fragmentation requires a re-partition of the same graph "
+                f"(got |V|={fragmentation.graph.n_nodes} "
+                f"|E|={fragmentation.graph.n_edges}; serving "
+                f"|V|={old.graph.n_nodes} |E|={old.graph.n_edges})"
+            )
+        self.fragmentation = fragmentation
+        with self._deps_lock:
+            self._deps = deps
+        with self._compiled_lock:
+            self._compiled = None
+        self._cache.clear()
+        with self._state_lock:
+            self._meta.clear()
+            self._warm.clear()
+        self._version = fragmentation.version
+        self.labels.intern_all(
+            sorted(fragmentation.graph.label_alphabet(), key=repr)
+        )
+        self.stats.bump("invalidations")
+        self.stats.reset_fragment_traffic()
+
     def _refresh_if_stale(self) -> None:
         if self.fragmentation.version != self._version:
             # A mutation applied around the session's API (e.g. a new
@@ -465,6 +562,8 @@ ConcurrentSessionServer` provides.
         def compute() -> RunResult:
             result = driver.run(self, query, config, engine=engine)
             computed.append(result)
+            touched = self._touched_fids(result.relation)
+            self.stats.bump_fragment("fragment_queries", touched)
             # Record the entry's pattern/order *before* the result becomes
             # visible to coalesced waiters, so a renamed hit can always
             # translate; store a defensive snapshot -- the caller owns the
@@ -474,7 +573,7 @@ ConcurrentSessionServer` provides.
                 with self._state_lock:
                     self._meta[key] = _CacheEntryMeta(
                         query=query, algorithm=driver.name, config=config,
-                        order=form.order,
+                        order=form.order, fids=touched,
                     )
             return RunResult(
                 relation=result.relation,
@@ -503,6 +602,9 @@ ConcurrentSessionServer` provides.
                 ):
                     promote = meta
             stored_order = meta.order if meta is not None else None
+            touched = meta.fids if meta is not None else ()
+        if touched:
+            self.stats.bump_fragment("fragment_queries", touched)
         if promote is not None:
             self._promote(key, promote)
         if stored_order is None:
@@ -533,6 +635,25 @@ ConcurrentSessionServer` provides.
             self.run(query, algorithm=algorithm, config=config, engine=engine)
             for query in queries
         ]
+
+    def _touched_fids(self, relation: MatchRelation) -> Tuple[int, ...]:
+        """Fragments owning the relation's matched data nodes (sorted).
+
+        Feeds the per-fragment traffic window.  Empty answers attribute no
+        traffic: the window drives load *balance*, and an empty relation
+        names no fragment.  Boolean-only answers carry sentinel witness
+        tokens instead of graph nodes -- they carry no placement signal
+        either, so the first unowned node short-circuits to no attribution.
+        """
+        owner = self.fragmentation.owner
+        fids = set()
+        for q in relation.query_nodes():
+            for v in relation.raw_matches_of(q):
+                try:
+                    fids.add(owner(v))
+                except ReproError:
+                    return ()
+        return tuple(sorted(fids))
 
     # ------------------------------------------------------------------
     # mutations (the write path; see the module docstring for the contract)
@@ -626,6 +747,11 @@ ConcurrentSessionServer` provides.
         same exclusion.
         """
         self.stats.bump("mutations")
+        touched = {delta.source_fid, delta.target_fid}
+        for edge_delta in delta.cascade:
+            touched.add(edge_delta.source_fid)
+            touched.add(edge_delta.target_fid)
+        self.stats.bump_fragment("fragment_mutations", sorted(touched))
         if self.maintenance == "invalidate":
             evicted = len(self._cache)
             self.invalidate()

@@ -173,6 +173,52 @@ class HashRing:
             load[chosen] += 1
         return HashRing(survivors, self.fragments, _assignment=owner)
 
+    def rebalanced(
+        self, weights: Mapping[int, float], tolerance: float = 1.05
+    ) -> "HashRing":
+        """A new ring balancing *weighted* fragment load, moving minimally.
+
+        ``weights`` maps fid -> observed traffic (missing fids count 0; every
+        fragment additionally weighs 1 so idle fragments still spread).  The
+        greedy pass repeatedly moves, from the most loaded slot to the least
+        loaded one, the heaviest fragment whose move strictly shrinks their
+        gap -- the classic longest-processing-time exchange -- stopping once
+        the most loaded slot is within ``tolerance`` of the mean.  Only
+        fragments that must move do, so re-shipping cost tracks the actual
+        imbalance, not ``|F|``.  Deterministic: ties break on sorted fids and
+        slot reprs, and no hashing of graph content is involved.
+        """
+        load_of = {
+            fid: 1.0 + max(0.0, float(weights.get(fid, 0.0)))
+            for fid in self.fragments
+        }
+        owner = dict(self._owner)
+        load: Dict[Slot, float] = {w: 0.0 for w in self.workers}
+        for fid, slot in owner.items():
+            load[slot] += load_of[fid]
+        target = sum(load_of.values()) / len(self.workers)
+        for _ in range(4 * len(self.fragments)):
+            donor = max(self.workers, key=lambda s: (load[s], repr(s)))
+            recipient = min(self.workers, key=lambda s: (load[s], repr(s)))
+            gap = load[donor] - load[recipient]
+            if load[donor] <= target * tolerance or gap <= 0.0:
+                break
+            movable = sorted(f for f in self.fragments if owner[f] == donor)
+            if len(movable) <= 1:
+                break  # one huge fragment: placement alone cannot split it
+            best = None
+            for fid in movable:
+                if load_of[fid] < gap and (
+                    best is None or load_of[fid] > load_of[best]
+                ):
+                    best = fid
+            if best is None:
+                break
+            owner[best] = recipient
+            load[donor] -= load_of[best]
+            load[recipient] += load_of[best]
+        return HashRing(self.workers, self.fragments, _assignment=owner)
+
     def moved(self, new: "HashRing") -> Dict[int, Tuple[Slot, Slot]]:
         """Fragments whose owner differs between ``self`` and ``new``."""
         out: Dict[int, Tuple[Slot, Slot]] = {}

@@ -406,6 +406,20 @@ class TestDeterminism:
         assert len(check(DeterminismChecker(), {"partition/a.py": src})) == 1
         assert check(DeterminismChecker(), {"net/a.py": src}) == []
 
+    def test_partition_bans_every_clock_read(self):
+        # partition/ is pure-function-of-inputs: even perf_counter (fine
+        # in core/) is a determinism leak there.
+        src = "import time\nt = time.perf_counter()\n"
+        assert len(check(DeterminismChecker(), {"partition/a.py": src})) == 1
+        assert check(DeterminismChecker(), {"core/a.py": src}) == []
+        assert len(check(DeterminismChecker(), {"partition/a.py": "import time\nt = time.monotonic()\n"})) == 1
+
+    def test_partition_bans_from_time_imports_wholesale(self):
+        src = "from time import perf_counter\n"
+        finding = check(DeterminismChecker(), {"partition/a.py": src})
+        assert len(finding) == 1 and finding[0].detail == "from-time-strict"
+        assert check(DeterminismChecker(), {"core/a.py": src}) == []
+
 
 class TestDriverRegistry:
     GOOD_DRIVER = (
